@@ -1,0 +1,330 @@
+//! Huffman compression/decompression (Table III: 64 codes, 16-bit max
+//! length) over fixed-symbol-count blocks.
+
+use crate::{gen, App, Workload};
+use rand::Rng;
+
+/// Symbols per block.
+pub const SYMS: u32 = 64;
+/// Output bytes reserved per encoded block (worst case 64 × 2 B + pad).
+pub const OUTB: u32 = 160;
+/// Input bytes reserved per encoded block for the decoder.
+pub const INB: u32 = OUTB;
+
+/// A canonical Huffman code over 64 symbols with lengths ≤ 16.
+#[derive(Clone, Debug)]
+pub struct Codebook {
+    /// Code length per symbol (0..64).
+    pub lens: Vec<u32>,
+    /// Code value per symbol.
+    pub codes: Vec<u32>,
+    /// First code value per length (canonical decode).
+    pub first: Vec<u32>,
+    /// Symbol count per length.
+    pub counts: Vec<u32>,
+    /// Start index into the symbol table per length.
+    pub index: Vec<u32>,
+    /// Symbols sorted by (length, symbol).
+    pub symtab: Vec<u8>,
+}
+
+/// Builds a skewed canonical codebook: a few short codes, a tail of long
+/// ones (lengths 2..=9; max length well under the 16-bit Table III cap).
+pub fn codebook() -> Codebook {
+    // Kraft-valid skew: 2x3 + 6x5 + 8x6 + 16x7 + 32x8 bits
+    // (2/8 + 6/32 + 8/64 + 16/128 + 32/256 = 0.8125 <= 1).
+    let mut lens = vec![0u32; 64];
+    for (s, len) in lens.iter_mut().enumerate() {
+        *len = match s {
+            0..=1 => 3,
+            2..=7 => 5,
+            8..=15 => 6,
+            16..=31 => 7,
+            _ => 8,
+        };
+    }
+    // Canonical assignment.
+    let maxlen = 16usize;
+    let mut counts = vec![0u32; maxlen + 1];
+    for &l in &lens {
+        counts[l as usize] += 1;
+    }
+    let mut first = vec![0u32; maxlen + 1];
+    let mut code = 0u32;
+    for l in 1..=maxlen {
+        code = (code + counts[l - 1]) << 1;
+        first[l] = code;
+    }
+    let mut next = first.clone();
+    let mut codes = vec![0u32; 64];
+    let mut by_len: Vec<(u32, u8)> = Vec::new();
+    for (s, &l) in lens.iter().enumerate() {
+        codes[s] = next[l as usize];
+        next[l as usize] += 1;
+        by_len.push((l, s as u8));
+    }
+    by_len.sort();
+    let symtab: Vec<u8> = by_len.iter().map(|&(_, s)| s).collect();
+    let mut index = vec![0u32; maxlen + 1];
+    let mut acc = 0u32;
+    for l in 1..=maxlen {
+        index[l] = acc;
+        acc += counts[l];
+    }
+    Codebook {
+        lens,
+        codes,
+        first,
+        counts,
+        index,
+        symtab,
+    }
+}
+
+/// Encodes one block of symbols; mirrors the kernel exactly (bit-packed
+/// big-endian within bytes, zero-padded final byte, one trailing pad byte).
+pub fn encode_block(cb: &Codebook, syms: &[u8]) -> (Vec<u8>, u32) {
+    let mut out = Vec::new();
+    let mut acc: u32 = 0;
+    let mut nb: u32 = 0;
+    let mut total = 0u32;
+    for &s in syms {
+        let c = cb.codes[s as usize];
+        let l = cb.lens[s as usize];
+        acc = (acc << l) | c;
+        nb += l;
+        total += l;
+        while nb >= 8 {
+            nb -= 8;
+            out.push((acc >> nb) as u8);
+        }
+    }
+    if nb > 0 {
+        out.push(((acc << (8 - nb)) & 0xFF) as u8);
+    } else {
+        out.push(0);
+    }
+    (out, total)
+}
+
+/// huff-enc — canonical Huffman encoding with a manual-flush write iterator
+/// (§V-A a).
+pub fn huff_enc_app() -> App {
+    App {
+        name: "huff-enc",
+        description: "Compression: canonical Huffman encode (64 codes)",
+        key_features: "ManualWriteIt",
+        source: |outer| {
+            format!(
+                r#"
+dram<u8> symbols;
+dram<u32> codes;
+dram<u32> lens;
+dram<u8> outbits;
+dram<u32> output;
+void main(u32 blocks) {{
+    foreach (blocks) {{ u32 i =>
+        replicate ({outer}) {{
+            readit<16> it(symbols, i * {SYMS});
+            manualwriteit<16> w(outbits, i * {OUTB});
+            u32 acc = 0;
+            u32 nb = 0;
+            u32 j = 0;
+            u32 total = 0;
+            while (j < {SYMS}) {{
+                u32 s = *it;
+                it++;
+                u32 c = codes[s];
+                u32 l = lens[s];
+                acc = (acc << l) | c;
+                nb = nb + l;
+                total = total + l;
+                while (nb >= 8) {{
+                    nb = nb - 8;
+                    *w = acc >> nb;
+                    w.inc(0);
+                }};
+                j = j + 1;
+            }};
+            if (nb) {{
+                *w = acc << (8 - nb);
+            }} else {{
+                *w = 0;
+            }};
+            w.inc(1);
+            output[i] = total;
+        }};
+    }};
+}}
+"#
+            )
+        },
+        workload: |scale, seed| {
+            let cb = codebook();
+            let mut r = gen::rng(seed);
+            let symbols: Vec<u8> = (0..scale * SYMS as usize)
+                .map(|_| (r.gen::<f64>() * r.gen::<f64>() * 64.0) as u8)
+                .collect();
+            let mut outbits = vec![0u8; scale * OUTB as usize];
+            let mut totals = Vec::new();
+            for b in 0..scale {
+                let (bytes, total) =
+                    encode_block(&cb, &symbols[b * SYMS as usize..(b + 1) * SYMS as usize]);
+                outbits[b * OUTB as usize..b * OUTB as usize + bytes.len()]
+                    .copy_from_slice(&bytes);
+                totals.extend(total.to_le_bytes());
+            }
+            let to_bytes = |v: &[u32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
+            Workload {
+                args: vec![scale as u32],
+                app_bytes: (symbols.len() + outbits.iter().filter(|&&b| b != 0).count()) as u64,
+                bytes_per_thread: SYMS as u64 + 20,
+                threads: scale as u64,
+                inits: vec![
+                    (0, symbols),
+                    (1, to_bytes(&cb.codes)),
+                    (2, to_bytes(&cb.lens)),
+                ],
+                // Validate the bit totals (symbol 4); the bitstream itself is
+                // checked by the decoder round-trip test.
+                expected: totals,
+                out_sym: 4,
+            }
+        },
+        cpu_ops_per_byte: 7.0,
+        gpu_coalesces: true,
+    }
+}
+
+/// huff-dec — canonical Huffman decode with bit-serial code assembly.
+pub fn huff_dec_app() -> App {
+    App {
+        name: "huff-dec",
+        description: "Decompression: canonical Huffman decode (64 codes)",
+        key_features: "ReadIt, nested while",
+        source: |outer| {
+            format!(
+                r#"
+dram<u8> bits;
+dram<u32> first;
+dram<u32> counts;
+dram<u32> index;
+dram<u8> symtab;
+dram<u8> outsyms;
+void main(u32 blocks) {{
+    foreach (blocks) {{ u32 i =>
+        replicate ({outer}) {{
+            readit<16> it(bits, i * {INB});
+            writeit<16> w(outsyms, i * {SYMS});
+            u32 cur = 0;
+            u32 nb = 0;
+            u32 j = 0;
+            u32 code = 0;
+            u32 len = 0;
+            while (j < {SYMS}) {{
+                if (nb == 0) {{
+                    cur = *it;
+                    it++;
+                    nb = 8;
+                }};
+                u32 bit = (cur >> (nb - 1)) & 1;
+                nb = nb - 1;
+                code = (code << 1) | bit;
+                len = len + 1;
+                u32 off = code - first[len];
+                if (off < counts[len]) {{
+                    *w = symtab[index[len] + off];
+                    w++;
+                    j = j + 1;
+                    code = 0;
+                    len = 0;
+                }};
+            }};
+        }};
+    }};
+}}
+"#
+            )
+        },
+        workload: |scale, seed| {
+            let cb = codebook();
+            let mut r = gen::rng(seed);
+            let symbols: Vec<u8> = (0..scale * SYMS as usize)
+                .map(|_| (r.gen::<f64>() * r.gen::<f64>() * 64.0) as u8)
+                .collect();
+            let mut bits = vec![0u8; scale * INB as usize];
+            for b in 0..scale {
+                let (bytes, _) =
+                    encode_block(&cb, &symbols[b * SYMS as usize..(b + 1) * SYMS as usize]);
+                bits[b * INB as usize..b * INB as usize + bytes.len()].copy_from_slice(&bytes);
+            }
+            let to_bytes = |v: &[u32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
+            Workload {
+                args: vec![scale as u32],
+                app_bytes: (bits.iter().filter(|&&b| b != 0).count() + symbols.len()) as u64,
+                bytes_per_thread: INB as u64,
+                threads: scale as u64,
+                inits: vec![
+                    (0, bits),
+                    (1, to_bytes(&cb.first)),
+                    (2, to_bytes(&cb.counts)),
+                    (3, to_bytes(&cb.index)),
+                    (4, cb.symtab.clone()),
+                ],
+                expected: symbols,
+                out_sym: 5,
+            }
+        },
+        cpu_ops_per_byte: 10.0,
+        gpu_coalesces: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codebook_is_prefix_free_canonical() {
+        let cb = codebook();
+        // Kraft sum exactly 1 would be a complete code; ≤ 1 required.
+        let kraft: f64 = cb.lens.iter().map(|&l| 2f64.powi(-(l as i32))).sum();
+        assert!(kraft <= 1.0 + 1e-9, "Kraft {kraft}");
+        // Decode every symbol's own code back.
+        for s in 0..64u32 {
+            let l = cb.lens[s as usize];
+            let c = cb.codes[s as usize];
+            let off = c - cb.first[l as usize];
+            assert!(off < cb.counts[l as usize]);
+            assert_eq!(cb.symtab[(cb.index[l as usize] + off) as usize], s as u8);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_reference() {
+        let cb = codebook();
+        let syms: Vec<u8> = (0..SYMS as u8).collect();
+        let (bytes, total) = encode_block(&cb, &syms);
+        assert!(total > 0);
+        // Bit-serial decode mirroring the kernel.
+        let mut out = Vec::new();
+        let mut code = 0u32;
+        let mut len = 0usize;
+        'outer: for &byte in &bytes {
+            for b in (0..8).rev() {
+                code = (code << 1) | ((byte >> b) & 1) as u32;
+                len += 1;
+                let off = code.wrapping_sub(cb.first[len]);
+                if off < cb.counts[len] {
+                    out.push(cb.symtab[(cb.index[len] + off) as usize]);
+                    code = 0;
+                    len = 0;
+                    if out.len() == syms.len() {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert_eq!(out, syms);
+    }
+}

@@ -1,0 +1,216 @@
+//! # revet-apps — the eight evaluation applications (Table III)
+//!
+//! Each application provides: parameterized Revet source (the replicate
+//! width is the paper's "outer parallelism" knob), a seeded workload
+//! generator matching the Table III data distributions, and an oracle Rust
+//! implementation used to validate both the MIR interpreter and dataflow
+//! execution — and reused as the instruction-cost kernel for the CPU/GPU
+//! baseline models.
+//!
+//! | app | description | key features |
+//! |-----|-------------|--------------|
+//! | isipv4 | DFA regex over address records | replicate, predicated selects |
+//! | ip2int | IPv4 parsing | replicate, data-dependent while |
+//! | murmur3 | hashing 64 B blobs | ReadIt |
+//! | hash-table | open-addressing lookup | random DRAM probes, while |
+//! | search | exact-match search (Horspool skips) | nested while (×2) |
+//! | huff-dec | canonical Huffman decode | ReadIt + WriteIt, nested while |
+//! | huff-enc | canonical Huffman encode | ManualWriteIt |
+//! | kD-tree | count points in rectangle | foreach-reduce inside while |
+
+#![warn(missing_docs)]
+
+pub mod gen;
+mod hash;
+mod huffman;
+mod kdtree;
+mod text;
+
+pub use hash::{hash_table_app, murmur3_app};
+pub use huffman::{huff_dec_app, huff_enc_app};
+pub use kdtree::kdtree_app;
+pub use text::{ip2int_app, isipv4_app, search_app};
+
+use revet_core::{CompiledProgram, Compiler, PassOptions};
+use revet_sltf::Word;
+
+/// Per-run workload: arguments, DRAM images, and validation data.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// `main` arguments.
+    pub args: Vec<u32>,
+    /// DRAM initialization: (symbol index, bytes).
+    pub inits: Vec<(usize, Vec<u8>)>,
+    /// Expected bytes at the output symbol after the run.
+    pub expected: Vec<u8>,
+    /// Output symbol index.
+    pub out_sym: usize,
+    /// Input+output bytes for throughput normalization (§VI-A b).
+    pub app_bytes: u64,
+    /// Per-thread bytes touched (Table III "Per-Thread" flavor; drives the
+    /// GPU coalescing model).
+    pub bytes_per_thread: u64,
+    /// Number of parallel threads in the workload.
+    pub threads: u64,
+}
+
+/// One evaluation application.
+pub struct App {
+    /// Table III name.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Key features (Table III column).
+    pub key_features: &'static str,
+    /// Revet source for a given replicate width.
+    pub source: fn(outer: u32) -> String,
+    /// Seeded workload generator at a given scale (record count).
+    pub workload: fn(scale: usize, seed: u64) -> Workload,
+    /// Relative CPU cost per byte (calibrates the baseline models; derived
+    /// from the oracle's per-byte instruction counts).
+    pub cpu_ops_per_byte: f64,
+    /// Whether GPU threads of this app can coalesce their loads (§VI-B b:
+    /// short per-thread records coalesce; long/random accesses do not).
+    pub gpu_coalesces: bool,
+}
+
+impl std::fmt::Debug for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("App").field("name", &self.name).finish()
+    }
+}
+
+impl App {
+    /// Number of DRAM symbols the source declares.
+    pub fn dram_symbols(&self) -> usize {
+        let src = (self.source)(1);
+        src.matches("dram<").count()
+    }
+
+    /// Source lines (Table III "Lines").
+    pub fn lines(&self) -> usize {
+        (self.source)(1).trim().lines().count()
+    }
+
+    /// Compiles the app at the given replicate width.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors.
+    pub fn compile(
+        &self,
+        outer: u32,
+        opts: &PassOptions,
+    ) -> Result<CompiledProgram, revet_core::CoreError> {
+        let mut opts = opts.clone();
+        opts.dram_bytes = DRAM_BYTES;
+        Compiler::new(opts).compile_source(&(self.source)(outer))
+    }
+
+    /// Loads a workload into a compiled program's DRAM.
+    pub fn load(&self, program: &mut CompiledProgram, w: &Workload) {
+        let slice = DRAM_BYTES / self.dram_symbols();
+        for (sym, bytes) in &w.inits {
+            let base = sym * slice;
+            program.graph.mem.dram[base..base + bytes.len()].copy_from_slice(bytes);
+        }
+    }
+
+    /// Checks the output symbol against the oracle bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diff message on mismatch.
+    pub fn check(&self, program: &CompiledProgram, w: &Workload) {
+        let slice = DRAM_BYTES / self.dram_symbols();
+        let base = w.out_sym * slice;
+        let got = &program.graph.mem.dram[base..base + w.expected.len()];
+        assert_eq!(
+            got,
+            &w.expected[..],
+            "{}: dataflow output differs from oracle",
+            self.name
+        );
+    }
+
+    /// Compile + load + run untimed + check (the correctness path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on compile, execution, or validation failure.
+    pub fn validate_untimed(&self, outer: u32, scale: usize, seed: u64) {
+        let w = (self.workload)(scale, seed);
+        let mut program = self
+            .compile(outer, &PassOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", self.name));
+        self.load(&mut program, &w);
+        let args: Vec<Word> = w.args.iter().map(|&a| Word(a)).collect();
+        program
+            .run_untimed(&args, 200_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.name));
+        self.check(&program, &w);
+    }
+}
+
+/// DRAM image size shared by all app runs.
+pub const DRAM_BYTES: usize = 1 << 22;
+
+/// The Table III application registry.
+pub fn all_apps() -> Vec<App> {
+    vec![
+        isipv4_app(),
+        ip2int_app(),
+        murmur3_app(),
+        hash_table_app(),
+        search_app(),
+        huff_dec_app(),
+        huff_enc_app(),
+        kdtree_app(),
+    ]
+}
+
+/// Looks up one app by name.
+pub fn app(name: &str) -> Option<App> {
+    all_apps().into_iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 8);
+        let names: Vec<&str> = apps.iter().map(|a| a.name).collect();
+        for want in [
+            "isipv4",
+            "ip2int",
+            "murmur3",
+            "hash-table",
+            "search",
+            "huff-dec",
+            "huff-enc",
+            "kD-tree",
+        ] {
+            assert!(names.contains(&want), "missing {want}");
+        }
+        assert!(app("murmur3").is_some());
+        assert!(app("nope").is_none());
+    }
+
+    #[test]
+    fn sources_have_plausible_line_counts() {
+        // Table III reports 34–74 lines per app; ours should be in the same
+        // ballpark.
+        for a in all_apps() {
+            let lines = a.lines();
+            assert!(
+                (15..160).contains(&lines),
+                "{}: {} lines looks wrong",
+                a.name,
+                lines
+            );
+        }
+    }
+}

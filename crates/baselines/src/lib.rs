@@ -1,0 +1,252 @@
+//! # revet-baselines — GPU and CPU performance models
+//!
+//! The paper measures a real NVIDIA V100 (CUDA 11.6, RAPIDS, cuCollections)
+//! and a 64-thread Ice Lake Xeon. We substitute analytical models that
+//! encode the *mechanisms* the paper credits for the observed numbers
+//! (§VI-B b):
+//!
+//! - **GPU**: SIMT executes 32-wide warps; threads reading *long* or
+//!   *random* per-thread records cannot coalesce, and "the L1 cache can
+//!   only execute a certain number of tag checks per cycle", so effective
+//!   bandwidth collapses with per-thread record size; divergence serializes
+//!   both sides of data-dependent branches; multi-kernel frontier expansion
+//!   (tree traversal) pays per-kernel launch overhead.
+//! - **CPU**: throughput is the min of DDR bandwidth and scalar instruction
+//!   throughput over 64 threads.
+//!
+//! Per-application characteristic constants are calibrated once against the
+//! paper's measured baselines (Table V) and documented here; the *model
+//! structure* then determines how they scale.
+
+#![warn(missing_docs)]
+
+/// V100-class GPU parameters.
+#[derive(Clone, Debug)]
+pub struct GpuModel {
+    /// Streaming multiprocessors.
+    pub sms: u32,
+    /// Threads per warp.
+    pub warp: u32,
+    /// Clock in GHz.
+    pub clock_ghz: f64,
+    /// HBM2 bandwidth in GB/s.
+    pub mem_gbps: f64,
+    /// Die area (mm²) for area-normalized comparisons.
+    pub area_mm2: f64,
+    /// Kernel launch + sync overhead in microseconds (multi-kernel apps).
+    pub launch_us: f64,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel {
+            sms: 80,
+            warp: 32,
+            clock_ghz: 1.53,
+            mem_gbps: 900.0,
+            area_mm2: 815.0,
+            launch_us: 5.0,
+        }
+    }
+}
+
+/// Xeon-class CPU parameters (m6i.16xlarge: 64 threads, 205 GB/s DDR4).
+#[derive(Clone, Debug)]
+pub struct CpuModel {
+    /// Hardware threads.
+    pub threads: u32,
+    /// Clock in GHz.
+    pub clock_ghz: f64,
+    /// DDR bandwidth in GB/s.
+    pub mem_gbps: f64,
+    /// Achievable fraction of peak DDR bandwidth.
+    pub mem_efficiency: f64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            threads: 64,
+            clock_ghz: 3.5,
+            mem_gbps: 205.0,
+            mem_efficiency: 0.6,
+        }
+    }
+}
+
+/// Per-application characteristics feeding the models. The instruction
+/// densities are calibrated against the paper's measured Table V baselines;
+/// the structural fields come from the workload definitions.
+#[derive(Clone, Copy, Debug)]
+pub struct AppTraits {
+    /// Bytes each thread touches (drives GPU coalescing).
+    pub bytes_per_thread: u64,
+    /// Accesses are random (hash probes, tree descent).
+    pub random_access: bool,
+    /// Requires multiple kernel launches per unit work (GPU only).
+    pub multi_kernel: bool,
+    /// GPU instructions per byte (post-divergence serialization).
+    pub gpu_ops_per_byte: f64,
+    /// CPU instructions per byte.
+    pub cpu_ops_per_byte: f64,
+}
+
+/// Calibrated traits for the Table III applications.
+pub fn traits_for(app: &str) -> AppTraits {
+    match app {
+        "isipv4" => AppTraits {
+            bytes_per_thread: 16,
+            random_access: false,
+            multi_kernel: false,
+            gpu_ops_per_byte: 32.0,
+            cpu_ops_per_byte: 30.0,
+        },
+        "ip2int" => AppTraits {
+            bytes_per_thread: 16,
+            random_access: false,
+            multi_kernel: false,
+            gpu_ops_per_byte: 10.0,
+            cpu_ops_per_byte: 24.0,
+        },
+        "murmur3" => AppTraits {
+            bytes_per_thread: 64,
+            random_access: false,
+            multi_kernel: false,
+            gpu_ops_per_byte: 6.0,
+            cpu_ops_per_byte: 1.8,
+        },
+        "hash-table" => AppTraits {
+            bytes_per_thread: 12,
+            random_access: true,
+            multi_kernel: false,
+            gpu_ops_per_byte: 12.0,
+            cpu_ops_per_byte: 30.0,
+        },
+        "search" => AppTraits {
+            bytes_per_thread: 256,
+            random_access: false,
+            multi_kernel: false,
+            gpu_ops_per_byte: 16.0,
+            cpu_ops_per_byte: 1.8,
+        },
+        "huff-dec" => AppTraits {
+            bytes_per_thread: 160,
+            random_access: false,
+            multi_kernel: false,
+            gpu_ops_per_byte: 24.0,
+            cpu_ops_per_byte: 11.8,
+        },
+        "huff-enc" => AppTraits {
+            bytes_per_thread: 84,
+            random_access: false,
+            multi_kernel: false,
+            gpu_ops_per_byte: 14.0,
+            cpu_ops_per_byte: 6.4,
+        },
+        "kD-tree" => AppTraits {
+            bytes_per_thread: 64,
+            random_access: true,
+            multi_kernel: true,
+            gpu_ops_per_byte: 40.0,
+            cpu_ops_per_byte: 65.0,
+        },
+        other => panic!("no baseline traits for '{other}'"),
+    }
+}
+
+impl GpuModel {
+    /// Fraction of peak bandwidth SIMT threads achieve for a given
+    /// per-thread record size: a warp touching 32 contiguous small records
+    /// coalesces into a few transactions, while long or random records
+    /// serialize on L1 tag checks (§VI-B b).
+    pub fn coalescing_factor(&self, bytes_per_thread: u64, random: bool) -> f64 {
+        if random {
+            return 0.045;
+        }
+        match bytes_per_thread {
+            0..=16 => 0.75,
+            17..=32 => 0.5,
+            33..=64 => 0.25,
+            65..=128 => 0.12,
+            _ => 0.06,
+        }
+    }
+
+    /// Modelled throughput in GB/s.
+    pub fn throughput_gbps(&self, t: &AppTraits) -> f64 {
+        if t.multi_kernel {
+            // Frontier expansion: each tree level is a kernel; little
+            // parallelism amortizes the launch (paper: 1.5 GB/s).
+            let levels = 14.0;
+            let useful_bytes_per_wave = 64.0 * 1024.0;
+            return useful_bytes_per_wave / (levels * self.launch_us * 1e-6) / 1e9;
+        }
+        let mem = self.mem_gbps * self.coalescing_factor(t.bytes_per_thread, t.random_access);
+        let compute =
+            self.sms as f64 * self.warp as f64 * self.clock_ghz / t.gpu_ops_per_byte;
+        mem.min(compute)
+    }
+}
+
+impl CpuModel {
+    /// Modelled throughput in GB/s.
+    pub fn throughput_gbps(&self, t: &AppTraits) -> f64 {
+        let mem = self.mem_gbps
+            * self.mem_efficiency
+            * if t.random_access { 0.06 } else { 1.0 };
+        let compute = self.threads as f64 * self.clock_ghz / t.cpu_ops_per_byte;
+        mem.min(compute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's measured baselines (Table V) as calibration targets; the
+    /// models must land within 2× on every app (shape fidelity).
+    #[test]
+    fn models_track_paper_baselines() {
+        let paper: &[(&str, f64, f64)] = &[
+            ("isipv4", 121.0, 7.3),
+            ("ip2int", 381.0, 9.1),
+            ("murmur3", 218.0, 122.2),
+            ("hash-table", 40.0, 7.4),
+            ("search", 51.0, 120.6),
+            ("huff-dec", 97.0, 19.0),
+            ("huff-enc", 172.0, 35.0),
+            ("kD-tree", 1.5, 3.4),
+        ];
+        let gpu = GpuModel::default();
+        let cpu = CpuModel::default();
+        for &(app, gpu_want, cpu_want) in paper {
+            let t = traits_for(app);
+            let g = gpu.throughput_gbps(&t);
+            let c = cpu.throughput_gbps(&t);
+            assert!(
+                g > gpu_want / 2.0 && g < gpu_want * 2.0,
+                "{app}: GPU model {g:.1} vs paper {gpu_want}"
+            );
+            assert!(
+                c > cpu_want / 2.0 && c < cpu_want * 2.0,
+                "{app}: CPU model {c:.1} vs paper {cpu_want}"
+            );
+        }
+    }
+
+    #[test]
+    fn coalescing_monotone_in_record_size() {
+        let g = GpuModel::default();
+        assert!(g.coalescing_factor(16, false) > g.coalescing_factor(64, false));
+        assert!(g.coalescing_factor(64, false) > g.coalescing_factor(256, false));
+        assert!(g.coalescing_factor(16, true) < g.coalescing_factor(256, false));
+    }
+
+    #[test]
+    fn traits_cover_all_apps() {
+        for app in revet_apps::all_apps() {
+            let t = traits_for(app.name);
+            assert!(t.cpu_ops_per_byte > 0.0);
+        }
+    }
+}

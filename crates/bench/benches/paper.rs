@@ -1,0 +1,53 @@
+//! `cargo bench` entry point: regenerates every table and figure at reduced
+//! scale, timing the headline kernels with Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_tables_and_figures(c: &mut Criterion) {
+    // Regenerate every experiment once (the rows are printed so a bench run
+    // leaves the full set of results in the log).
+    println!("{}", revet_bench::table2());
+    println!("{}", revet_bench::table3());
+    let t4 = revet_bench::table4(16);
+    println!("{}", revet_bench::format_table4(&t4));
+    let t5 = revet_bench::table5(16);
+    println!("{}", revet_bench::format_table5(&t5));
+    let f12 = revet_bench::fig12();
+    println!("{}", revet_bench::format_fig12(&f12));
+    let f13 = revet_bench::fig13(16);
+    println!("{}", revet_bench::format_fig13(&f13));
+    let f14 = revet_bench::fig14(&[1_000, 10_000, 100_000, 1_000_000]);
+    println!("{}", revet_bench::format_fig14(&f14));
+    let (_, aurochs) = revet_bench::aurochs_cmp(8);
+    println!("{aurochs}");
+
+    // Criterion timings for the per-app timed-simulation kernels.
+    let mut group = c.benchmark_group("timed_sim");
+    group.sample_size(10);
+    for app in revet_apps::all_apps() {
+        group.bench_function(app.name, |b| {
+            b.iter(|| {
+                revet_bench::run_timed(
+                    &app,
+                    2,
+                    8,
+                    &revet_core::PassOptions::default(),
+                    revet_sim::IdealModels::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(10);
+    for app in revet_apps::all_apps() {
+        group.bench_function(app.name, |b| {
+            b.iter(|| app.compile(2, &revet_core::PassOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables_and_figures);
+criterion_main!(benches);

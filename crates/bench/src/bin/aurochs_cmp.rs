@@ -1,0 +1,9 @@
+//! Regenerates the §VI-B c Aurochs comparison (kD-tree).
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let (_, text) = revet_bench::aurochs_cmp(scale);
+    println!("=== Aurochs comparison (scale={scale}) ===\n{text}");
+}

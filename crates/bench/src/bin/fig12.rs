@@ -1,0 +1,8 @@
+//! Regenerates Figure 12 (resource increase with optimizations disabled).
+fn main() {
+    let rows = revet_bench::fig12();
+    println!(
+        "=== Figure 12: optimization ablations ===\n{}",
+        revet_bench::format_fig12(&rows)
+    );
+}

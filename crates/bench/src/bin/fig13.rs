@@ -1,0 +1,12 @@
+//! Regenerates Figure 13 (perf vs area, hierarchy removal).
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    let pts = revet_bench::fig13(scale);
+    println!(
+        "=== Figure 13: hierarchy removal scaling (scale={scale}) ===\n{}",
+        revet_bench::format_fig13(&pts)
+    );
+}

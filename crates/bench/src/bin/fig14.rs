@@ -1,0 +1,9 @@
+//! Regenerates Figure 14 (allocator load balancing vs input count).
+fn main() {
+    let inputs = [1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000];
+    let pts = revet_bench::fig14(&inputs);
+    println!(
+        "=== Figure 14: per-region load vs inputs ===\n{}",
+        revet_bench::format_fig14(&pts)
+    );
+}

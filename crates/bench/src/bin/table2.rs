@@ -1,0 +1,4 @@
+//! Regenerates Table II (RDA parameters).
+fn main() {
+    println!("=== Table II: RDA parameters ===\n{}", revet_bench::table2());
+}

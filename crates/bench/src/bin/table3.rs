@@ -1,0 +1,4 @@
+//! Regenerates Table III (application inventory).
+fn main() {
+    println!("=== Table III: applications ===\n{}", revet_bench::table3());
+}

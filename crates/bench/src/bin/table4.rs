@@ -1,0 +1,12 @@
+//! Regenerates Table IV (resources used by Revet applications).
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(revet_bench::DEFAULT_SCALE);
+    let rows = revet_bench::table4(scale);
+    println!(
+        "=== Table IV: resources (scale={scale}) ===\n{}",
+        revet_bench::format_table4(&rows)
+    );
+}

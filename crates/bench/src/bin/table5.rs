@@ -1,0 +1,12 @@
+//! Regenerates Table V (performance vs V100/CPU + ideal models).
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(revet_bench::DEFAULT_SCALE);
+    let rows = revet_bench::table5(scale);
+    println!(
+        "=== Table V: performance (scale={scale}) ===\n{}",
+        revet_bench::format_table5(&rows)
+    );
+}

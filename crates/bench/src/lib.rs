@@ -1,0 +1,561 @@
+//! # revet-bench — harnesses regenerating the paper's tables and figures
+//!
+//! One driver per experiment (DESIGN.md §3). Each driver returns structured
+//! rows and a formatted table so the same code backs the `table*`/`fig*`
+//! binaries, the Criterion benches, and EXPERIMENTS.md.
+//!
+//! Scales are configurable: the defaults keep `cargo bench` minutes-fast;
+//! absolute GB/s therefore differ from the paper (whose runs used
+//! multi-GiB datasets on the authors' RTL-calibrated simulator), while the
+//! *shape* — who wins, by roughly what factor, where the crossovers fall —
+//! is the reproduction target.
+
+#![warn(missing_docs)]
+
+use revet_apps::{all_apps, App, Workload};
+use revet_baselines::{traits_for, CpuModel, GpuModel};
+use revet_core::report::ResourceReport;
+use revet_core::PassOptions;
+use revet_sim::{IdealModels, RdaConfig, SimStats, Simulator};
+use revet_sltf::Word;
+
+/// Default per-app record scale for timed runs.
+pub const DEFAULT_SCALE: usize = 512;
+/// Default replicate width.
+pub const DEFAULT_OUTER: u32 = 8;
+/// Workload seed.
+pub const SEED: u64 = 0x5EED;
+
+/// Runs one app through the timed simulator; returns (stats, workload).
+///
+/// # Panics
+///
+/// Panics on compile/run/validation failure (the harness is also a test).
+pub fn run_timed(
+    app: &App,
+    outer: u32,
+    scale: usize,
+    opts: &PassOptions,
+    ideal: IdealModels,
+) -> (SimStats, Workload) {
+    let w = (app.workload)(scale, SEED);
+    let mut program = app
+        .compile(outer, opts)
+        .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+    app.load(&mut program, &w);
+    let args: Vec<Word> = w.args.iter().map(|&a| Word(a)).collect();
+    let sim = Simulator::new(RdaConfig::default(), ideal);
+    let stats = sim
+        .run(&mut program, &args, 2_000_000_000)
+        .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+    app.check(&program, &w);
+    (stats, w)
+}
+
+/// Table II: machine parameters.
+pub fn table2() -> String {
+    RdaConfig::default().table2()
+}
+
+/// Table III: application inventory.
+pub fn table3() -> String {
+    let mut s = String::from(
+        "app          lines  description                                        key features\n",
+    );
+    for a in all_apps() {
+        s.push_str(&format!(
+            "{:<12} {:>5}  {:<50} {}\n",
+            a.name,
+            a.lines(),
+            a.description,
+            a.key_features
+        ));
+    }
+    s
+}
+
+/// One Table IV row.
+#[derive(Clone, Debug)]
+pub struct Table4Row {
+    /// The resource report.
+    pub report: ResourceReport,
+    /// HBM2 utilization (read, write) from the timed run.
+    pub hbm_rw: (f64, f64),
+}
+
+/// Table IV: resources used by Revet applications.
+pub fn table4(scale: usize) -> Vec<Table4Row> {
+    all_apps()
+        .iter()
+        .map(|a| {
+            let program = a.compile(DEFAULT_OUTER, &PassOptions::default()).unwrap();
+            let report = ResourceReport::for_program(a.name, &program);
+            let (stats, _) = run_timed(
+                a,
+                DEFAULT_OUTER,
+                scale,
+                &PassOptions::default(),
+                IdealModels::default(),
+            );
+            Table4Row {
+                report,
+                hbm_rw: stats.dram_rw_utilization(),
+            }
+        })
+        .collect()
+}
+
+/// Formats Table IV.
+pub fn format_table4(rows: &[Table4Row]) -> String {
+    let mut s = String::from(
+        "app          outer lanes | inner CU/MU/AG | outer CU/MU/AG | repl CU/MU | dlk buf rtm | total CU/MU/AG | HBM2 r/w/tot %\n",
+    );
+    for r in rows {
+        let rep = &r.report;
+        s.push_str(&format!(
+            "{:<12} {:>5} {:>5} | {:>4}/{:>3}/{:>3} | {:>4}/{:>3}/{:>3} | {:>4}/{:>3} | {:>3} {:>3} {:>3} | {:>4}/{:>3}/{:>3} | {:>4.1}/{:>4.1}/{:>4.1}\n",
+            rep.name,
+            rep.outer,
+            rep.lanes,
+            rep.inner.0,
+            rep.inner.1,
+            rep.inner.2,
+            rep.outer_units.0,
+            rep.outer_units.1,
+            rep.outer_units.2,
+            rep.replicate.0,
+            rep.replicate.1,
+            rep.deadlock_mu,
+            rep.buffer_mu,
+            rep.retime_mu,
+            rep.total.0,
+            rep.total.1,
+            rep.total.2,
+            100.0 * r.hbm_rw.0,
+            100.0 * r.hbm_rw.1,
+            100.0 * (r.hbm_rw.0 + r.hbm_rw.1),
+        ));
+    }
+    s
+}
+
+/// One Table V row.
+#[derive(Clone, Debug)]
+pub struct Table5Row {
+    /// Application name.
+    pub app: String,
+    /// Revet GB/s (timed sim).
+    pub revet_gbps: f64,
+    /// GPU model GB/s.
+    pub gpu_gbps: f64,
+    /// CPU model GB/s.
+    pub cpu_gbps: f64,
+    /// Ideal-DRAM speedup.
+    pub ideal_d: f64,
+    /// Ideal-SRAM+network speedup.
+    pub ideal_sn: f64,
+    /// All-ideal speedup.
+    pub ideal_snd: f64,
+}
+
+/// Table V: performance vs baselines plus ideal-model speedups.
+pub fn table5(scale: usize) -> Vec<Table5Row> {
+    let gpu = GpuModel::default();
+    let cpu = CpuModel::default();
+    all_apps()
+        .iter()
+        .map(|a| {
+            let (real, w) = run_timed(
+                a,
+                DEFAULT_OUTER,
+                scale,
+                &PassOptions::default(),
+                IdealModels::default(),
+            );
+            let (d, _) = run_timed(
+                a,
+                DEFAULT_OUTER,
+                scale,
+                &PassOptions::default(),
+                IdealModels::dram_only(),
+            );
+            let (sn, _) = run_timed(
+                a,
+                DEFAULT_OUTER,
+                scale,
+                &PassOptions::default(),
+                IdealModels::sram_network(),
+            );
+            let (snd, _) = run_timed(
+                a,
+                DEFAULT_OUTER,
+                scale,
+                &PassOptions::default(),
+                IdealModels::all(),
+            );
+            let t = traits_for(a.name);
+            Table5Row {
+                app: a.name.to_string(),
+                revet_gbps: real.throughput_gbps(w.app_bytes),
+                gpu_gbps: gpu.throughput_gbps(&t),
+                cpu_gbps: cpu.throughput_gbps(&t),
+                ideal_d: real.cycles as f64 / d.cycles as f64,
+                ideal_sn: real.cycles as f64 / sn.cycles as f64,
+                ideal_snd: real.cycles as f64 / snd.cycles as f64,
+            }
+        })
+        .collect()
+}
+
+/// Formats Table V with the geomean row.
+pub fn format_table5(rows: &[Table5Row]) -> String {
+    let mut s = String::from(
+        "app          Revet GB/s   V100 GB/s (x)   CPU GB/s (x)   | ideal D    SN   SND\n",
+    );
+    let mut gx = 1.0f64;
+    let mut cx = 1.0f64;
+    for r in rows {
+        let g = r.revet_gbps / r.gpu_gbps;
+        let c = r.revet_gbps / r.cpu_gbps;
+        gx *= g;
+        cx *= c;
+        s.push_str(&format!(
+            "{:<12} {:>10.2} {:>9.2} ({:>5.2}) {:>8.2} ({:>6.1}) | {:>7.2} {:>5.2} {:>5.2}\n",
+            r.app, r.revet_gbps, r.gpu_gbps, g, r.cpu_gbps, c, r.ideal_d, r.ideal_sn, r.ideal_snd,
+        ));
+    }
+    let n = rows.len() as f64;
+    s.push_str(&format!(
+        "geomean speedup vs GPU: {:.2}x   vs CPU: {:.1}x\n",
+        gx.powf(1.0 / n),
+        cx.powf(1.0 / n)
+    ));
+    s
+}
+
+/// Figure 12: resource increase with optimizations disabled.
+#[derive(Clone, Debug)]
+pub struct Fig12Row {
+    /// Application name.
+    pub app: String,
+    /// (CU, MU) with all optimizations.
+    pub default: (usize, usize),
+    /// (CU, MU) with if-to-select disabled.
+    pub no_ifconv: (usize, usize),
+    /// (CU, MU) with hoisting/bufferization disabled.
+    pub no_buffer: (usize, usize),
+    /// (CU, MU) with sub-word packing disabled.
+    pub no_pack: (usize, usize),
+}
+
+/// Runs the Fig. 12 ablations (compile-only).
+pub fn fig12() -> Vec<Fig12Row> {
+    let cu_mu = |opts: &PassOptions, a: &App| -> (usize, usize) {
+        let p = a.compile(DEFAULT_OUTER, opts).unwrap();
+        let rep = ResourceReport::for_program(a.name, &p);
+        (rep.total.0, rep.total.1)
+    };
+    all_apps()
+        .iter()
+        .map(|a| Fig12Row {
+            app: a.name.to_string(),
+            default: cu_mu(&PassOptions::default(), a),
+            no_ifconv: cu_mu(
+                &PassOptions {
+                    if_to_select: false,
+                    ..PassOptions::default()
+                },
+                a,
+            ),
+            no_buffer: cu_mu(
+                &PassOptions {
+                    hoist_allocators: false,
+                    bufferize_replicate: false,
+                    ..PassOptions::default()
+                },
+                a,
+            ),
+            no_pack: cu_mu(
+                &PassOptions {
+                    pack_subwords: false,
+                    ..PassOptions::default()
+                },
+                a,
+            ),
+        })
+        .collect()
+}
+
+/// Formats Fig. 12 as normalized resource ratios.
+pub fn format_fig12(rows: &[Fig12Row]) -> String {
+    let mut s = String::from(
+        "app          default CU/MU | NoIfConv CU(x)/MU(x) | NoBuffer CU(x)/MU(x) | NoPack CU(x)/MU(x)\n",
+    );
+    for r in rows {
+        let rel = |v: usize, base: usize| v as f64 / base.max(1) as f64;
+        s.push_str(&format!(
+            "{:<12} {:>4}/{:<4} | {:.2}/{:.2} | {:.2}/{:.2} | {:.2}/{:.2}\n",
+            r.app,
+            r.default.0,
+            r.default.1,
+            rel(r.no_ifconv.0, r.default.0),
+            rel(r.no_ifconv.1, r.default.1),
+            rel(r.no_buffer.0, r.default.0),
+            rel(r.no_buffer.1, r.default.1),
+            rel(r.no_pack.0, r.default.0),
+            rel(r.no_pack.1, r.default.1),
+        ));
+    }
+    s
+}
+
+/// Figure 13: performance vs area with and without hierarchy removal
+/// (murmur3 case study, ideal S/N/D models).
+#[derive(Clone, Debug)]
+pub struct Fig13Point {
+    /// Replicate width (outer parallelism).
+    pub outer: u32,
+    /// Normalized area (unit count relative to outer=1 with removal).
+    pub area: f64,
+    /// Normalized performance (1/cycles relative to the same baseline).
+    pub perf: f64,
+    /// Whether hierarchy removal was enabled.
+    pub hier_removed: bool,
+}
+
+/// Sweeps outer parallelism for the Fig. 13 scaling curves. Uses a
+/// murmur3-with-inner-foreach variant so hierarchy removal has a barrier
+/// to eliminate.
+pub fn fig13(scale: usize) -> Vec<Fig13Point> {
+    let source = |outer: u32, eliminate: bool| -> String {
+        let pragma = if eliminate {
+            "pragma(eliminate_hierarchy);"
+        } else {
+            ""
+        };
+        format!(
+            r#"
+dram<u32> input;
+dram<u32> output;
+void main(u32 count) {{
+    foreach (count by 4) {{ u32 base =>
+        foreach (4) {{ u32 sub =>
+            {pragma}
+            u32 i = base + sub;
+            replicate ({outer}) {{
+                readit<16> it(input, i * 16);
+                u32 h = 0;
+                u32 j = 0;
+                while (j < 16) {{
+                    u32 k = *it;
+                    k = k * 0xcc9e2d51;
+                    k = (k << 15) | (k >> 17);
+                    k = k * 0x1b873593;
+                    h = h ^ k;
+                    h = (h << 13) | (h >> 19);
+                    h = h * 5 + 0xe6546b64;
+                    it++;
+                    j = j + 1;
+                }};
+                output[i] = h;
+            }};
+        }};
+    }};
+}}
+"#
+        )
+    };
+    let mut points = Vec::new();
+    let mut baseline: Option<(f64, f64)> = None;
+    for &eliminate in &[true, false] {
+        for outer in 1..=6u32 {
+            let opts = PassOptions {
+                eliminate_hierarchy: eliminate,
+                dram_bytes: revet_apps::DRAM_BYTES,
+                threads: Some(64),
+                ..PassOptions::default()
+            };
+            let mut program = revet_core::Compiler::new(opts)
+                .compile_source(&source(outer, eliminate))
+                .unwrap();
+            // Workload: `scale` 64 B blobs (reuses murmur3's generator).
+            let w = (revet_apps::murmur3_app().workload)(scale, SEED);
+            let slice = revet_apps::DRAM_BYTES / 2;
+            for (sym, bytes) in &w.inits {
+                program.graph.mem.dram[sym * slice..sym * slice + bytes.len()]
+                    .copy_from_slice(bytes);
+            }
+            let sim = Simulator::new(RdaConfig::default(), IdealModels::all());
+            let stats = sim
+                .run(&mut program, &[Word(scale as u32)], 2_000_000_000)
+                .unwrap();
+            let rep = ResourceReport::for_program("murmur3-fig13", &program);
+            let area = (rep.total.0 + rep.total.1 + rep.total.2) as f64;
+            let perf = 1.0 / stats.cycles as f64;
+            let (a0, p0) = *baseline.get_or_insert((area, perf));
+            points.push(Fig13Point {
+                outer,
+                area: area / a0,
+                perf: perf / p0,
+                hier_removed: eliminate,
+            });
+        }
+    }
+    points
+}
+
+/// Formats Fig. 13.
+pub fn format_fig13(points: &[Fig13Point]) -> String {
+    let mut s = String::from("variant          outer  norm.area  norm.perf\n");
+    for p in points {
+        s.push_str(&format!(
+            "{:<16} {:>5}  {:>9.2}  {:>9.2}\n",
+            if p.hier_removed {
+                "hier-removed"
+            } else {
+                "hierarchical"
+            },
+            p.outer,
+            p.area,
+            p.perf
+        ));
+    }
+    s
+}
+
+/// Figure 14: per-region load vs input count for `search`, with one
+/// replicate region slowed 30%.
+#[derive(Clone, Debug)]
+pub struct Fig14Point {
+    /// Number of input elements.
+    pub inputs: usize,
+    /// Work fraction (%) of the slow region.
+    pub slow_share: f64,
+    /// Work fraction (%) of the fastest region.
+    pub fast_share: f64,
+}
+
+/// Sweeps input counts for the Fig. 14 load-balancing curve using the
+/// allocator-queue feedback loop directly (the mechanism of §V-B b): each
+/// of 8 regions holds a buffer for `service` cycles per item, the slow
+/// region 30% longer, with a bounded shared pointer pool.
+pub fn fig14(inputs: &[usize]) -> Vec<Fig14Point> {
+    const REGIONS: usize = 8;
+    const BUFFERS: usize = 4096;
+    inputs
+        .iter()
+        .map(|&n| {
+            // Discrete-event model of the hoisted allocator: pops hand work
+            // to the region `ptr % REGIONS` (exactly the compiled dist key).
+            let service = |region: usize| -> u64 {
+                if region == 0 {
+                    13
+                } else {
+                    10
+                }
+            };
+            let mut free: std::collections::VecDeque<usize> = (0..BUFFERS).collect();
+            let mut busy: Vec<(u64, usize)> = Vec::new(); // (done_time, ptr)
+            let mut done_per_region = vec![0u64; REGIONS];
+            let mut now = 0u64;
+            let mut issued = 0usize;
+            while issued < n || !busy.is_empty() {
+                while issued < n {
+                    if let Some(ptr) = free.pop_front() {
+                        let region = ptr % REGIONS;
+                        busy.push((now + service(region), ptr));
+                        done_per_region[region] += 1;
+                        issued += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if let Some((t, _)) = busy.iter().min_by_key(|(t, _)| *t).copied() {
+                    now = t;
+                    let mut i = 0;
+                    while i < busy.len() {
+                        if busy[i].0 <= now {
+                            free.push_back(busy.swap_remove(i).1);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            let total: u64 = done_per_region.iter().sum();
+            let slow = 100.0 * done_per_region[0] as f64 / total as f64;
+            let fast = 100.0
+                * done_per_region[1..].iter().copied().max().unwrap_or(0) as f64
+                / total as f64;
+            Fig14Point {
+                inputs: n,
+                slow_share: slow,
+                fast_share: fast,
+            }
+        })
+        .collect()
+}
+
+/// Formats Fig. 14.
+pub fn format_fig14(points: &[Fig14Point]) -> String {
+    let mut s = String::from("inputs      slow-region %   fastest-region %   (even = 12.5%)\n");
+    for p in points {
+        s.push_str(&format!(
+            "{:>8}    {:>12.2}    {:>15.2}\n",
+            p.inputs, p.slow_share, p.fast_share
+        ));
+    }
+    s
+}
+
+/// §VI-B c: the Aurochs comparison on kD-tree.
+pub fn aurochs_cmp(scale: usize) -> (f64, String) {
+    let app = revet_apps::kdtree_app();
+    let (stats, w) = run_timed(
+        &app,
+        DEFAULT_OUTER,
+        scale,
+        &PassOptions::default(),
+        IdealModels::default(),
+    );
+    // Loop completions ≈ nodes visited per query × queries.
+    let loop_completions = w.threads * 24;
+    let slowdown = revet_sim::aurochs_slowdown(
+        &revet_sim::AurochsMode::default(),
+        &stats,
+        5,
+        loop_completions,
+    );
+    let revet_gbps = stats.throughput_gbps(w.app_bytes);
+    let text = format!(
+        "kD-tree: Revet {:.3} GB/s; Aurochs model {:.3} GB/s; Revet is {:.1}x faster\n\
+         (paper reports >11x; drivers: {} live values through the pipeline,\n\
+         serialized per-node comparisons, timeout-based loop synchronization)\n",
+        revet_gbps,
+        revet_gbps / slowdown,
+        slowdown,
+        revet_sim::AurochsMode::default().carried_live_values,
+    );
+    (slowdown, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_shows_load_balancing_shape() {
+        let pts = fig14(&[1_000, 100_000]);
+        // Small inputs: near-even split. Large inputs: slow region starved
+        // below even share, fast regions above.
+        assert!((pts[0].slow_share - 12.5).abs() < 1.5, "{:?}", pts[0]);
+        assert!(pts[1].slow_share < 11.0, "{:?}", pts[1]);
+        assert!(pts[1].fast_share > 12.5, "{:?}", pts[1]);
+    }
+
+    #[test]
+    fn table_formatters_are_nonempty() {
+        assert!(table2().contains("HBM2"));
+        assert!(table3().contains("murmur3"));
+    }
+}

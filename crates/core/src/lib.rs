@@ -1,0 +1,187 @@
+//! # revet-core — the Revet compiler
+//!
+//! Lowers threaded imperative Revet programs to placed, executable vRDA
+//! dataflow (the paper's primary contribution, §V, Fig. 8):
+//!
+//! 1. **Front end** (`revet-lang`): parse → typed MIR.
+//! 2. **High-level lowering** (§V-A): views & iterators → SRAM + allocator
+//!    queues + bulk transfers; foreach hierarchy elimination (Fig. 9); bulk
+//!    accesses → `foreach` loops.
+//! 3. **Optimization** (§V-B): allocation fusion, if-to-select conversion
+//!    with predicated memory ops, allocator hoisting + replicate
+//!    bufferization, sub-word packing.
+//! 4. **CFG→dataflow** (§V-C): structured regions → streaming contexts over
+//!    the §III-B primitives, replicate distribution/merge networks.
+//! 5. **Dataflow optimization** (§V-D): vector/scalar link assignment,
+//!    context splitting to the Table II machine shape, retiming/deadlock
+//!    buffer insertion, and placement onto the unit grid.
+//!
+//! ```
+//! use revet_core::{Compiler, PassOptions};
+//!
+//! let source = r#"
+//!     dram<u32> output;
+//!     void main(u32 n) {
+//!         foreach (n) { u32 i =>
+//!             output[i] = i * i;
+//!         };
+//!     }
+//! "#;
+//! let mut program = Compiler::new(PassOptions::default())
+//!     .compile_source(source)
+//!     .unwrap();
+//! program.run_untimed(&[revet_sltf::Word(4)], 1_000_000).unwrap();
+//! let d = &program.graph.mem.dram;
+//! assert_eq!(u32::from_le_bytes(d[8..12].try_into().unwrap()), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+mod lower;
+pub mod passes;
+mod place;
+pub mod report;
+
+pub use lower::{lower_to_dataflow, Category, CompiledProgram, ContextInfo, LinkInfo};
+pub use place::{place, Placement};
+
+use revet_mir::{DramLayout, Module};
+use std::fmt;
+
+/// A compiler error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CoreError {
+    /// Description.
+    pub message: String,
+}
+
+impl CoreError {
+    pub(crate) fn new(m: impl Into<String>) -> Self {
+        CoreError { message: m.into() }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Which optimizations run (the Fig. 12 ablation knobs).
+#[derive(Clone, Debug)]
+pub struct PassOptions {
+    /// §V-B c: inline loop-free `if`s as selects + predicated memory ops.
+    pub if_to_select: bool,
+    /// §V-B a: one allocator pop per region instead of per object.
+    pub fuse_allocators: bool,
+    /// §V-B b: hoist a replicate body's allocation before the distribution
+    /// network (enables pointer-keyed load balancing, Fig. 14).
+    pub hoist_allocators: bool,
+    /// §V-B b: park unused live values in SRAM around replicates.
+    pub bufferize_replicate: bool,
+    /// §V-B d: pack i8/i16 loop-carried values into shared 32-bit slots.
+    pub pack_subwords: bool,
+    /// §V-A b: rewrite pragma-annotated foreach loops to forks (Fig. 9).
+    pub eliminate_hierarchy: bool,
+    /// Thread-local buffer count override (`pragma(threads, N)` wins).
+    pub threads: Option<u32>,
+    /// DRAM image size for the compiled program's memory state.
+    pub dram_bytes: usize,
+}
+
+impl Default for PassOptions {
+    fn default() -> Self {
+        PassOptions {
+            if_to_select: true,
+            fuse_allocators: true,
+            hoist_allocators: true,
+            bufferize_replicate: true,
+            pack_subwords: true,
+            eliminate_hierarchy: true,
+            threads: None,
+            dram_bytes: 1 << 20,
+        }
+    }
+}
+
+impl PassOptions {
+    /// All optimizations off (the naïve lowering baseline).
+    pub fn none() -> Self {
+        PassOptions {
+            if_to_select: false,
+            fuse_allocators: false,
+            hoist_allocators: false,
+            bufferize_replicate: false,
+            pack_subwords: false,
+            eliminate_hierarchy: false,
+            threads: None,
+            dram_bytes: 1 << 20,
+        }
+    }
+}
+
+/// The compiler driver: source (or MIR) in, [`CompiledProgram`] out.
+#[derive(Clone, Debug, Default)]
+pub struct Compiler {
+    opts: PassOptions,
+}
+
+impl Compiler {
+    /// Creates a compiler with the given pass options.
+    pub fn new(opts: PassOptions) -> Self {
+        Compiler { opts }
+    }
+
+    /// Compiles Revet source text to an executable dataflow program. DRAM
+    /// symbols are laid out back-to-back in equal slices of
+    /// `opts.dram_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse, semantic, or lowering errors.
+    pub fn compile_source(&self, src: &str) -> Result<CompiledProgram, CoreError> {
+        let lowered = revet_lang::compile_to_mir(src).map_err(CoreError::new)?;
+        let threads = self.opts.threads.or(lowered.thread_count_hint);
+        let mut module = lowered.module;
+        let n = module.drams.len().max(1);
+        let slice = (self.opts.dram_bytes / n) as u32;
+        let layout = DramLayout {
+            base: (0..module.drams.len() as u32).map(|i| i * slice).collect(),
+        };
+        self.compile_module(&mut module, &layout, threads)
+    }
+
+    /// Compiles a module with an explicit DRAM layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns lowering errors.
+    pub fn compile_module(
+        &self,
+        module: &mut Module,
+        layout: &DramLayout,
+        threads: Option<u32>,
+    ) -> Result<CompiledProgram, CoreError> {
+        let mut opts = self.opts.clone();
+        opts.threads = threads.or(opts.threads);
+        // Fig. 8 pass order.
+        if opts.eliminate_hierarchy {
+            passes::eliminate_hierarchy(module, opts.threads);
+        }
+        passes::lower_views(module, opts.threads, opts.fuse_allocators);
+        passes::lower_bulk(module);
+        if opts.if_to_select {
+            passes::if_to_select(module);
+        }
+        revet_mir::verify_module(module)
+            .map_err(|e| CoreError::new(format!("post-pass verification failed: {e}")))?;
+        lower_to_dataflow(module, layout, &opts, opts.dram_bytes)
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &PassOptions {
+        &self.opts
+    }
+}

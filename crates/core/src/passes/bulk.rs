@@ -1,0 +1,198 @@
+//! Bulk-access lowering (§V-A: "Lower Bulk Accesses").
+//!
+//! `BulkLoad`/`BulkStore` become explicitly parallel `foreach` loops of
+//! element transfers. On the machine these vectorize: the counter expands
+//! the transfer into 16-lane child threads whose DRAM reads coalesce into
+//! bursts at the AGs (the backend "bulk store can process 32 bits per
+//! cycle" of §V-A a).
+
+use revet_mir::{AluOp, ForeachFlags, Func, Module, Op, OpKind, Region, Ty};
+
+/// Rewrites every bulk transfer into a `foreach` of element accesses.
+pub fn lower_bulk(module: &mut Module) {
+    let mut funcs = std::mem::take(&mut module.funcs);
+    for func in &mut funcs {
+        let body = std::mem::take(&mut func.body);
+        func.body = rewrite(func, body);
+    }
+    module.funcs = funcs;
+}
+
+fn rewrite(func: &mut Func, region: Region) -> Region {
+    let mut out = Vec::with_capacity(region.ops.len());
+    for mut op in region.ops {
+        for r in op.kind.regions_mut() {
+            let taken = std::mem::take(r);
+            *r = rewrite(func, taken);
+        }
+        match op.kind {
+            OpKind::BulkLoad {
+                dram,
+                dram_base,
+                sram,
+                sram_base,
+                len,
+            } => {
+                let zero = konst(func, &mut out, 0);
+                let one = konst(func, &mut out, 1);
+                let idx = func.new_value(Ty::I32);
+                let mut body = Vec::new();
+                let di = bin(func, &mut body, AluOp::Add, dram_base, idx);
+                let v = func.new_value(Ty::I32);
+                body.push(Op {
+                    kind: OpKind::DramRead { dram, idx: di },
+                    results: vec![v],
+                });
+                let si = bin(func, &mut body, AluOp::Add, sram_base, idx);
+                body.push(Op {
+                    kind: OpKind::SramWrite {
+                        sram,
+                        addr: si,
+                        val: v,
+                    },
+                    results: vec![],
+                });
+                body.push(Op {
+                    kind: OpKind::Yield(vec![]),
+                    results: vec![],
+                });
+                out.push(Op {
+                    kind: OpKind::Foreach {
+                        lo: zero,
+                        hi: len,
+                        step: one,
+                        body: Region::new(vec![idx], body),
+                        reduce: vec![],
+                        flags: ForeachFlags::default(),
+                    },
+                    results: vec![],
+                });
+            }
+            OpKind::BulkStore {
+                dram,
+                dram_base,
+                sram,
+                sram_base,
+                len,
+            } => {
+                let zero = konst(func, &mut out, 0);
+                let one = konst(func, &mut out, 1);
+                let idx = func.new_value(Ty::I32);
+                let mut body = Vec::new();
+                let si = bin(func, &mut body, AluOp::Add, sram_base, idx);
+                let v = func.new_value(Ty::I32);
+                body.push(Op {
+                    kind: OpKind::SramRead { sram, addr: si },
+                    results: vec![v],
+                });
+                let di = bin(func, &mut body, AluOp::Add, dram_base, idx);
+                body.push(Op {
+                    kind: OpKind::DramWrite {
+                        dram,
+                        idx: di,
+                        val: v,
+                    },
+                    results: vec![],
+                });
+                body.push(Op {
+                    kind: OpKind::Yield(vec![]),
+                    results: vec![],
+                });
+                out.push(Op {
+                    kind: OpKind::Foreach {
+                        lo: zero,
+                        hi: len,
+                        step: one,
+                        body: Region::new(vec![idx], body),
+                        reduce: vec![],
+                        flags: ForeachFlags::default(),
+                    },
+                    results: vec![],
+                });
+            }
+            kind => out.push(Op {
+                kind,
+                results: op.results,
+            }),
+        }
+    }
+    Region::new(region.args, out)
+}
+
+fn konst(func: &mut Func, out: &mut Vec<Op>, v: i64) -> revet_mir::Value {
+    let r = func.new_value(Ty::I32);
+    out.push(Op {
+        kind: OpKind::ConstI(v, Ty::I32),
+        results: vec![r],
+    });
+    r
+}
+
+fn bin(
+    func: &mut Func,
+    out: &mut Vec<Op>,
+    op: AluOp,
+    a: revet_mir::Value,
+    b: revet_mir::Value,
+) -> revet_mir::Value {
+    let r = func.new_value(Ty::I32);
+    out.push(Op {
+        kind: OpKind::Bin(op, a, b),
+        results: vec![r],
+    });
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::lower_views;
+    use revet_lang::compile_to_mir;
+    use revet_mir::{DramLayout, Interp};
+    use revet_sltf::Word;
+
+    #[test]
+    fn bulk_becomes_foreach_and_preserves_semantics() {
+        let src = r#"
+            dram<u32> input;
+            dram<u32> output;
+            void main(u32 n) {
+                foreach (n by 4) { u32 outer =>
+                    readview<4> v(input, outer);
+                    writeview<4> w(output, outer);
+                    foreach (4) { u32 i =>
+                        w[i] = v[i] * 3;
+                    };
+                };
+            }
+        "#;
+        let lowered = compile_to_mir(src).unwrap();
+        let mut module = lowered.module.clone();
+        lower_views(&mut module, Some(8), true);
+        lower_bulk(&mut module);
+        revet_mir::verify_module(&module).unwrap();
+        assert_eq!(
+            module.funcs[0].count_ops(|k| k.is_high_level()),
+            0,
+            "fully lowered to physical ops"
+        );
+        let layout = DramLayout {
+            base: vec![0, 4096],
+        };
+        let mut mem = module.build_memory(8192);
+        for i in 0..8u32 {
+            mem.dram[4 * i as usize..4 * i as usize + 4].copy_from_slice(&(i + 1).to_le_bytes());
+        }
+        Interp::new(&module, &layout, &mut mem)
+            .run("main", &[Word(8)])
+            .unwrap();
+        for i in 0..8u32 {
+            let got = u32::from_le_bytes(
+                mem.dram[4096 + 4 * i as usize..4096 + 4 * i as usize + 4]
+                    .try_into()
+                    .unwrap(),
+            );
+            assert_eq!(got, (i + 1) * 3);
+        }
+    }
+}

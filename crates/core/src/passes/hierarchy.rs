@@ -1,0 +1,227 @@
+//! Foreach hierarchy elimination (§V-A b, Fig. 9).
+//!
+//! Barriers force a total flush of a `while` body before the next parent's
+//! threads may enter. For pragma-annotated `foreach` loops we instead:
+//! initialize a per-parent shared counter with the trip count, `fork` the
+//! iterations as hierarchy-less threads, and have each thread atomically
+//! decrement the counter after the body — the thread that reaches zero is
+//! the last one and *becomes* the parent's continuation; all others exit.
+//! Stragglers of one parent can then interleave with the next parent's
+//! threads (Fig. 13's scaling win).
+
+use revet_mir::{AluOp, Func, Module, Op, OpKind, Region, Ty, Value};
+
+/// Applies Fig. 9 to every `foreach` marked `eliminate_hierarchy`. Returns
+/// the number of loops rewritten.
+pub fn eliminate_hierarchy(module: &mut Module, threads: Option<u32>) -> usize {
+    let threads = threads.unwrap_or(crate::passes::DEFAULT_THREADS);
+    let mut count = 0;
+    let mut funcs = std::mem::take(&mut module.funcs);
+    for func in &mut funcs {
+        let body = std::mem::take(&mut func.body);
+        func.body = rewrite(module, func, body, threads, &mut count);
+    }
+    module.funcs = funcs;
+    count
+}
+
+fn rewrite(
+    module: &mut Module,
+    func: &mut Func,
+    region: Region,
+    threads: u32,
+    count: &mut usize,
+) -> Region {
+    let mut out = Vec::with_capacity(region.ops.len());
+    for mut op in region.ops {
+        for r in op.kind.regions_mut() {
+            let taken = std::mem::take(r);
+            *r = rewrite(module, func, taken, threads, count);
+        }
+        match op.kind {
+            OpKind::Foreach {
+                lo,
+                hi,
+                step,
+                body,
+                reduce,
+                flags,
+            } if flags.eliminate_hierarchy && reduce.is_empty() => {
+                *count += 1;
+                let sram = module.add_sram(format!("fe_count{count}"), threads);
+                let alloc = module.add_alloc(format!("fe_alloc{count}"), threads);
+                // n = (hi - lo + step - 1) / step  (trip count)
+                let diff = bin(func, &mut out, AluOp::Sub, hi, lo);
+                let sm1k = konst(func, &mut out, 1);
+                let sm1 = bin(func, &mut out, AluOp::Sub, step, sm1k);
+                let num = bin(func, &mut out, AluOp::Add, diff, sm1);
+                let n = bin(func, &mut out, AluOp::DivS, num, step);
+                // ptr = alloc.pop(); mem[ptr] = n
+                let ptr = func.new_value(Ty::I32);
+                out.push(Op {
+                    kind: OpKind::AllocPop { alloc },
+                    results: vec![ptr],
+                });
+                out.push(Op {
+                    kind: OpKind::SramWrite {
+                        sram,
+                        addr: ptr,
+                        val: n,
+                    },
+                    results: vec![],
+                });
+                // fork(n) { k => idx = lo + k*step; body; last-check }
+                let k = func.new_value(Ty::I32);
+                let mut fork_ops = Vec::new();
+                let scaled = bin(func, &mut fork_ops, AluOp::Mul, k, step);
+                let idx = bin(func, &mut fork_ops, AluOp::Add, lo, scaled);
+                // Inline the body with its index arg bound to idx: body.args
+                // = [i]; we re-use the arg value by assigning it via a Mov.
+                let body_arg = body.args[0];
+                let zero = zero_of(func, &mut fork_ops);
+                fork_ops.push(Op {
+                    kind: OpKind::Bin(AluOp::Add, idx, zero),
+                    results: vec![body_arg],
+                });
+                let body_ends_exit = matches!(
+                    body.ops.last().map(|o| &o.kind),
+                    Some(OpKind::Exit)
+                );
+                for bop in body.ops {
+                    // The body's trailing yield is dropped; the fork decides
+                    // continuation via the shared counter below.
+                    if matches!(bop.kind, OpKind::Yield(_)) {
+                        continue;
+                    }
+                    fork_ops.push(bop);
+                }
+                if !body_ends_exit {
+                    // remaining = --mem[ptr]; if remaining != 0 exit.
+                    let rem = func.new_value(Ty::I32);
+                    fork_ops.push(Op {
+                        kind: OpKind::SramDecFetch { sram, addr: ptr },
+                        results: vec![rem],
+                    });
+                    let mut then_ops = Vec::new();
+                    then_ops.push(Op {
+                        kind: OpKind::Exit,
+                        results: vec![],
+                    });
+                    let mut else_ops = Vec::new();
+                    else_ops.push(Op {
+                        kind: OpKind::Yield(vec![]),
+                        results: vec![],
+                    });
+                    fork_ops.push(Op {
+                        kind: OpKind::If {
+                            cond: rem,
+                            then: Region::new(vec![], then_ops),
+                            else_: Region::new(vec![], else_ops),
+                        },
+                        results: vec![],
+                    });
+                    fork_ops.push(Op {
+                        kind: OpKind::Yield(vec![]),
+                        results: vec![],
+                    });
+                }
+                out.push(Op {
+                    kind: OpKind::Fork {
+                        count: n,
+                        body: Region::new(vec![k], fork_ops),
+                    },
+                    results: vec![],
+                });
+                out.push(Op {
+                    kind: OpKind::AllocPush { alloc, ptr },
+                    results: vec![],
+                });
+            }
+            kind => out.push(Op {
+                kind,
+                results: op.results,
+            }),
+        }
+    }
+    Region::new(region.args, out)
+}
+
+fn zero_of(func: &mut Func, out: &mut Vec<Op>) -> Value {
+    konst(func, out, 0)
+}
+
+fn konst(func: &mut Func, out: &mut Vec<Op>, v: i64) -> Value {
+    let r = func.new_value(Ty::I32);
+    out.push(Op {
+        kind: OpKind::ConstI(v, Ty::I32),
+        results: vec![r],
+    });
+    r
+}
+
+fn bin(func: &mut Func, out: &mut Vec<Op>, op: AluOp, a: Value, b: Value) -> Value {
+    let r = func.new_value(Ty::I32);
+    out.push(Op {
+        kind: OpKind::Bin(op, a, b),
+        results: vec![r],
+    });
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revet_lang::compile_to_mir;
+    use revet_mir::{DramLayout, Interp};
+    use revet_sltf::Word;
+
+    #[test]
+    fn rewrites_annotated_foreach_and_preserves_semantics() {
+        let src = r#"
+            dram<u32> output;
+            void main(u32 n) {
+                foreach (n) { u32 i =>
+                    pragma(eliminate_hierarchy);
+                    output[i] = i * 7;
+                };
+                output[63] = 99;
+            }
+        "#;
+        let lowered = compile_to_mir(src).unwrap();
+        let mut module = lowered.module.clone();
+        let rewritten = eliminate_hierarchy(&mut module, Some(16));
+        assert_eq!(rewritten, 1);
+        revet_mir::verify_module(&module).unwrap();
+        assert_eq!(
+            module.funcs[0].count_ops(|k| matches!(k, OpKind::Fork { .. })),
+            1,
+            "foreach became fork"
+        );
+        let layout = DramLayout { base: vec![0] };
+        let mut mem = module.build_memory(4096);
+        Interp::new(&module, &layout, &mut mem)
+            .run("main", &[Word(10)])
+            .unwrap();
+        for i in 0..10usize {
+            let got = u32::from_le_bytes(mem.dram[4 * i..4 * i + 4].try_into().unwrap());
+            assert_eq!(got, (i as u32) * 7);
+        }
+        let cont = u32::from_le_bytes(mem.dram[252..256].try_into().unwrap());
+        assert_eq!(cont, 99, "continuation after fork ran exactly once");
+    }
+
+    #[test]
+    fn unannotated_foreach_untouched() {
+        let src = r#"
+            dram<u32> output;
+            void main(u32 n) {
+                foreach (n) { u32 i =>
+                    output[i] = i;
+                };
+            }
+        "#;
+        let lowered = compile_to_mir(src).unwrap();
+        let mut module = lowered.module.clone();
+        assert_eq!(eliminate_hierarchy(&mut module, None), 0);
+    }
+}

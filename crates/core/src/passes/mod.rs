@@ -1,0 +1,11 @@
+//! MIR→MIR compiler passes (the middle of Fig. 8).
+
+mod bulk;
+mod hierarchy;
+mod select;
+mod views;
+
+pub use bulk::lower_bulk;
+pub use hierarchy::eliminate_hierarchy;
+pub use select::if_to_select;
+pub use views::{lower_views, DEFAULT_THREADS};

@@ -1,0 +1,432 @@
+//! Full-pipeline integration tests: Revet source → compiler → dataflow
+//! graph → untimed machine execution, differentially checked against the
+//! MIR reference interpreter and hand-computed oracles.
+
+use revet_core::{Compiler, PassOptions};
+use revet_sltf::Word;
+
+const DRAM_BYTES: usize = 1 << 20;
+
+/// Compiles and runs; returns final DRAM. Inits are (symbol_index, bytes).
+fn run_with(
+    opts: PassOptions,
+    src: &str,
+    args: &[u32],
+    inits: &[(usize, &[u8])],
+    n_drams: usize,
+) -> Vec<u8> {
+    let mut opts = opts;
+    opts.dram_bytes = DRAM_BYTES;
+    let mut program = Compiler::new(opts)
+        .compile_source(src)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let slice = DRAM_BYTES / n_drams;
+    for (sym, bytes) in inits {
+        let base = sym * slice;
+        program.graph.mem.dram[base..base + bytes.len()].copy_from_slice(bytes);
+    }
+    let words: Vec<Word> = args.iter().map(|&a| Word(a)).collect();
+    program
+        .run_untimed(&words, 10_000_000)
+        .unwrap_or_else(|e| panic!("{e}"));
+    program.graph.mem.dram
+}
+
+fn run(src: &str, args: &[u32], inits: &[(usize, &[u8])], n_drams: usize) -> Vec<u8> {
+    run_with(PassOptions::default(), src, args, inits, n_drams)
+}
+
+fn read_u32(d: &[u8], addr: usize) -> u32 {
+    u32::from_le_bytes(d[addr..addr + 4].try_into().unwrap())
+}
+
+#[test]
+fn foreach_squares() {
+    let src = r#"
+        dram<u32> output;
+        void main(u32 n) {
+            foreach (n) { u32 i =>
+                output[i] = i * i;
+            };
+        }
+    "#;
+    let d = run(src, &[8], &[], 1);
+    for i in 0..8usize {
+        assert_eq!(read_u32(&d, 4 * i), (i * i) as u32);
+    }
+}
+
+#[test]
+fn data_dependent_while() {
+    // Collatz steps per element — data-dependent loop trip counts across
+    // parallel threads, the core dataflow-threads capability.
+    let src = r#"
+        dram<u32> input;
+        dram<u32> output;
+        void main(u32 n) {
+            foreach (n) { u32 i =>
+                u32 x = input[i];
+                u32 steps = 0;
+                while (x != 1) {
+                    if (x & 1) {
+                        x = 3 * x + 1;
+                    } else {
+                        x = x / 2;
+                    };
+                    steps = steps + 1;
+                };
+                output[i] = steps;
+            };
+        }
+    "#;
+    let vals: Vec<u32> = vec![6, 1, 27, 2, 7, 97, 5, 3];
+    let mut input = Vec::new();
+    for v in &vals {
+        input.extend(v.to_le_bytes());
+    }
+    let d = run(src, &[vals.len() as u32], &[(0, &input)], 2);
+    let collatz = |mut x: u32| {
+        let mut s = 0;
+        while x != 1 {
+            x = if x % 2 == 1 { 3 * x + 1 } else { x / 2 };
+            s += 1;
+        }
+        s
+    };
+    let slice = DRAM_BYTES / 2;
+    for (i, v) in vals.iter().enumerate() {
+        assert_eq!(read_u32(&d, slice + 4 * i), collatz(*v), "collatz({v})");
+    }
+}
+
+#[test]
+fn strlen_full_pipeline() {
+    // The paper's Fig. 7 case study, end to end through the dataflow
+    // machine: views, hierarchy-eliminated inner foreach, replicate with
+    // hoisted allocation, iterators with demand fills, nested while.
+    let src = r#"
+        dram<u8> input;
+        dram<u32> offsets;
+        dram<u32> lengths;
+        void main(u32 count) {
+            foreach (count by 4) { u32 outer =>
+                readview<4> in_view(offsets, outer);
+                writeview<4> out_view(lengths, outer);
+                foreach (4) { u32 idx =>
+                    u32 len = 0;
+                    u32 off = in_view[idx];
+                    replicate (2) {
+                        readit<8> it(input, off);
+                        while (*it) {
+                            len = len + 1;
+                            it++;
+                        };
+                    };
+                    out_view[idx] = len;
+                };
+            };
+        }
+    "#;
+    let strings: &[&str] = &[
+        "hello", "", "dataflow", "ab", "xyz", "q", "", "threads!",
+        "a-much-longer-string-spanning-tiles", "7", "zz", "end",
+    ];
+    let mut input = Vec::new();
+    let mut offsets = Vec::new();
+    for s in strings {
+        offsets.extend((input.len() as u32).to_le_bytes());
+        input.extend(s.as_bytes());
+        input.push(0);
+    }
+    let slice = DRAM_BYTES / 3;
+    let d = run(
+        src,
+        &[strings.len() as u32],
+        &[(0, &input), (1, &offsets)],
+        3,
+    );
+    for (i, s) in strings.iter().enumerate() {
+        assert_eq!(
+            read_u32(&d, 2 * slice + 4 * i),
+            s.len() as u32,
+            "strlen({s:?})"
+        );
+    }
+}
+
+#[test]
+fn strlen_with_all_optimizations_off() {
+    // The naïve lowering must be semantically identical (Fig. 12 compares
+    // resources, not results).
+    let src = r#"
+        dram<u8> input;
+        dram<u32> offsets;
+        dram<u32> lengths;
+        void main(u32 count) {
+            foreach (count) { u32 idx =>
+                u32 len = 0;
+                u32 off = offsets[idx];
+                readit<8> it(input, off);
+                while (*it) {
+                    len = len + 1;
+                    it++;
+                };
+                lengths[idx] = len;
+            };
+        }
+    "#;
+    let strings: &[&str] = &["opt", "", "off", "still-works"];
+    let mut input = Vec::new();
+    let mut offsets = Vec::new();
+    for s in strings {
+        offsets.extend((input.len() as u32).to_le_bytes());
+        input.extend(s.as_bytes());
+        input.push(0);
+    }
+    let slice = DRAM_BYTES / 3;
+    for opts in [PassOptions::default(), PassOptions::none()] {
+        let d = run_with(
+            opts,
+            src,
+            &[strings.len() as u32],
+            &[(0, &input), (1, &offsets)],
+            3,
+        );
+        for (i, s) in strings.iter().enumerate() {
+            assert_eq!(read_u32(&d, 2 * slice + 4 * i), s.len() as u32);
+        }
+    }
+}
+
+#[test]
+fn foreach_reduction_through_machine() {
+    let src = r#"
+        dram<u32> vals;
+        dram<u32> output;
+        void main(u32 n) {
+            foreach (n) { u32 i =>
+                u32 m = foreach (4) reduce(+) { u32 lane =>
+                    yield vals[i * 4 + lane];
+                };
+                output[i] = m;
+            };
+        }
+    "#;
+    let mut vals = Vec::new();
+    for v in 0..16u32 {
+        vals.extend((v * 10).to_le_bytes());
+    }
+    let d = run(src, &[4], &[(0, &vals)], 2);
+    let slice = DRAM_BYTES / 2;
+    for i in 0..4usize {
+        let want: u32 = (0..4).map(|l| ((i * 4 + l) as u32) * 10).sum();
+        assert_eq!(read_u32(&d, slice + 4 * i), want);
+    }
+}
+
+#[test]
+fn fork_with_shared_counter() {
+    // Note: a *non-atomic* shared read-modify-write counter here would be a
+    // data race on the dataflow machine (threads run concurrently across
+    // contexts) — the Fig. 9 pattern uses the atomic decrement-and-fetch,
+    // which the hierarchy-elimination pass emits. Here the survivor is
+    // chosen by index instead.
+    let src = r#"
+        dram<u32> output;
+        void main(u32 n) {
+            fork (n) { u32 i =>
+                output[i] = i + 100;
+                if (i != n - 1) {
+                    exit;
+                };
+            };
+            output[63] = 1234;
+        }
+    "#;
+    let d = run(src, &[5], &[], 1);
+    for i in 0..5usize {
+        assert_eq!(read_u32(&d, 4 * i), (i as u32) + 100);
+    }
+    assert_eq!(read_u32(&d, 252), 1234, "continuation ran once");
+}
+
+#[test]
+fn replicate_load_distribution() {
+    // Threads spread across replicated regions and all results come back.
+    let src = r#"
+        dram<u32> input;
+        dram<u32> output;
+        void main(u32 n) {
+            foreach (n) { u32 i =>
+                u32 acc = 0;
+                u32 x = input[i];
+                replicate (4) {
+                    sram<u32, 4> scratch;
+                    scratch[0] = x;
+                    u32 j = 0;
+                    while (j < x) {
+                        acc = acc + scratch[0];
+                        j = j + 1;
+                    };
+                };
+                output[i] = acc;
+            };
+        }
+    "#;
+    let vals: Vec<u32> = vec![3, 0, 5, 1, 2, 7, 4, 6];
+    let mut input = Vec::new();
+    for v in &vals {
+        input.extend(v.to_le_bytes());
+    }
+    let d = run(src, &[vals.len() as u32], &[(0, &input)], 2);
+    let slice = DRAM_BYTES / 2;
+    for (i, v) in vals.iter().enumerate() {
+        assert_eq!(read_u32(&d, slice + 4 * i), v * v, "acc = x*x for x={v}");
+    }
+}
+
+#[test]
+fn hierarchy_elimination_preserves_results() {
+    let src = r#"
+        dram<u32> output;
+        void main(u32 n) {
+            foreach (n) { u32 outer =>
+                foreach (4) { u32 idx =>
+                    pragma(eliminate_hierarchy);
+                    output[outer * 4 + idx] = outer * 1000 + idx;
+                };
+            };
+        }
+    "#;
+    for opts in [
+        PassOptions::default(),
+        PassOptions {
+            eliminate_hierarchy: false,
+            ..PassOptions::default()
+        },
+    ] {
+        let d = run_with(opts, src, &[3], &[], 1);
+        for outer in 0..3u32 {
+            for idx in 0..4u32 {
+                assert_eq!(
+                    read_u32(&d, (outer * 4 + idx) as usize * 4),
+                    outer * 1000 + idx
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn resource_report_sanity() {
+    let src = r#"
+        dram<u8> input;
+        dram<u32> offsets;
+        dram<u32> lengths;
+        void main(u32 count) {
+            foreach (count) { u32 idx =>
+                u32 len = 0;
+                u32 off = offsets[idx];
+                replicate (2) {
+                    readit<8> it(input, off);
+                    while (*it) {
+                        len = len + 1;
+                        it++;
+                    };
+                };
+                lengths[idx] = len;
+            };
+        }
+    "#;
+    let program = Compiler::new(PassOptions::default())
+        .compile_source(src)
+        .unwrap();
+    let report = revet_core::report::ResourceReport::for_program("strlen", &program);
+    assert!(report.total.0 > 0, "uses CUs");
+    assert!(report.total.1 > 0, "uses MUs");
+    assert!(report.total.2 > 0, "uses AGs");
+    assert!(report.replicate.0 > 0, "replicate dist/merge CUs counted");
+    assert!(report.deadlock_mu > 0, "while-loop deadlock buffer counted");
+    assert_eq!(report.outer, 2, "outer parallelism = replicate ways");
+    assert!(report.fits, "small program fits the Table II machine");
+    let place = revet_core::place(&program);
+    assert!(place.fits);
+    assert!(place.mean_hops > 0.0);
+}
+
+#[test]
+fn subword_packing_reduces_link_width() {
+    // Loop-carried u8/u16 variables pack into shared 32-bit slots: the
+    // recirculating tuple gets narrower (Fig. 12 "No Pack" ablation).
+    let src = r#"
+        dram<u8> input;
+        dram<u32> output;
+        void main(u32 n) {
+            foreach (n) { u32 i =>
+                u8 a = input[i];
+                u8 b = 0;
+                u8 c = 1;
+                u16 d = 2;
+                u32 steps = 0;
+                while (a != 0) {
+                    a = a - 1;
+                    b = b + 1;
+                    c = c + 2;
+                    d = d + 3;
+                    steps = steps + 1;
+                };
+                output[i] = b + c + d + steps;
+            };
+        }
+    "#;
+    let input: Vec<u8> = vec![3, 0, 7, 1];
+    let packed = Compiler::new(PassOptions::default())
+        .compile_source(src)
+        .unwrap();
+    let unpacked = Compiler::new(PassOptions {
+        pack_subwords: false,
+        ..PassOptions::default()
+    })
+    .compile_source(src)
+    .unwrap();
+    // §V-B d: "Every variable that is live into a merge operation consumes
+    // a significant number of network resources and input buffers" — so the
+    // relevant metric is the physical width of merge inputs.
+    let merge_input_width = |p: &revet_core::CompiledProgram| -> usize {
+        p.graph
+            .nodes()
+            .iter()
+            .filter(|n| n.behavior.as_ref().is_some_and(|b| b.kind().contains("merge")))
+            .flat_map(|n| n.ins.iter())
+            .map(|c| p.graph.chans()[c.0 as usize].arity)
+            .sum()
+    };
+    let w_packed = merge_input_width(&packed);
+    let w_unpacked = merge_input_width(&unpacked);
+    assert!(
+        w_packed < w_unpacked,
+        "packing narrows merge inputs: {w_packed} vs {w_unpacked}"
+    );
+    // And results match.
+    let d1 = run_with(
+        PassOptions::default(),
+        src,
+        &[4],
+        &[(0, &input)],
+        2,
+    );
+    let d2 = run_with(
+        PassOptions {
+            pack_subwords: false,
+            ..PassOptions::default()
+        },
+        src,
+        &[4],
+        &[(0, &input)],
+        2,
+    );
+    let slice = DRAM_BYTES / 2;
+    for i in 0..4usize {
+        assert_eq!(read_u32(&d1, slice + 4 * i), read_u32(&d2, slice + 4 * i));
+    }
+}

@@ -1,0 +1,343 @@
+//! The Revet abstract syntax tree.
+
+/// Surface integer types (signedness is a front-end property; MIR keeps only
+/// storage width).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TyName {
+    /// Unsigned 8-bit.
+    U8,
+    /// Unsigned 16-bit.
+    U16,
+    /// Unsigned 32-bit.
+    U32,
+    /// Signed 8-bit.
+    I8,
+    /// Signed 16-bit.
+    I16,
+    /// Signed 32-bit.
+    I32,
+    /// No value.
+    Void,
+}
+
+impl TyName {
+    /// True for the signed variants.
+    pub fn signed(self) -> bool {
+        matches!(self, TyName::I8 | TyName::I16 | TyName::I32)
+    }
+
+    /// Storage width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            TyName::U8 | TyName::I8 => 1,
+            TyName::U16 | TyName::I16 => 2,
+            TyName::U32 | TyName::I32 => 4,
+            TyName::Void => 0,
+        }
+    }
+
+    /// Parses a type name.
+    pub fn parse(s: &str) -> Option<TyName> {
+        Some(match s {
+            "u8" | "char" => TyName::U8,
+            "u16" => TyName::U16,
+            "u32" | "uint" => TyName::U32,
+            "i8" => TyName::I8,
+            "i16" => TyName::I16,
+            "i32" | "int" => TyName::I32,
+            "void" => TyName::Void,
+            _ => return None,
+        })
+    }
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LAnd,
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+}
+
+/// Reduction operators for `foreach … reduce(op)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum ReduceOp {
+    Add,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Min,
+    Max,
+}
+
+/// An expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable reference.
+    Var(String),
+    /// `a op b`.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `op a`.
+    Un(UnOp, Box<Expr>),
+    /// `base[idx]` — DRAM symbol, view, or SRAM indexing.
+    Index(String, Box<Expr>),
+    /// `*it`.
+    Deref(String),
+    /// `it.peek(e)`.
+    Peek(String, Box<Expr>),
+    /// `(ty) e`.
+    Cast(TyName, Box<Expr>),
+    /// `foreach (count [by step]) reduce(op) { ty i => body }` as a value.
+    ForeachReduce {
+        /// Trip count.
+        count: Box<Expr>,
+        /// Step (`by`), default 1.
+        step: Option<Box<Expr>>,
+        /// Reduction operator.
+        op: ReduceOp,
+        /// Index variable type.
+        ity: TyName,
+        /// Index variable name.
+        ivar: String,
+        /// Body; must `yield` a value.
+        body: Vec<Stmt>,
+    },
+}
+
+/// Kinds of memory object declarations (Table I).
+#[derive(Clone, PartialEq, Debug)]
+pub enum MemDecl {
+    /// `sram<ty, size> name;`
+    Sram {
+        /// Element type.
+        ty: TyName,
+        /// Element count.
+        size: u32,
+    },
+    /// `readview<size> name(dram, base);` and friends.
+    View {
+        /// read / write / modify.
+        kind: ViewKindName,
+        /// Tile size in elements.
+        size: u32,
+        /// Backing DRAM symbol.
+        dram: String,
+        /// Base element index.
+        base: Expr,
+    },
+    /// `readit<tile> name(dram, seek);` and friends.
+    It {
+        /// Iterator flavor.
+        kind: ItKindName,
+        /// Tile size.
+        tile: u32,
+        /// Backing DRAM symbol.
+        dram: String,
+        /// Starting element index.
+        seek: Expr,
+    },
+}
+
+/// View flavors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum ViewKindName {
+    Read,
+    Write,
+    Modify,
+}
+
+/// Iterator flavors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum ItKindName {
+    Read,
+    PeekRead,
+    Write,
+    ManualWrite,
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `ty name = expr;` (or `ty name;`, zero-initialized).
+    Decl {
+        /// Declared type.
+        ty: TyName,
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        init: Option<Expr>,
+    },
+    /// A memory object declaration.
+    Mem {
+        /// Object name.
+        name: String,
+        /// What it is.
+        decl: MemDecl,
+    },
+    /// `name = expr;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// New value.
+        value: Expr,
+    },
+    /// `base[idx] = expr;`
+    Store {
+        /// DRAM symbol / view / SRAM name.
+        base: String,
+        /// Element index.
+        idx: Expr,
+        /// Stored value.
+        value: Expr,
+    },
+    /// `*it = expr;`
+    DerefStore {
+        /// Iterator name.
+        it: String,
+        /// Stored value.
+        value: Expr,
+    },
+    /// `it++;` — optionally `it.inc(last)` for manual-flush write iterators.
+    Inc {
+        /// Iterator name.
+        it: String,
+        /// Last-iteration hint.
+        last: Option<Expr>,
+    },
+    /// `if (c) { … } [else { … }];`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch.
+        els: Vec<Stmt>,
+    },
+    /// `while (c) { … };`
+    While {
+        /// Condition (re-evaluated each iteration).
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `foreach (count [by step]) { ty i => … };` (statement form, no value).
+    Foreach {
+        /// Trip count.
+        count: Expr,
+        /// Step, default 1.
+        step: Option<Expr>,
+        /// Index variable type.
+        ity: TyName,
+        /// Index variable name.
+        ivar: String,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `replicate (ways) { … };`
+    Replicate {
+        /// Physical duplication factor.
+        ways: u32,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `fork (count) { ty i => … };`
+    Fork {
+        /// Spawn count.
+        count: Expr,
+        /// Index variable type.
+        ity: TyName,
+        /// Index variable name.
+        ivar: String,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `exit;`
+    Exit,
+    /// `yield expr;` (inside reducing foreach bodies).
+    Yield(Expr),
+    /// `return [expr];`
+    Return(Option<Expr>),
+    /// `pragma(name [, value]);`
+    Pragma {
+        /// Pragma name.
+        name: String,
+        /// Optional integer argument.
+        value: Option<i64>,
+    },
+    /// `name.load(dram, base, len);` / `name.store(dram, base, len);` —
+    /// explicit bulk transfer for raw SRAM (Fig. 5 upper half).
+    Bulk {
+        /// SRAM object name.
+        sram: String,
+        /// true = load (DRAM→SRAM).
+        load: bool,
+        /// DRAM symbol.
+        dram: String,
+        /// First element index.
+        base: Expr,
+        /// Element count.
+        len: Expr,
+    },
+}
+
+/// A DRAM symbol declaration: `dram<ty> name;`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DramDeclAst {
+    /// Symbol name.
+    pub name: String,
+    /// Element type.
+    pub ty: TyName,
+}
+
+/// A function definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FuncAst {
+    /// Name (`main` is the entry point).
+    pub name: String,
+    /// Return type.
+    pub ret: TyName,
+    /// Parameters.
+    pub params: Vec<(TyName, String)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed program.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Program {
+    /// DRAM symbols.
+    pub drams: Vec<DramDeclAst>,
+    /// Functions.
+    pub funcs: Vec<FuncAst>,
+}

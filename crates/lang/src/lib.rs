@@ -1,0 +1,47 @@
+//! # revet-lang — the Revet language front end
+//!
+//! The Revet surface language (§IV of the paper): a small C-like imperative
+//! language with user-annotated parallelism (`foreach`, `replicate`, `fork`,
+//! `exit`) and access-pattern-optimized memory objects (Table I: SRAM,
+//! read/write/modify views, read/peek/write/manual-write iterators).
+//!
+//! Pipeline: [`lex`] → [`parse_program`] → [`lower_program`] (symbol
+//! resolution, type checking, SSA conversion) → verified [`revet_mir`]
+//! module.
+//!
+//! ## Example
+//!
+//! ```
+//! let src = r#"
+//!     dram<u32> output;
+//!     void main(u32 n) {
+//!         foreach (n) { u32 i =>
+//!             output[i] = i * i;
+//!         };
+//!     }
+//! "#;
+//! let prog = revet_lang::parse_program(src).unwrap();
+//! let lowered = revet_lang::lower_program(&prog).unwrap();
+//! assert!(lowered.module.func("main").is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod lower;
+mod parser;
+mod token;
+
+pub use lower::{lower_program, LowerError, Lowered};
+pub use parser::{parse_program, ParseError};
+pub use token::{lex, LexError, Spanned, Tok};
+
+/// Parses and lowers source in one step.
+///
+/// # Errors
+///
+/// Returns a formatted parse or semantic error.
+pub fn compile_to_mir(src: &str) -> Result<Lowered, String> {
+    let prog = parse_program(src).map_err(|e| e.to_string())?;
+    lower_program(&prog).map_err(|e| e.to_string())
+}

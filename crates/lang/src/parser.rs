@@ -1,0 +1,943 @@
+//! Recursive-descent parser for the Revet language.
+
+use crate::ast::*;
+use crate::token::{lex, LexError, Spanned, Tok};
+use std::fmt;
+
+/// A parse error with position info.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+/// Parses a complete program.
+///
+/// # Errors
+///
+/// Returns the first lex or parse error.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        let s = &self.toks[self.pos];
+        Err(ParseError {
+            message: msg.into(),
+            line: s.line,
+            col: s.col,
+        })
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => {
+                let other = other.clone();
+                self.err(format!("expected '{p}', found {other}"))
+            }
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            other => self.err(format!("expected integer, found {other}")),
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Ident(s) if s == "dram" => {
+                    self.bump();
+                    self.expect_punct("<")?;
+                    let tname = self.expect_ident()?;
+                    let ty = TyName::parse(&tname)
+                        .ok_or(())
+                        .or_else(|()| self.err(format!("unknown type '{tname}'")))?;
+                    self.expect_punct(">")?;
+                    let name = self.expect_ident()?;
+                    self.expect_punct(";")?;
+                    prog.drams.push(DramDeclAst { name, ty });
+                }
+                Tok::Ident(s) if TyName::parse(s).is_some() => {
+                    prog.funcs.push(self.func()?);
+                }
+                other => {
+                    let other = other.clone();
+                    return self.err(format!(
+                        "expected 'dram' declaration or function, found {other}"
+                    ));
+                }
+            }
+        }
+        Ok(prog)
+    }
+
+    fn ty(&mut self) -> Result<TyName, ParseError> {
+        let name = self.expect_ident()?;
+        TyName::parse(&name)
+            .ok_or(())
+            .or_else(|()| self.err(format!("unknown type '{name}'")))
+    }
+
+    fn func(&mut self) -> Result<FuncAst, ParseError> {
+        let ret = self.ty()?;
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                let pty = self.ty()?;
+                let pname = self.expect_ident()?;
+                params.push((pty, pname));
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(FuncAst {
+            name,
+            ret,
+            params,
+            body,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    /// A block followed by an optional semicolon (the paper writes `};`).
+    fn block_semi(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let b = self.block()?;
+        self.eat_punct(";");
+        Ok(b)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        // Control-flow keywords.
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = self.block()?;
+            let els = if self.eat_kw("else") {
+                self.block_semi()?
+            } else {
+                self.eat_punct(";");
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then, els });
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.block_semi()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_kw("foreach") {
+            let (count, step, ity, ivar, body) = self.foreach_tail()?;
+            return Ok(Stmt::Foreach {
+                count,
+                step,
+                ity,
+                ivar,
+                body,
+            });
+        }
+        if self.eat_kw("replicate") {
+            self.expect_punct("(")?;
+            let ways = self.expect_int()?;
+            self.expect_punct(")")?;
+            let body = self.block_semi()?;
+            return Ok(Stmt::Replicate {
+                ways: ways as u32,
+                body,
+            });
+        }
+        if self.eat_kw("fork") {
+            self.expect_punct("(")?;
+            let count = self.expr()?;
+            self.expect_punct(")")?;
+            self.expect_punct("{")?;
+            let ity = self.ty()?;
+            let ivar = self.expect_ident()?;
+            self.expect_punct("=>")?;
+            let mut body = Vec::new();
+            while !self.eat_punct("}") {
+                body.push(self.stmt()?);
+            }
+            self.eat_punct(";");
+            return Ok(Stmt::Fork {
+                count,
+                ity,
+                ivar,
+                body,
+            });
+        }
+        if self.eat_kw("exit") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Exit);
+        }
+        if self.eat_kw("yield") {
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Yield(e));
+        }
+        if self.eat_kw("return") {
+            if self.eat_punct(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        if self.eat_kw("pragma") {
+            self.expect_punct("(")?;
+            let name = self.expect_ident()?;
+            let value = if self.eat_punct(",") {
+                Some(self.expect_int()?)
+            } else {
+                None
+            };
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Pragma { name, value });
+        }
+        // Memory declarations.
+        if self.is_kw("sram") {
+            self.bump();
+            self.expect_punct("<")?;
+            let ty = self.ty()?;
+            self.expect_punct(",")?;
+            let size = self.expect_int()? as u32;
+            self.expect_punct(">")?;
+            let name = self.expect_ident()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Mem {
+                name,
+                decl: MemDecl::Sram { ty, size },
+            });
+        }
+        for (kw, kind) in [
+            ("readview", ViewKindName::Read),
+            ("writeview", ViewKindName::Write),
+            ("modifyview", ViewKindName::Modify),
+        ] {
+            if self.is_kw(kw) {
+                self.bump();
+                self.expect_punct("<")?;
+                let size = self.expect_int()? as u32;
+                self.expect_punct(">")?;
+                let name = self.expect_ident()?;
+                self.expect_punct("(")?;
+                let dram = self.expect_ident()?;
+                self.expect_punct(",")?;
+                let base = self.expr()?;
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                return Ok(Stmt::Mem {
+                    name,
+                    decl: MemDecl::View {
+                        kind,
+                        size,
+                        dram,
+                        base,
+                    },
+                });
+            }
+        }
+        for (kw, kind) in [
+            ("readit", ItKindName::Read),
+            ("peekreadit", ItKindName::PeekRead),
+            ("writeit", ItKindName::Write),
+            ("manualwriteit", ItKindName::ManualWrite),
+        ] {
+            if self.is_kw(kw) {
+                self.bump();
+                self.expect_punct("<")?;
+                let tile = self.expect_int()? as u32;
+                self.expect_punct(">")?;
+                let name = self.expect_ident()?;
+                self.expect_punct("(")?;
+                let dram = self.expect_ident()?;
+                self.expect_punct(",")?;
+                let seek = self.expr()?;
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                return Ok(Stmt::Mem {
+                    name,
+                    decl: MemDecl::It {
+                        kind,
+                        tile,
+                        dram,
+                        seek,
+                    },
+                });
+            }
+        }
+        // `*it = e;`
+        if self.eat_punct("*") {
+            let it = self.expect_ident()?;
+            self.expect_punct("=")?;
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::DerefStore { it, value });
+        }
+        // Typed declaration: `ty name [= init];` (possibly foreach-reduce).
+        if let Tok::Ident(s) = self.peek() {
+            if TyName::parse(s).is_some() && matches!(self.peek2(), Tok::Ident(_)) {
+                let ty = self.ty()?;
+                let name = self.expect_ident()?;
+                let init = if self.eat_punct("=") {
+                    Some(self.init_expr()?)
+                } else {
+                    None
+                };
+                self.expect_punct(";")?;
+                return Ok(Stmt::Decl { ty, name, init });
+            }
+        }
+        // Assignment / compound assignment / store / increment.
+        let name = self.expect_ident()?;
+        // `name.load(...)` / `name.store(...)` / `name.peek` handled in expr;
+        // statement-position method calls:
+        if self.eat_punct(".") {
+            let method = self.expect_ident()?;
+            match method.as_str() {
+                "load" | "store" => {
+                    self.expect_punct("(")?;
+                    let dram = self.expect_ident()?;
+                    self.expect_punct(",")?;
+                    let base = self.expr()?;
+                    self.expect_punct(",")?;
+                    let len = self.expr()?;
+                    self.expect_punct(")")?;
+                    self.expect_punct(";")?;
+                    return Ok(Stmt::Bulk {
+                        sram: name,
+                        load: method == "load",
+                        dram,
+                        base,
+                        len,
+                    });
+                }
+                "inc" => {
+                    self.expect_punct("(")?;
+                    let last = self.expr()?;
+                    self.expect_punct(")")?;
+                    self.expect_punct(";")?;
+                    return Ok(Stmt::Inc {
+                        it: name,
+                        last: Some(last),
+                    });
+                }
+                other => return self.err(format!("unknown method '{other}'")),
+            }
+        }
+        if self.eat_punct("++") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Inc {
+                it: name,
+                last: None,
+            });
+        }
+        if self.eat_punct("[") {
+            let idx = self.expr()?;
+            self.expect_punct("]")?;
+            // Compound stores: `a[i] op= e` desugars to load-modify-store.
+            for (tok, op) in [
+                ("+=", BinOp::Add),
+                ("-=", BinOp::Sub),
+                ("*=", BinOp::Mul),
+                ("/=", BinOp::Div),
+                ("%=", BinOp::Rem),
+                ("&=", BinOp::And),
+                ("|=", BinOp::Or),
+                ("^=", BinOp::Xor),
+            ] {
+                if self.eat_punct(tok) {
+                    let rhs = self.expr()?;
+                    self.expect_punct(";")?;
+                    let cur = Expr::Index(name.clone(), Box::new(idx.clone()));
+                    return Ok(Stmt::Store {
+                        base: name,
+                        idx,
+                        value: Expr::Bin(op, Box::new(cur), Box::new(rhs)),
+                    });
+                }
+            }
+            self.expect_punct("=")?;
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Store {
+                base: name,
+                idx,
+                value,
+            });
+        }
+        for (tok, op) in [
+            ("+=", BinOp::Add),
+            ("-=", BinOp::Sub),
+            ("*=", BinOp::Mul),
+            ("/=", BinOp::Div),
+            ("%=", BinOp::Rem),
+            ("&=", BinOp::And),
+            ("|=", BinOp::Or),
+            ("^=", BinOp::Xor),
+            ("<<=", BinOp::Shl),
+            (">>=", BinOp::Shr),
+        ] {
+            if self.eat_punct(tok) {
+                let rhs = self.expr()?;
+                self.expect_punct(";")?;
+                return Ok(Stmt::Assign {
+                    name: name.clone(),
+                    value: Expr::Bin(op, Box::new(Expr::Var(name)), Box::new(rhs)),
+                });
+            }
+        }
+        self.expect_punct("=")?;
+        let value = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Assign { name, value })
+    }
+
+    /// Initializer expression: ordinary expression or foreach-reduce.
+    fn init_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw("foreach") {
+            let (count, step, op, ity, ivar, body) = self.foreach_reduce_tail()?;
+            return Ok(Expr::ForeachReduce {
+                count: Box::new(count),
+                step: step.map(Box::new),
+                op,
+                ity,
+                ivar,
+                body,
+            });
+        }
+        self.expr()
+    }
+
+    /// After `foreach`: `(count [by step]) { ty i => stmts }`.
+    fn foreach_tail(
+        &mut self,
+    ) -> Result<(Expr, Option<Expr>, TyName, String, Vec<Stmt>), ParseError> {
+        self.expect_punct("(")?;
+        let count = self.expr()?;
+        let step = if self.eat_kw("by") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect_punct(")")?;
+        self.expect_punct("{")?;
+        let ity = self.ty()?;
+        let ivar = self.expect_ident()?;
+        self.expect_punct("=>")?;
+        let mut body = Vec::new();
+        while !self.eat_punct("}") {
+            body.push(self.stmt()?);
+        }
+        self.eat_punct(";");
+        Ok((count, step, ity, ivar, body))
+    }
+
+    /// After `foreach` in expression position:
+    /// `(count [by step]) reduce(op) { ty i => stmts }`.
+    fn foreach_reduce_tail(
+        &mut self,
+    ) -> Result<(Expr, Option<Expr>, ReduceOp, TyName, String, Vec<Stmt>), ParseError> {
+        self.expect_punct("(")?;
+        let count = self.expr()?;
+        let step = if self.eat_kw("by") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect_punct(")")?;
+        if !self.eat_kw("reduce") {
+            return self.err("foreach in expression position needs 'reduce(op)'");
+        }
+        self.expect_punct("(")?;
+        let op = match self.bump() {
+            Tok::Punct("+") => ReduceOp::Add,
+            Tok::Punct("*") => ReduceOp::Mul,
+            Tok::Punct("&") => ReduceOp::And,
+            Tok::Punct("|") => ReduceOp::Or,
+            Tok::Punct("^") => ReduceOp::Xor,
+            Tok::Ident(s) if s == "min" => ReduceOp::Min,
+            Tok::Ident(s) if s == "max" => ReduceOp::Max,
+            other => return self.err(format!("unknown reduction operator {other}")),
+        };
+        self.expect_punct(")")?;
+        self.expect_punct("{")?;
+        let ity = self.ty()?;
+        let ivar = self.expect_ident()?;
+        self.expect_punct("=>")?;
+        let mut body = Vec::new();
+        while !self.eat_punct("}") {
+            body.push(self.stmt()?);
+        }
+        Ok((count, step, op, ity, ivar, body))
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.lor()
+    }
+
+    fn lor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.land()?;
+        while self.eat_punct("||") {
+            let r = self.land()?;
+            e = Expr::Bin(BinOp::LOr, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn land(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bitor()?;
+        while self.eat_punct("&&") {
+            let r = self.bitor()?;
+            e = Expr::Bin(BinOp::LAnd, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bitor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bitxor()?;
+        while self.eat_punct("|") {
+            let r = self.bitxor()?;
+            e = Expr::Bin(BinOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bitxor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bitand()?;
+        while self.eat_punct("^") {
+            let r = self.bitand()?;
+            e = Expr::Bin(BinOp::Xor, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bitand(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.equality()?;
+        while self.eat_punct("&") {
+            let r = self.equality()?;
+            e = Expr::Bin(BinOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.relational()?;
+        loop {
+            if self.eat_punct("==") {
+                let r = self.relational()?;
+                e = Expr::Bin(BinOp::Eq, Box::new(e), Box::new(r));
+            } else if self.eat_punct("!=") {
+                let r = self.relational()?;
+                e = Expr::Bin(BinOp::Ne, Box::new(e), Box::new(r));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.shift()?;
+        loop {
+            let op = if self.eat_punct("<=") {
+                BinOp::Le
+            } else if self.eat_punct(">=") {
+                BinOp::Ge
+            } else if self.eat_punct("<") {
+                BinOp::Lt
+            } else if self.eat_punct(">") {
+                BinOp::Gt
+            } else {
+                return Ok(e);
+            };
+            let r = self.shift()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.additive()?;
+        loop {
+            if self.eat_punct("<<") {
+                let r = self.additive()?;
+                e = Expr::Bin(BinOp::Shl, Box::new(e), Box::new(r));
+            } else if self.eat_punct(">>") {
+                let r = self.additive()?;
+                e = Expr::Bin(BinOp::Shr, Box::new(e), Box::new(r));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            if self.eat_punct("+") {
+                let r = self.multiplicative()?;
+                e = Expr::Bin(BinOp::Add, Box::new(e), Box::new(r));
+            } else if self.eat_punct("-") {
+                let r = self.multiplicative()?;
+                e = Expr::Bin(BinOp::Sub, Box::new(e), Box::new(r));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary()?;
+        loop {
+            if self.eat_punct("*") {
+                let r = self.unary()?;
+                e = Expr::Bin(BinOp::Mul, Box::new(e), Box::new(r));
+            } else if self.eat_punct("/") {
+                let r = self.unary()?;
+                e = Expr::Bin(BinOp::Div, Box::new(e), Box::new(r));
+            } else if self.eat_punct("%") {
+                let r = self.unary()?;
+                e = Expr::Bin(BinOp::Rem, Box::new(e), Box::new(r));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("-") {
+            let e = self.unary()?;
+            return Ok(Expr::Un(UnOp::Neg, Box::new(e)));
+        }
+        if self.eat_punct("!") {
+            let e = self.unary()?;
+            return Ok(Expr::Un(UnOp::Not, Box::new(e)));
+        }
+        if self.eat_punct("~") {
+            let e = self.unary()?;
+            return Ok(Expr::Un(UnOp::BitNot, Box::new(e)));
+        }
+        if self.eat_punct("*") {
+            let it = self.expect_ident()?;
+            return Ok(Expr::Deref(it));
+        }
+        // Cast: `(ty) e` — lookahead for `( tyname )`.
+        if matches!(self.peek(), Tok::Punct("(")) {
+            if let Tok::Ident(s) = self.peek2() {
+                if TyName::parse(s).is_some()
+                    && matches!(
+                        self.toks.get(self.pos + 2).map(|t| &t.tok),
+                        Some(Tok::Punct(")"))
+                    )
+                {
+                    self.bump(); // (
+                    let ty = self.ty()?;
+                    self.bump(); // )
+                    let e = self.unary()?;
+                    return Ok(Expr::Cast(ty, Box::new(e)));
+                }
+            }
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("(") {
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.eat_punct("[") {
+                    let idx = self.expr()?;
+                    self.expect_punct("]")?;
+                    return Ok(Expr::Index(name, Box::new(idx)));
+                }
+                if matches!(self.peek(), Tok::Punct(".")) {
+                    if let Tok::Ident(m) = self.peek2() {
+                        if m == "peek" {
+                            self.bump(); // .
+                            self.bump(); // peek
+                            self.expect_punct("(")?;
+                            let e = self.expr()?;
+                            self.expect_punct(")")?;
+                            return Ok(Expr::Peek(name, Box::new(e)));
+                        }
+                    }
+                }
+                Ok(Expr::Var(name))
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse_program(
+            "dram<u32> output;\nvoid main(u32 n) { foreach (n) { u32 i => output[i] = i * i; }; }",
+        )
+        .unwrap();
+        assert_eq!(p.drams.len(), 1);
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "main");
+        assert!(matches!(p.funcs[0].body[0], Stmt::Foreach { .. }));
+    }
+
+    #[test]
+    fn parses_strlen_shape() {
+        // The Fig. 7 structure (simplified sizes).
+        let src = r#"
+            dram<u8> input; dram<u32> offsets; dram<u32> lengths;
+            void main(u32 count) {
+                foreach (count by 4) { u32 outer =>
+                    readview<4> in_view(offsets, outer);
+                    writeview<4> out_view(lengths, outer);
+                    foreach (4) { u32 idx =>
+                        pragma(eliminate_hierarchy);
+                        u32 len = 0;
+                        u32 off = in_view[idx];
+                        replicate (2) {
+                            readit<8> it(input, off);
+                            while (*it) {
+                                len = len + 1;
+                                it++;
+                            };
+                        };
+                        out_view[idx] = len;
+                    };
+                };
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.drams.len(), 3);
+        let f = &p.funcs[0];
+        let Stmt::Foreach { body, step, .. } = &f.body[0] else {
+            panic!("expected foreach");
+        };
+        assert!(step.is_some());
+        assert!(matches!(body[0], Stmt::Mem { .. }));
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse_program("void main() { u32 x = 1 + 2 * 3 == 7; }").unwrap();
+        let Stmt::Decl { init: Some(e), .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        // (1 + (2*3)) == 7
+        assert!(matches!(e, Expr::Bin(BinOp::Eq, ..)));
+    }
+
+    #[test]
+    fn foreach_reduce_expression() {
+        let p = parse_program(
+            "void main() { u32 m = foreach (15) reduce(&) { u32 lane => yield lane; }; }",
+        )
+        .unwrap();
+        let Stmt::Decl { init: Some(e), .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            e,
+            Expr::ForeachReduce {
+                op: ReduceOp::And,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fork_exit_and_pragmas() {
+        let p = parse_program(
+            "void main() { fork (3) { u32 i => if (i) { exit; }; }; pragma(threads, 64); }",
+        )
+        .unwrap();
+        assert!(matches!(p.funcs[0].body[0], Stmt::Fork { .. }));
+        assert!(matches!(
+            p.funcs[0].body[1],
+            Stmt::Pragma {
+                value: Some(64),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn iterators_and_stores() {
+        let p = parse_program(
+            r#"dram<u8> d; void main() {
+                manualwriteit<4> w(d, 0);
+                *w = 65;
+                w.inc(1);
+                peekreadit<4> r(d, 0);
+                u32 x = r.peek(2);
+                u32 y = *r;
+            }"#,
+        )
+        .unwrap();
+        let b = &p.funcs[0].body;
+        assert!(matches!(b[1], Stmt::DerefStore { .. }));
+        assert!(matches!(b[2], Stmt::Inc { last: Some(_), .. }));
+        assert!(matches!(
+            b[4],
+            Stmt::Decl {
+                init: Some(Expr::Peek(..)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn compound_assignment_desugars() {
+        let p = parse_program("void main() { u32 x = 0; x += 2; }").unwrap();
+        let Stmt::Assign { value, .. } = &p.funcs[0].body[1] else {
+            panic!()
+        };
+        assert!(matches!(value, Expr::Bin(BinOp::Add, ..)));
+    }
+
+    #[test]
+    fn bulk_transfers() {
+        let p = parse_program(
+            "dram<u32> d; void main() { sram<u32, 16> buf; buf.load(d, 0, 16); buf.store(d, 0, 16); }",
+        )
+        .unwrap();
+        assert!(matches!(p.funcs[0].body[1], Stmt::Bulk { load: true, .. }));
+        assert!(matches!(p.funcs[0].body[2], Stmt::Bulk { load: false, .. }));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = parse_program("void main() {\n  u32 x = ;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(!e.message.is_empty());
+    }
+
+    #[test]
+    fn cast_expression() {
+        let p = parse_program("void main() { u32 x = (u8) 300; }").unwrap();
+        let Stmt::Decl { init: Some(e), .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(e, Expr::Cast(TyName::U8, _)));
+    }
+}

@@ -1,0 +1,305 @@
+//! The Revet lexer.
+//!
+//! The surface language is a small C-like imperative language (§IV) with
+//! explicit parallel constructs (`foreach`, `replicate`, `fork`, `exit`) and
+//! access-pattern-optimized memory declarations (Table I).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal (decimal, hex `0x…`, or char `'a'`).
+    Int(i64),
+    /// Punctuation / operator, canonical spelling.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "'{s}'"),
+            Tok::Int(v) => write!(f, "'{v}'"),
+            Tok::Punct(p) => write!(f, "'{p}'"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// A lexing error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character operators, longest first (order matters).
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "++", "--", "::", "=>", "->", "+", "-", "*", "/", "%", "&", "|", "^", "~",
+    "!", "<", ">", "=", "(", ")", "{", "}", "[", "]", ",", ";", ".", ":",
+];
+
+/// Tokenizes Revet source.
+///
+/// # Errors
+///
+/// Returns [`LexError`] for unterminated char literals, bad escapes, or
+/// unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let err = |m: String, line: u32, col: u32| LexError {
+        message: m,
+        line,
+        col,
+    };
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            i += 1;
+            line += 1;
+            col = 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                i += 2;
+                col += 2;
+                while i + 1 < bytes.len() {
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        continue 'outer;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+                return Err(err("unterminated block comment".into(), line, col));
+            }
+        }
+        let start_col = col;
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let s = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+                col += 1;
+            }
+            out.push(Spanned {
+                tok: Tok::Ident(src[s..i].to_string()),
+                line,
+                col: start_col,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let s = i;
+            let radix = if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] | 32) == b'x' {
+                i += 2;
+                col += 2;
+                16
+            } else {
+                10
+            };
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+                col += 1;
+            }
+            let text = src[s..i].replace('_', "");
+            let digits = if radix == 16 { &text[2..] } else { &text[..] };
+            let v = i64::from_str_radix(digits, radix)
+                .map_err(|e| err(format!("bad integer literal '{text}': {e}"), line, start_col))?;
+            out.push(Spanned {
+                tok: Tok::Int(v),
+                line,
+                col: start_col,
+            });
+            continue;
+        }
+        // Char literals.
+        if c == '\'' {
+            let mut j = i + 1;
+            let v: u8 = if j < bytes.len() && bytes[j] == b'\\' {
+                j += 1;
+                let e = *bytes
+                    .get(j)
+                    .ok_or_else(|| err("unterminated char literal".into(), line, start_col))?;
+                j += 1;
+                match e {
+                    b'n' => b'\n',
+                    b't' => b'\t',
+                    b'r' => b'\r',
+                    b'0' => 0,
+                    b'\\' => b'\\',
+                    b'\'' => b'\'',
+                    other => {
+                        return Err(err(
+                            format!("unknown escape '\\{}'", other as char),
+                            line,
+                            start_col,
+                        ))
+                    }
+                }
+            } else if j < bytes.len() {
+                let v = bytes[j];
+                j += 1;
+                v
+            } else {
+                return Err(err("unterminated char literal".into(), line, start_col));
+            };
+            if j >= bytes.len() || bytes[j] != b'\'' {
+                return Err(err("unterminated char literal".into(), line, start_col));
+            }
+            col += (j + 1 - i) as u32;
+            i = j + 1;
+            out.push(Spanned {
+                tok: Tok::Int(v as i64),
+                line,
+                col: start_col,
+            });
+            continue;
+        }
+        // Operators.
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(Spanned {
+                    tok: Tok::Punct(p),
+                    line,
+                    col: start_col,
+                });
+                i += p.len();
+                col += p.len() as u32;
+                continue 'outer;
+            }
+        }
+        return Err(err(format!("unexpected character '{c}'"), line, col));
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn idents_numbers_ops() {
+        assert_eq!(
+            toks("x1 = 0x10 + 2;"),
+            vec![
+                Tok::Ident("x1".into()),
+                Tok::Punct("="),
+                Tok::Int(16),
+                Tok::Punct("+"),
+                Tok::Int(2),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literals_and_escapes() {
+        assert_eq!(toks("'a'"), vec![Tok::Int(97), Tok::Eof]);
+        assert_eq!(toks("'\\n'"), vec![Tok::Int(10), Tok::Eof]);
+        assert_eq!(toks("'\\0'"), vec![Tok::Int(0), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a // line\n/* block\n */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn multi_char_ops_longest_match() {
+        assert_eq!(
+            toks("a >>= b << c => d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct(">>="),
+                Tok::Ident("b".into()),
+                Tok::Punct("<<"),
+                Tok::Ident("c".into()),
+                Tok::Punct("=>"),
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("@").is_err());
+        assert!(lex("'x").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

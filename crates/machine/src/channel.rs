@@ -1,0 +1,296 @@
+//! On-chip links between streaming contexts.
+//!
+//! A [`Channel`] carries tuple tokens between two nodes. Channels know their
+//! bandwidth class (§III-C: a scalar link moves one data element and one
+//! barrier per cycle; a vector link moves up to 16 data elements and one
+//! barrier) and opportunistically canonicalize barrier sequences on push —
+//! an Ωm still queued at the tail is absorbed by a pushed Ωn (n > m) when
+//! data directly preceded it, mirroring the paper's "Ω2 implies an Ω1"
+//! encoding rule without ever *holding back* a token (which could deadlock
+//! cyclic regions).
+
+use crate::tuple::TTok;
+use revet_sltf::Tok;
+use std::collections::VecDeque;
+
+/// Bandwidth class of a link (§III-C).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum LinkClass {
+    /// Up to 16 data elements + 1 barrier per cycle; costs vector buffers.
+    #[default]
+    Vector,
+    /// 1 data element + 1 barrier per cycle; costs scalar buffers.
+    Scalar,
+}
+
+impl LinkClass {
+    /// Data elements the link can move per cycle.
+    pub const fn width(self) -> usize {
+        match self {
+            LinkClass::Vector => 16,
+            LinkClass::Scalar => 1,
+        }
+    }
+}
+
+/// A FIFO link between two streaming contexts.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    queue: VecDeque<TTok>,
+    /// Number of live values per tuple (physical link count of this edge).
+    pub arity: usize,
+    /// Bandwidth class used by the timed simulator and resource accounting.
+    pub class: LinkClass,
+    /// Maximum queued tokens (None = unbounded, the untimed default).
+    pub capacity: Option<usize>,
+    /// Opportunistic barrier canonicalization on push (see module docs).
+    pub canonicalize: bool,
+    /// Whether the token pushed immediately before the current tail barrier
+    /// was a data token (tracked for the canonicalization rule).
+    tail_preceded_by_data: bool,
+    /// Total tokens ever pushed (for statistics).
+    pushed: u64,
+    /// Total data tokens ever pushed.
+    pushed_data: u64,
+}
+
+impl Default for Channel {
+    fn default() -> Self {
+        Channel::new(1)
+    }
+}
+
+impl Channel {
+    /// Creates an unbounded vector channel of the given tuple arity.
+    pub fn new(arity: usize) -> Self {
+        Channel {
+            queue: VecDeque::new(),
+            arity,
+            class: LinkClass::Vector,
+            capacity: None,
+            canonicalize: true,
+            tail_preceded_by_data: false,
+            pushed: 0,
+            pushed_data: 0,
+        }
+    }
+
+    /// Sets the bandwidth class (builder style).
+    pub fn with_class(mut self, class: LinkClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Sets a capacity bound (builder style).
+    pub fn with_capacity(mut self, cap: usize) -> Self {
+        self.capacity = Some(cap);
+        self
+    }
+
+    /// Disables push-side canonicalization (used on loop backedges, where the
+    /// protocol wants to observe the explicit barrier sequence).
+    pub fn without_canonicalization(mut self) -> Self {
+        self.canonicalize = false;
+        self
+    }
+
+    /// Tokens currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no tokens are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Free slots before the capacity bound (usize::MAX when unbounded).
+    pub fn room(&self) -> usize {
+        match self.capacity {
+            Some(cap) => cap.saturating_sub(self.queue.len()),
+            None => usize::MAX,
+        }
+    }
+
+    /// The token at the front, if any.
+    pub fn front(&self) -> Option<&TTok> {
+        self.queue.front()
+    }
+
+    /// The token just behind the front, if any (merge realignment peeks it).
+    pub fn second(&self) -> Option<&TTok> {
+        self.queue.get(1)
+    }
+
+    /// Pops the front token.
+    pub fn pop(&mut self) -> Option<TTok> {
+        let t = self.queue.pop_front();
+        if self.queue.is_empty() {
+            // The canonicalization tail context is gone once drained.
+            self.tail_preceded_by_data = false;
+        }
+        t
+    }
+
+    /// Pushes a token, applying opportunistic canonicalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is full; callers must check [`Channel::room`]
+    /// first (nodes are written to do so).
+    pub fn push(&mut self, tok: TTok) {
+        assert!(self.room() > 0, "push into full channel");
+        self.pushed += 1;
+        match &tok {
+            Tok::Data(vals) => {
+                debug_assert_eq!(
+                    vals.len(),
+                    self.arity,
+                    "tuple arity mismatch on channel (expected {}, got {})",
+                    self.arity,
+                    vals.len()
+                );
+                self.pushed_data += 1;
+                self.queue.push_back(tok);
+            }
+            Tok::Barrier(level) => {
+                if self.canonicalize {
+                    if let Some(Tok::Barrier(tail)) = self.queue.back() {
+                        if *tail < *level && self.tail_preceded_by_data {
+                            // Ω(tail) is implied by Ω(level) after data: absorb.
+                            self.queue.pop_back();
+                            self.pushed -= 1; // did not actually add a token
+                            self.queue.push_back(tok);
+                            // `tail_preceded_by_data` stays true: the chain
+                            // rule lets x Ω1 Ω2 Ω3 collapse to x Ω3.
+                            return;
+                        }
+                    }
+                }
+                // The new tail is this barrier; record whether data directly
+                // precedes it in the stream (the canonicalization condition).
+                self.tail_preceded_by_data = matches!(self.queue.back(), Some(Tok::Data(_)));
+                self.queue.push_back(tok);
+            }
+        }
+    }
+
+    /// Total tokens pushed over the channel's lifetime (after
+    /// canonicalization absorbed implied barriers).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total data tokens pushed over the channel's lifetime.
+    pub fn total_pushed_data(&self) -> u64 {
+        self.pushed_data
+    }
+
+    /// Drains the remaining queue into a vector (test helper).
+    pub fn drain_all(&mut self) -> Vec<TTok> {
+        self.tail_preceded_by_data = false;
+        self.queue.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::{tbar, tdata};
+
+    #[test]
+    fn fifo_order() {
+        let mut c = Channel::new(1);
+        c.push(tdata([1u32]));
+        c.push(tdata([2u32]));
+        assert_eq!(c.pop(), Some(tdata([1u32])));
+        assert_eq!(c.pop(), Some(tdata([2u32])));
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn canonicalizes_implied_barrier_after_data() {
+        let mut c = Channel::new(1);
+        c.push(tdata([1u32]));
+        c.push(tbar(1));
+        c.push(tbar(2));
+        assert_eq!(c.drain_all(), vec![tdata([1u32]), tbar(2)]);
+    }
+
+    #[test]
+    fn keeps_barrier_without_preceding_data() {
+        let mut c = Channel::new(1);
+        c.push(tbar(1));
+        c.push(tbar(2));
+        assert_eq!(c.drain_all(), vec![tbar(1), tbar(2)]);
+    }
+
+    #[test]
+    fn keeps_equal_level_barriers() {
+        let mut c = Channel::new(1);
+        c.push(tdata([1u32]));
+        c.push(tbar(1));
+        c.push(tbar(1));
+        assert_eq!(c.drain_all(), vec![tdata([1u32]), tbar(1), tbar(1)]);
+    }
+
+    #[test]
+    fn chain_rule_collapses_runs() {
+        let mut c = Channel::new(1);
+        c.push(tdata([1u32]));
+        c.push(tbar(1));
+        c.push(tbar(2));
+        c.push(tbar(3));
+        assert_eq!(c.drain_all(), vec![tdata([1u32]), tbar(3)]);
+    }
+
+    #[test]
+    fn no_merge_across_consumed_tail() {
+        let mut c = Channel::new(1);
+        c.push(tdata([1u32]));
+        c.push(tbar(1));
+        // Consumer drains everything…
+        assert!(c.pop().is_some());
+        assert!(c.pop().is_some());
+        // …then a higher barrier arrives; nothing to absorb.
+        c.push(tbar(2));
+        assert_eq!(c.drain_all(), vec![tbar(2)]);
+    }
+
+    #[test]
+    fn disabled_canonicalization() {
+        let mut c = Channel::new(1).without_canonicalization();
+        c.push(tdata([1u32]));
+        c.push(tbar(1));
+        c.push(tbar(2));
+        assert_eq!(c.drain_all(), vec![tdata([1u32]), tbar(1), tbar(2)]);
+    }
+
+    #[test]
+    fn capacity_and_room() {
+        let mut c = Channel::new(1).with_capacity(2);
+        assert_eq!(c.room(), 2);
+        c.push(tdata([1u32]));
+        assert_eq!(c.room(), 1);
+        c.push(tdata([2u32]));
+        assert_eq!(c.room(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "full channel")]
+    fn overfull_push_panics() {
+        let mut c = Channel::new(1).with_capacity(1);
+        c.push(tdata([1u32]));
+        c.push(tdata([2u32]));
+    }
+
+    #[test]
+    fn stats_count_canonicalized_pushes_once() {
+        let mut c = Channel::new(1);
+        c.push(tdata([1u32]));
+        c.push(tbar(1));
+        c.push(tbar(2)); // absorbs Ω1
+        assert_eq!(c.total_pushed(), 2);
+        assert_eq!(c.total_pushed_data(), 1);
+    }
+}

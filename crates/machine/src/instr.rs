@@ -1,0 +1,592 @@
+//! The element-wise instruction set executed inside pipeline stages.
+//!
+//! §III-B a: element-wise operations transform live values one thread at a
+//! time and never change thread ordering, hierarchy, or count. Memory
+//! operations are element-wise too — "an allocation transforms a void value
+//! into a pointer, a read transforms an address into a result, and a write
+//! transforms an address and data into a void value". Memory ordering within
+//! a thread is enforced with data-free void tokens threaded through the
+//! operations (modelled as ordinary registers carrying no payload semantics).
+
+use crate::mem::{AllocId, MemoryState, SramId};
+use revet_sltf::Word;
+
+/// A register index in a context's per-thread register file.
+pub type Reg = u16;
+
+/// An instruction operand: a register or an immediate word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// Read the per-thread register.
+    Reg(Reg),
+    /// An immediate constant.
+    Const(Word),
+}
+
+impl Operand {
+    /// Immediate from anything word-like.
+    pub fn imm(v: impl Into<Word>) -> Operand {
+        Operand::Const(v.into())
+    }
+
+    /// Evaluates the operand against a register file.
+    #[inline]
+    pub fn eval(self, regs: &[Word]) -> Word {
+        match self {
+            Operand::Reg(r) => regs[r as usize],
+            Operand::Const(w) => w,
+        }
+    }
+}
+
+/// Binary ALU operations (32-bit lanes; comparison results are 0/1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    /// Signed division; division by zero yields 0 (machine-defined).
+    DivS,
+    /// Unsigned division; division by zero yields 0.
+    DivU,
+    /// Signed remainder; by zero yields 0.
+    RemS,
+    /// Unsigned remainder; by zero yields 0.
+    RemU,
+    And,
+    Or,
+    Xor,
+    /// Shift left (shift amount taken mod 32).
+    Shl,
+    /// Logical shift right.
+    ShrU,
+    /// Arithmetic shift right.
+    ShrS,
+    Eq,
+    Ne,
+    LtS,
+    LtU,
+    LeS,
+    LeU,
+    GtS,
+    GtU,
+    GeS,
+    GeU,
+    MinS,
+    MinU,
+    MaxS,
+    MaxU,
+    /// 32-bit rotate left (murmur3 uses this).
+    Rotl,
+}
+
+impl AluOp {
+    /// Applies the operation to two words.
+    pub fn apply(self, a: Word, b: Word) -> Word {
+        let (ua, ub) = (a.as_u32(), b.as_u32());
+        let (sa, sb) = (a.as_i32(), b.as_i32());
+        let bool_w = |v: bool| Word::from_bool(v);
+        match self {
+            AluOp::Add => Word(ua.wrapping_add(ub)),
+            AluOp::Sub => Word(ua.wrapping_sub(ub)),
+            AluOp::Mul => Word(ua.wrapping_mul(ub)),
+            AluOp::DivS => Word::from_i32(if sb == 0 { 0 } else { sa.wrapping_div(sb) }),
+            AluOp::DivU => Word(if ub == 0 { 0 } else { ua / ub }),
+            AluOp::RemS => Word::from_i32(if sb == 0 { 0 } else { sa.wrapping_rem(sb) }),
+            AluOp::RemU => Word(if ub == 0 { 0 } else { ua % ub }),
+            AluOp::And => Word(ua & ub),
+            AluOp::Or => Word(ua | ub),
+            AluOp::Xor => Word(ua ^ ub),
+            AluOp::Shl => Word(ua.wrapping_shl(ub)),
+            AluOp::ShrU => Word(ua.wrapping_shr(ub)),
+            AluOp::ShrS => Word::from_i32(sa.wrapping_shr(ub)),
+            AluOp::Eq => bool_w(ua == ub),
+            AluOp::Ne => bool_w(ua != ub),
+            AluOp::LtS => bool_w(sa < sb),
+            AluOp::LtU => bool_w(ua < ub),
+            AluOp::LeS => bool_w(sa <= sb),
+            AluOp::LeU => bool_w(ua <= ub),
+            AluOp::GtS => bool_w(sa > sb),
+            AluOp::GtU => bool_w(ua > ub),
+            AluOp::GeS => bool_w(sa >= sb),
+            AluOp::GeU => bool_w(ua >= ub),
+            AluOp::MinS => Word::from_i32(sa.min(sb)),
+            AluOp::MinU => Word(ua.min(ub)),
+            AluOp::MaxS => Word::from_i32(sa.max(sb)),
+            AluOp::MaxU => Word(ua.max(ub)),
+            AluOp::Rotl => Word(ua.rotate_left(ub & 31)),
+        }
+    }
+
+    /// True for ops that are associative and commutative (usable in
+    /// reductions).
+    pub fn is_reduction_compatible(self) -> bool {
+        matches!(
+            self,
+            AluOp::Add
+                | AluOp::Mul
+                | AluOp::And
+                | AluOp::Or
+                | AluOp::Xor
+                | AluOp::MinS
+                | AluOp::MinU
+                | AluOp::MaxS
+                | AluOp::MaxU
+        )
+    }
+
+    /// The identity element of a reduction-compatible op (the accumulator's
+    /// initial value, and the result for empty dimensions).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-reduction ops.
+    pub fn reduction_identity(self) -> Word {
+        match self {
+            AluOp::Add | AluOp::Or | AluOp::Xor | AluOp::MaxU => Word(0),
+            AluOp::Mul => Word(1),
+            AluOp::And => Word(u32::MAX),
+            AluOp::MinU => Word(u32::MAX),
+            AluOp::MinS => Word::from_i32(i32::MAX),
+            AluOp::MaxS => Word::from_i32(i32::MIN),
+            other => panic!("{other:?} is not a reduction operator"),
+        }
+    }
+}
+
+/// A predicate on a memory operation: run the op iff `reg != 0` equals
+/// `expect`. Predication is how if-to-select conversion handles memory side
+/// effects (§V-B c).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pred {
+    /// The register holding the condition.
+    pub reg: Reg,
+    /// Required truthiness of the condition.
+    pub expect: bool,
+}
+
+impl Pred {
+    /// Evaluates the predicate.
+    #[inline]
+    pub fn holds(self, regs: &[Word]) -> bool {
+        regs[self.reg as usize].as_bool() == self.expect
+    }
+}
+
+/// One element-wise instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EwInstr {
+    /// `dst = op(a, b)`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `dst = c ? t : f` (conditional move; §V-B c if-to-select).
+    Select {
+        /// Condition operand (non-zero = true).
+        c: Operand,
+        /// Value when true.
+        t: Operand,
+        /// Value when false.
+        f: Operand,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `dst = src`.
+    Mov {
+        /// Source operand.
+        src: Operand,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// SRAM word read: `dst = sram[addr]`; predicated-off reads yield 0.
+    SramRead {
+        /// SRAM region.
+        region: SramId,
+        /// Word address within the region.
+        addr: Operand,
+        /// Destination register.
+        dst: Reg,
+        /// Optional predicate.
+        pred: Option<Pred>,
+    },
+    /// SRAM word write: `sram[addr] = val`.
+    SramWrite {
+        /// SRAM region.
+        region: SramId,
+        /// Word address within the region.
+        addr: Operand,
+        /// Value to store.
+        val: Operand,
+        /// Optional predicate.
+        pred: Option<Pred>,
+    },
+    /// Atomic `sram[addr] -= 1; dst = new value` (hierarchy elimination,
+    /// Fig. 9).
+    SramDecFetch {
+        /// SRAM region.
+        region: SramId,
+        /// Word address within the region.
+        addr: Operand,
+        /// Destination register receiving the post-decrement value.
+        dst: Reg,
+        /// Optional predicate (predicated-off yields 0 without touching
+        /// memory).
+        pred: Option<Pred>,
+    },
+    /// DRAM word read through an AG: `dst = dram[addr..addr+4]` (byte
+    /// address, little endian).
+    DramReadW {
+        /// Byte address.
+        addr: Operand,
+        /// Destination register.
+        dst: Reg,
+        /// Optional predicate.
+        pred: Option<Pred>,
+    },
+    /// DRAM word write through an AG.
+    DramWriteW {
+        /// Byte address.
+        addr: Operand,
+        /// Value to store.
+        val: Operand,
+        /// Optional predicate.
+        pred: Option<Pred>,
+    },
+    /// DRAM byte read (string workloads).
+    DramReadB {
+        /// Byte address.
+        addr: Operand,
+        /// Destination register (zero-extended byte).
+        dst: Reg,
+        /// Optional predicate.
+        pred: Option<Pred>,
+    },
+    /// DRAM byte write.
+    DramWriteB {
+        /// Byte address.
+        addr: Operand,
+        /// Value to store (low byte).
+        val: Operand,
+        /// Optional predicate.
+        pred: Option<Pred>,
+    },
+    /// Pops a buffer pointer from an allocator queue (blocking; never
+    /// predicated — the stall is the load-balancing mechanism of §V-B b).
+    AllocPop {
+        /// Allocator queue.
+        alloc: AllocId,
+        /// Destination register receiving the pointer.
+        dst: Reg,
+    },
+    /// Returns a buffer pointer to an allocator queue.
+    AllocPush {
+        /// Allocator queue.
+        alloc: AllocId,
+        /// The pointer to free.
+        src: Operand,
+        /// Optional predicate.
+        pred: Option<Pred>,
+    },
+}
+
+impl EwInstr {
+    /// The allocator this instruction pops from, if any (used for stall
+    /// checks before committing to consume an input tuple).
+    pub fn alloc_pop_id(&self) -> Option<AllocId> {
+        match self {
+            EwInstr::AllocPop { alloc, .. } => Some(*alloc),
+            _ => None,
+        }
+    }
+
+    /// Highest register index referenced plus one (for sizing reg files).
+    pub fn max_reg(&self) -> u16 {
+        fn op_reg(o: &Operand) -> u16 {
+            match o {
+                Operand::Reg(r) => r + 1,
+                Operand::Const(_) => 0,
+            }
+        }
+        let pred_reg = |p: &Option<Pred>| p.map_or(0, |p| p.reg + 1);
+        match self {
+            EwInstr::Alu { a, b, dst, .. } => op_reg(a).max(op_reg(b)).max(dst + 1),
+            EwInstr::Select { c, t, f, dst } => {
+                op_reg(c).max(op_reg(t)).max(op_reg(f)).max(dst + 1)
+            }
+            EwInstr::Mov { src, dst } => op_reg(src).max(dst + 1),
+            EwInstr::SramRead {
+                addr, dst, pred, ..
+            }
+            | EwInstr::SramDecFetch {
+                addr, dst, pred, ..
+            }
+            | EwInstr::DramReadW { addr, dst, pred }
+            | EwInstr::DramReadB { addr, dst, pred } => {
+                op_reg(addr).max(dst + 1).max(pred_reg(pred))
+            }
+            EwInstr::SramWrite {
+                addr, val, pred, ..
+            }
+            | EwInstr::DramWriteW { addr, val, pred }
+            | EwInstr::DramWriteB { addr, val, pred } => {
+                op_reg(addr).max(op_reg(val)).max(pred_reg(pred))
+            }
+            EwInstr::AllocPop { dst, .. } => dst + 1,
+            EwInstr::AllocPush { src, pred, .. } => op_reg(src).max(pred_reg(pred)),
+        }
+    }
+
+    /// True if this instruction touches memory (used by the splitter: every
+    /// memory operation goes into its own context, §V-D b).
+    pub fn is_memory(&self) -> bool {
+        !matches!(
+            self,
+            EwInstr::Alu { .. } | EwInstr::Select { .. } | EwInstr::Mov { .. }
+        )
+    }
+}
+
+/// Executes a straight-line instruction sequence for one thread.
+///
+/// `regs` must be pre-sized and pre-loaded with the input tuple; results are
+/// left in the registers named by the instructions.
+pub fn exec_instrs(instrs: &[EwInstr], regs: &mut [Word], mem: &mut MemoryState) {
+    for ins in instrs {
+        match ins {
+            EwInstr::Alu { op, a, b, dst } => {
+                regs[*dst as usize] = op.apply(a.eval(regs), b.eval(regs));
+            }
+            EwInstr::Select { c, t, f, dst } => {
+                regs[*dst as usize] = if c.eval(regs).as_bool() {
+                    t.eval(regs)
+                } else {
+                    f.eval(regs)
+                };
+            }
+            EwInstr::Mov { src, dst } => {
+                regs[*dst as usize] = src.eval(regs);
+            }
+            EwInstr::SramRead {
+                region,
+                addr,
+                dst,
+                pred,
+            } => {
+                regs[*dst as usize] = if pred.map_or(true, |p| p.holds(regs)) {
+                    mem.sram_read(*region, addr.eval(regs).as_u32())
+                } else {
+                    Word::ZERO
+                };
+            }
+            EwInstr::SramWrite {
+                region,
+                addr,
+                val,
+                pred,
+            } => {
+                if pred.map_or(true, |p| p.holds(regs)) {
+                    mem.sram_write(*region, addr.eval(regs).as_u32(), val.eval(regs));
+                }
+            }
+            EwInstr::SramDecFetch {
+                region,
+                addr,
+                dst,
+                pred,
+            } => {
+                regs[*dst as usize] = if pred.map_or(true, |p| p.holds(regs)) {
+                    let a = addr.eval(regs).as_u32();
+                    let new = Word(mem.sram_read(*region, a).as_u32().wrapping_sub(1));
+                    mem.sram_write(*region, a, new);
+                    new
+                } else {
+                    Word::ZERO
+                };
+            }
+            EwInstr::DramReadW { addr, dst, pred } => {
+                regs[*dst as usize] = if pred.map_or(true, |p| p.holds(regs)) {
+                    mem.dram_read_word(addr.eval(regs).as_u32())
+                } else {
+                    Word::ZERO
+                };
+            }
+            EwInstr::DramWriteW { addr, val, pred } => {
+                if pred.map_or(true, |p| p.holds(regs)) {
+                    mem.dram_write_word(addr.eval(regs).as_u32(), val.eval(regs));
+                }
+            }
+            EwInstr::DramReadB { addr, dst, pred } => {
+                regs[*dst as usize] = if pred.map_or(true, |p| p.holds(regs)) {
+                    mem.dram_read_byte(addr.eval(regs).as_u32())
+                } else {
+                    Word::ZERO
+                };
+            }
+            EwInstr::DramWriteB { addr, val, pred } => {
+                if pred.map_or(true, |p| p.holds(regs)) {
+                    mem.dram_write_byte(addr.eval(regs).as_u32(), val.eval(regs));
+                }
+            }
+            EwInstr::AllocPop { alloc, dst } => {
+                // Availability was checked before input consumption; an empty
+                // queue here is an executor bug.
+                let ptr = mem
+                    .alloc_pop(*alloc)
+                    .expect("AllocPop on empty queue: stall check missed");
+                regs[*dst as usize] = Word(ptr);
+            }
+            EwInstr::AllocPush { alloc, src, pred } => {
+                if pred.map_or(true, |p| p.holds(regs)) {
+                    mem.alloc_push(*alloc, src.eval(regs).as_u32());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        let w = |v: i32| Word::from_i32(v);
+        assert_eq!(AluOp::Add.apply(w(2), w(3)), w(5));
+        assert_eq!(AluOp::Sub.apply(w(2), w(3)), w(-1));
+        assert_eq!(AluOp::Mul.apply(w(-2), w(3)), w(-6));
+        assert_eq!(AluOp::DivS.apply(w(-7), w(2)), w(-3));
+        assert_eq!(AluOp::DivU.apply(w(7), w(2)), w(3));
+        assert_eq!(AluOp::DivS.apply(w(1), w(0)), w(0), "div by zero is 0");
+        assert_eq!(AluOp::RemS.apply(w(-7), w(2)), w(-1));
+        assert_eq!(AluOp::LtS.apply(w(-1), w(0)), w(1));
+        assert_eq!(AluOp::LtU.apply(w(-1), w(0)), w(0), "unsigned -1 is huge");
+        assert_eq!(AluOp::ShrS.apply(w(-8), w(1)), w(-4));
+        assert_eq!(AluOp::ShrU.apply(w(-8), w(1)), Word(0x7FFFFFFC));
+        assert_eq!(AluOp::MinS.apply(w(-1), w(1)), w(-1));
+        assert_eq!(AluOp::MaxU.apply(w(-1), w(1)), w(-1), "unsigned max");
+        assert_eq!(AluOp::Rotl.apply(Word(0x80000001), Word(1)), Word(3));
+    }
+
+    #[test]
+    fn overflow_wraps() {
+        assert_eq!(
+            AluOp::Add.apply(Word(u32::MAX), Word(1)),
+            Word(0),
+            "wrapping add"
+        );
+        assert_eq!(AluOp::Mul.apply(Word(1 << 31), Word(2)), Word(0));
+    }
+
+    #[test]
+    fn exec_straightline() {
+        let mut mem = MemoryState::default();
+        let mut regs = vec![Word::ZERO; 4];
+        regs[0] = Word(10);
+        exec_instrs(
+            &[
+                EwInstr::Alu {
+                    op: AluOp::Add,
+                    a: Operand::Reg(0),
+                    b: Operand::imm(5u32),
+                    dst: 1,
+                },
+                EwInstr::Select {
+                    c: Operand::Reg(1),
+                    t: Operand::imm(7u32),
+                    f: Operand::imm(9u32),
+                    dst: 2,
+                },
+                EwInstr::Mov {
+                    src: Operand::Reg(2),
+                    dst: 3,
+                },
+            ],
+            &mut regs,
+            &mut mem,
+        );
+        assert_eq!(regs[1], Word(15));
+        assert_eq!(regs[2], Word(7));
+        assert_eq!(regs[3], Word(7));
+    }
+
+    #[test]
+    fn predicated_memory_ops() {
+        let mut mem = MemoryState::default();
+        let s = mem.add_sram("s", 4);
+        let mut regs = vec![Word::ZERO; 4];
+        regs[0] = Word(0); // predicate: false
+        exec_instrs(
+            &[EwInstr::SramWrite {
+                region: s,
+                addr: Operand::imm(0u32),
+                val: Operand::imm(99u32),
+                pred: Some(Pred {
+                    reg: 0,
+                    expect: true,
+                }),
+            }],
+            &mut regs,
+            &mut mem,
+        );
+        assert_eq!(mem.sram_read(s, 0), Word(0), "write suppressed");
+        regs[0] = Word(1);
+        exec_instrs(
+            &[EwInstr::SramWrite {
+                region: s,
+                addr: Operand::imm(0u32),
+                val: Operand::imm(99u32),
+                pred: Some(Pred {
+                    reg: 0,
+                    expect: true,
+                }),
+            }],
+            &mut regs,
+            &mut mem,
+        );
+        assert_eq!(mem.sram_read(s, 0), Word(99));
+    }
+
+    #[test]
+    fn dec_fetch_returns_new_value() {
+        let mut mem = MemoryState::default();
+        let s = mem.add_sram("count", 1);
+        mem.sram_write(s, 0, Word(2));
+        let mut regs = vec![Word::ZERO; 1];
+        let dec = EwInstr::SramDecFetch {
+            region: s,
+            addr: Operand::imm(0u32),
+            dst: 0,
+            pred: None,
+        };
+        exec_instrs(std::slice::from_ref(&dec), &mut regs, &mut mem);
+        assert_eq!(regs[0], Word(1));
+        exec_instrs(std::slice::from_ref(&dec), &mut regs, &mut mem);
+        assert_eq!(regs[0], Word(0), "last thread sees zero and survives");
+    }
+
+    #[test]
+    fn max_reg_sizes() {
+        let i = EwInstr::Alu {
+            op: AluOp::Add,
+            a: Operand::Reg(3),
+            b: Operand::imm(1u32),
+            dst: 7,
+        };
+        assert_eq!(i.max_reg(), 8);
+        assert!(!i.is_memory());
+        assert!(EwInstr::DramReadW {
+            addr: Operand::Reg(0),
+            dst: 1,
+            pred: None
+        }
+        .is_memory());
+    }
+}

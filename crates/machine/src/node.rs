@@ -1,0 +1,232 @@
+//! The streaming-node abstraction and its I/O surface.
+//!
+//! Every §III-B primitive is a [`Node`]: a small state machine that, when
+//! stepped, consumes tokens from its input channels and produces tokens on
+//! its output channels. Nodes are written in *check-then-commit* style — they
+//! verify output room (and allocator availability) **before** consuming
+//! inputs — so the same implementations run correctly under the untimed
+//! executor (unbounded channels) and the cycle-level simulator (bounded
+//! channels and per-cycle port budgets).
+
+use crate::channel::Channel;
+use crate::mem::MemoryState;
+use crate::tuple::TTok;
+use core::fmt;
+
+/// Identifies a channel within a [`crate::Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ChanId(pub u32);
+
+/// Identifies a node within a [`crate::Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// An error raised by a node or the executor.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MachineError {
+    /// The node that raised the error, if known.
+    pub node: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl MachineError {
+    /// Creates an error with no node attribution (the executor fills it in).
+    pub fn new(message: impl Into<String>) -> Self {
+        MachineError {
+            node: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.node {
+            Some(n) => write!(f, "machine error at node '{}': {}", n, self.message),
+            None => write!(f, "machine error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Per-port token budgets used by the timed simulator to model link
+/// bandwidth (§III-C: a vector link moves ≤16 data elements and ≤1 barrier
+/// per cycle; a scalar link ≤1 and ≤1).
+#[derive(Clone, Copy, Debug)]
+pub struct PortBudget {
+    /// Remaining data tokens this step.
+    pub data: usize,
+    /// Remaining barrier tokens this step.
+    pub barrier: usize,
+}
+
+impl PortBudget {
+    /// An effectively unlimited budget (untimed execution).
+    pub const UNLIMITED: PortBudget = PortBudget {
+        data: usize::MAX,
+        barrier: usize::MAX,
+    };
+
+    fn take(&mut self, is_barrier: bool) {
+        if is_barrier {
+            self.barrier -= 1;
+        } else {
+            self.data -= 1;
+        }
+    }
+
+    fn allows(&self, is_barrier: bool) -> bool {
+        if is_barrier {
+            self.barrier > 0
+        } else {
+            self.data > 0
+        }
+    }
+}
+
+/// The I/O surface a node sees while stepping: its input/output channels
+/// (resolved through the graph's channel table), shared memory state, and
+/// per-port budgets.
+pub struct NodeIo<'a> {
+    chans: &'a mut [Channel],
+    ins: &'a [ChanId],
+    outs: &'a [ChanId],
+    mem: &'a mut MemoryState,
+    in_budget: &'a mut [PortBudget],
+    out_budget: &'a mut [PortBudget],
+    progressed: bool,
+}
+
+impl fmt::Debug for NodeIo<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeIo")
+            .field("ins", &self.ins)
+            .field("outs", &self.outs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> NodeIo<'a> {
+    /// Assembles an I/O view. Used by executors; nodes only consume it.
+    pub fn new(
+        chans: &'a mut [Channel],
+        ins: &'a [ChanId],
+        outs: &'a [ChanId],
+        mem: &'a mut MemoryState,
+        in_budget: &'a mut [PortBudget],
+        out_budget: &'a mut [PortBudget],
+    ) -> Self {
+        debug_assert_eq!(ins.len(), in_budget.len());
+        debug_assert_eq!(outs.len(), out_budget.len());
+        NodeIo {
+            chans,
+            ins,
+            outs,
+            mem,
+            in_budget,
+            out_budget,
+            progressed: false,
+        }
+    }
+
+    /// Number of input ports.
+    pub fn in_count(&self) -> usize {
+        self.ins.len()
+    }
+
+    /// Number of output ports.
+    pub fn out_count(&self) -> usize {
+        self.outs.len()
+    }
+
+    /// Peeks the front token of input `i`, or `None` if the channel is empty
+    /// or the port budget for that token kind is exhausted.
+    pub fn peek_in(&self, i: usize) -> Option<&TTok> {
+        let tok = self.chans[self.ins[i].0 as usize].front()?;
+        if self.in_budget[i].allows(tok.is_barrier()) {
+            Some(tok)
+        } else {
+            None
+        }
+    }
+
+    /// Pops the front token of input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`NodeIo::peek_in`] would return `None` (nodes must check
+    /// first — this is check-then-commit discipline, not input validation).
+    pub fn pop_in(&mut self, i: usize) -> TTok {
+        let tok = self.chans[self.ins[i].0 as usize]
+            .pop()
+            .expect("pop_in on empty channel");
+        self.in_budget[i].take(tok.is_barrier());
+        self.progressed = true;
+        tok
+    }
+
+    /// True if output `o` can accept a token of the given kind (room in the
+    /// channel and port budget remaining).
+    pub fn can_push(&self, o: usize, barrier: bool) -> bool {
+        self.chans[self.outs[o].0 as usize].room() > 0 && self.out_budget[o].allows(barrier)
+    }
+
+    /// Pushes a token on output `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`NodeIo::can_push`] is false for this token kind.
+    pub fn push(&mut self, o: usize, tok: TTok) {
+        assert!(
+            self.can_push(o, tok.is_barrier()),
+            "push without can_push check on output {o}"
+        );
+        self.out_budget[o].take(tok.is_barrier());
+        self.chans[self.outs[o].0 as usize].push(tok);
+        self.progressed = true;
+    }
+
+    /// The shared memory state (DRAM, SRAM regions, allocator queues).
+    pub fn mem(&mut self) -> &mut MemoryState {
+        self.mem
+    }
+
+    /// Read-only memory access (stall checks).
+    pub fn mem_ref(&self) -> &MemoryState {
+        self.mem
+    }
+
+    /// Whether any pop/push happened through this view.
+    pub fn progressed(&self) -> bool {
+        self.progressed
+    }
+
+    /// Tuple arity of input port `i` (from its channel).
+    pub fn in_arity(&self, i: usize) -> usize {
+        self.chans[self.ins[i].0 as usize].arity
+    }
+}
+
+/// A streaming primitive (§III-B). Implementations must:
+///
+/// 1. pass every incoming barrier through exactly once, in order, and
+/// 2. never reorder data across barriers (reordering between barriers is
+///    allowed),
+///
+/// the two SLTF composability conditions.
+pub trait Node: fmt::Debug + Send {
+    /// Advances the node as far as budgets, inputs, and output room allow.
+    /// Returns `Ok(true)` iff any token moved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] on protocol violations (structure-mismatched
+    /// zip inputs, barrier overflow past Ω15, data on a barrier-free link…),
+    /// which indicate compiler bugs rather than recoverable conditions.
+    fn step(&mut self, io: &mut NodeIo<'_>) -> Result<bool, MachineError>;
+
+    /// A short static kind name ("ew", "fwd-merge", …) for reports.
+    fn kind(&self) -> &'static str;
+}

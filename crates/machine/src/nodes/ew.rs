@@ -1,0 +1,402 @@
+//! The element-wise (pipeline) node.
+//!
+//! An [`EwNode`] models the body of a compute-unit pipeline: it consumes one
+//! thread from each input port in lockstep (the pipeline head "wait[s] for
+//! all inputs to be available for element-wise operations", §III-C), runs a
+//! straight-line instruction sequence over the thread's registers, and emits
+//! selected registers on each output port. Outputs may be *predicated*
+//! (filter tails, §III-B c) and may *strip barriers* (broadcast parent links
+//! carry data only).
+
+use crate::instr::{exec_instrs, EwInstr, Reg};
+use crate::node::{MachineError, Node, NodeIo};
+use revet_sltf::{BarrierLevel, Tok, Word};
+
+/// Where one output port gets its tuple and when it fires.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OutputSpec {
+    /// Registers forming the output tuple (in order).
+    pub slots: Vec<Reg>,
+    /// Send data only when register `.0` has truthiness `.1` (filter output).
+    pub pred: Option<(Reg, bool)>,
+    /// Do not forward barriers on this port (broadcast parent links).
+    pub strip_barriers: bool,
+}
+
+impl OutputSpec {
+    /// An unconditional output of the given registers.
+    pub fn plain(slots: impl Into<Vec<Reg>>) -> Self {
+        OutputSpec {
+            slots: slots.into(),
+            pred: None,
+            strip_barriers: false,
+        }
+    }
+
+    /// A filtered output: fires when `reg`'s truthiness equals `expect`.
+    pub fn filtered(slots: impl Into<Vec<Reg>>, reg: Reg, expect: bool) -> Self {
+        OutputSpec {
+            slots: slots.into(),
+            pred: Some((reg, expect)),
+            strip_barriers: false,
+        }
+    }
+
+    /// An unconditional, barrier-stripping output (broadcast parent feed).
+    pub fn stripped(slots: impl Into<Vec<Reg>>) -> Self {
+        OutputSpec {
+            slots: slots.into(),
+            pred: None,
+            strip_barriers: true,
+        }
+    }
+}
+
+/// An element-wise pipeline node. See module docs.
+#[derive(Clone, Debug)]
+pub struct EwNode {
+    /// Straight-line per-thread program.
+    pub instrs: Vec<EwInstr>,
+    /// One spec per output port.
+    pub outputs: Vec<OutputSpec>,
+    reg_count: u16,
+}
+
+impl EwNode {
+    /// Builds a node; the register file is sized from the instructions,
+    /// output slots, and `min_regs` (which must cover the concatenated input
+    /// arity, since inputs load into registers `0..arity_sum`).
+    pub fn new(min_regs: u16, instrs: Vec<EwInstr>, outputs: Vec<OutputSpec>) -> Self {
+        let mut reg_count = min_regs;
+        for i in &instrs {
+            reg_count = reg_count.max(i.max_reg());
+        }
+        for o in &outputs {
+            for &s in &o.slots {
+                reg_count = reg_count.max(s + 1);
+            }
+            if let Some((p, _)) = o.pred {
+                reg_count = reg_count.max(p + 1);
+            }
+        }
+        EwNode {
+            instrs,
+            outputs,
+            reg_count,
+        }
+    }
+
+    /// An identity node: forwards its (concatenated) inputs unchanged.
+    pub fn passthrough(arity: u16) -> Self {
+        EwNode::new(
+            arity,
+            Vec::new(),
+            vec![OutputSpec::plain((0..arity).collect::<Vec<_>>())],
+        )
+    }
+
+    /// The register-file size (resource accounting: §VI-A maps registers to
+    /// the 6 vec/scal regs per lane per stage budget).
+    pub fn reg_count(&self) -> u16 {
+        self.reg_count
+    }
+
+    fn allocs_ready(&self, io: &NodeIo<'_>) -> bool {
+        // Conservative stall check: every AllocPop needs one available
+        // pointer before we commit to consuming the input thread.
+        let mut need: Vec<(crate::mem::AllocId, usize)> = Vec::new();
+        for ins in &self.instrs {
+            if let Some(id) = ins.alloc_pop_id() {
+                match need.iter_mut().find(|(n, _)| *n == id) {
+                    Some((_, c)) => *c += 1,
+                    None => need.push((id, 1)),
+                }
+            }
+        }
+        need.iter()
+            .all(|(id, c)| io.mem_ref().alloc_available(*id) >= *c)
+    }
+}
+
+impl Node for EwNode {
+    fn step(&mut self, io: &mut NodeIo<'_>) -> Result<bool, MachineError> {
+        let n_in = io.in_count();
+        assert!(n_in >= 1, "EwNode requires at least one input");
+        let mut progressed = false;
+        'outer: loop {
+            // Classify all input fronts.
+            let mut min_bar: Option<BarrierLevel> = None;
+            let mut all_data = true;
+            let mut any_barrier = false;
+            for i in 0..n_in {
+                match io.peek_in(i) {
+                    None => break 'outer,
+                    Some(Tok::Data(_)) => {}
+                    Some(Tok::Barrier(l)) => {
+                        all_data = false;
+                        any_barrier = true;
+                        min_bar = Some(min_bar.map_or(*l, |m: BarrierLevel| m.min(*l)));
+                    }
+                }
+            }
+            if all_data {
+                if !self.allocs_ready(io) {
+                    break;
+                }
+                if !(0..self.outputs.len()).all(|o| io.can_push(o, false)) {
+                    break;
+                }
+                // Commit: pop every input, concatenate into registers.
+                let mut regs = vec![Word::ZERO; self.reg_count as usize];
+                let mut cursor = 0usize;
+                for i in 0..n_in {
+                    match io.pop_in(i) {
+                        Tok::Data(vals) => {
+                            for v in vals {
+                                regs[cursor] = v;
+                                cursor += 1;
+                            }
+                        }
+                        Tok::Barrier(_) => unreachable!("front changed between peek and pop"),
+                    }
+                }
+                exec_instrs(&self.instrs, &mut regs, io.mem());
+                for (o, spec) in self.outputs.iter().enumerate() {
+                    let fire = spec
+                        .pred
+                        .map_or(true, |(r, expect)| regs[r as usize].as_bool() == expect);
+                    if fire {
+                        let tuple: Vec<Word> =
+                            spec.slots.iter().map(|&s| regs[s as usize]).collect();
+                        io.push(o, Tok::Data(tuple));
+                    }
+                }
+                progressed = true;
+            } else if any_barrier {
+                // Mixed data/barrier fronts are a structure mismatch unless
+                // the data fronts belong to ports whose barrier is *implied*…
+                // which cannot happen for zip-aligned inputs, so data+barrier
+                // is a hard error.
+                for i in 0..n_in {
+                    if io.peek_in(i).is_some_and(|t| t.is_data()) {
+                        return Err(MachineError::new(format!(
+                            "zip structure mismatch: input {i} has data while another input \
+                             has a barrier"
+                        )));
+                    }
+                }
+                let level = min_bar.expect("at least one barrier front");
+                // Forward one barrier to every non-stripped output.
+                let need: Vec<usize> = self
+                    .outputs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.strip_barriers)
+                    .map(|(o, _)| o)
+                    .collect();
+                if !need.iter().all(|&o| io.can_push(o, true)) {
+                    break;
+                }
+                for i in 0..n_in {
+                    if io.peek_in(i).and_then(|t| t.barrier_level()) == Some(level) {
+                        io.pop_in(i);
+                    }
+                }
+                for &o in &need {
+                    io.push(o, Tok::Barrier(level));
+                }
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+        Ok(progressed)
+    }
+
+    fn kind(&self) -> &'static str {
+        "ew"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Channel;
+    use crate::instr::{AluOp, Operand};
+    use crate::mem::MemoryState;
+    use crate::node::{ChanId, PortBudget};
+    use crate::tuple::{tbar, tdata, TTok};
+
+    /// Runs a node over two input channels and returns output tokens.
+    fn run2(node: &mut dyn Node, in0: Vec<TTok>, in1: Vec<TTok>, arities: [usize; 3]) -> Vec<TTok> {
+        let mut chans = vec![
+            Channel::new(arities[0]),
+            Channel::new(arities[1]),
+            Channel::new(arities[2]),
+        ];
+        for t in in0 {
+            chans[0].push(t);
+        }
+        for t in in1 {
+            chans[1].push(t);
+        }
+        let ins = [ChanId(0), ChanId(1)];
+        let outs = [ChanId(2)];
+        let mut mem = MemoryState::default();
+        let mut ib = vec![PortBudget::UNLIMITED; 2];
+        let mut ob = vec![PortBudget::UNLIMITED; 1];
+        let mut io = NodeIo::new(&mut chans, &ins, &outs, &mut mem, &mut ib, &mut ob);
+        node.step(&mut io).unwrap();
+        chans[2].drain_all()
+    }
+
+    fn run1(node: &mut dyn Node, input: Vec<TTok>, in_ar: usize, out_ars: &[usize]) -> Vec<Vec<TTok>> {
+        let mut chans = vec![Channel::new(in_ar)];
+        for &a in out_ars {
+            chans.push(Channel::new(a));
+        }
+        for t in input {
+            chans[0].push(t);
+        }
+        let ins = [ChanId(0)];
+        let outs: Vec<ChanId> = (1..=out_ars.len() as u32).map(ChanId).collect();
+        let mut mem = MemoryState::default();
+        let mut ib = vec![PortBudget::UNLIMITED; 1];
+        let mut ob = vec![PortBudget::UNLIMITED; out_ars.len()];
+        let mut io = NodeIo::new(&mut chans, &ins, &outs, &mut mem, &mut ib, &mut ob);
+        node.step(&mut io).unwrap();
+        (1..=out_ars.len()).map(|i| chans[i].drain_all()).collect()
+    }
+
+    #[test]
+    fn add_one() {
+        let mut n = EwNode::new(
+            1,
+            vec![EwInstr::Alu {
+                op: AluOp::Add,
+                a: Operand::Reg(0),
+                b: Operand::imm(1u32),
+                dst: 1,
+            }],
+            vec![OutputSpec::plain([1])],
+        );
+        let out = run1(&mut n, vec![tdata([5u32]), tbar(1)], 1, &[1]);
+        assert_eq!(out[0], vec![tdata([6u32]), tbar(1)]);
+    }
+
+    #[test]
+    fn zip_concatenates_inputs() {
+        let mut n = EwNode::passthrough(2);
+        let out = run2(
+            &mut n,
+            vec![tdata([1u32]), tbar(1)],
+            vec![tdata([10u32]), tbar(1)],
+            [1, 1, 2],
+        );
+        assert_eq!(out, vec![tdata([1u32, 10u32]), tbar(1)]);
+    }
+
+    #[test]
+    fn zip_realigns_implied_barriers() {
+        // Input A: x Ω2 (Ω1 implied); input B: x Ω1 Ω2 explicit.
+        let mut n = EwNode::passthrough(2);
+        let mut chans = vec![
+            Channel::new(1).without_canonicalization(),
+            Channel::new(1).without_canonicalization(),
+            Channel::new(2).without_canonicalization(),
+        ];
+        chans[0].push(tdata([1u32]));
+        chans[0].push(tbar(2)); // canonical side
+        chans[1].push(tdata([2u32]));
+        chans[1].push(tbar(1));
+        chans[1].push(tbar(2)); // explicit side
+        let ins = [ChanId(0), ChanId(1)];
+        let outs = [ChanId(2)];
+        let mut mem = MemoryState::default();
+        let mut ib = vec![PortBudget::UNLIMITED; 2];
+        let mut ob = vec![PortBudget::UNLIMITED; 1];
+        let mut io = NodeIo::new(&mut chans, &ins, &outs, &mut mem, &mut ib, &mut ob);
+        n.step(&mut io).unwrap();
+        assert_eq!(
+            chans[2].drain_all(),
+            vec![tdata([1u32, 2u32]), tbar(1), tbar(2)]
+        );
+    }
+
+    #[test]
+    fn zip_mismatch_is_error() {
+        let mut n = EwNode::passthrough(2);
+        let mut chans = vec![Channel::new(1), Channel::new(1), Channel::new(2)];
+        chans[0].push(tdata([1u32]));
+        chans[1].push(tbar(1));
+        let ins = [ChanId(0), ChanId(1)];
+        let outs = [ChanId(2)];
+        let mut mem = MemoryState::default();
+        let mut ib = vec![PortBudget::UNLIMITED; 2];
+        let mut ob = vec![PortBudget::UNLIMITED; 1];
+        let mut io = NodeIo::new(&mut chans, &ins, &outs, &mut mem, &mut ib, &mut ob);
+        assert!(n.step(&mut io).is_err());
+    }
+
+    #[test]
+    fn filtered_outputs_partition() {
+        // pred = reg0 < 3 → out0; else out1. Barriers go to both.
+        let mut n = EwNode::new(
+            1,
+            vec![EwInstr::Alu {
+                op: AluOp::LtU,
+                a: Operand::Reg(0),
+                b: Operand::imm(3u32),
+                dst: 1,
+            }],
+            vec![
+                OutputSpec::filtered([0], 1, true),
+                OutputSpec::filtered([0], 1, false),
+            ],
+        );
+        let input = vec![tdata([1u32]), tdata([5u32]), tdata([2u32]), tbar(1)];
+        let outs = run1(&mut n, input, 1, &[1, 1]);
+        assert_eq!(outs[0], vec![tdata([1u32]), tdata([2u32]), tbar(1)]);
+        assert_eq!(outs[1], vec![tdata([5u32]), tbar(1)]);
+    }
+
+    #[test]
+    fn stripped_output_drops_barriers() {
+        let mut n = EwNode::new(
+            1,
+            Vec::new(),
+            vec![OutputSpec::plain([0]), OutputSpec::stripped([0])],
+        );
+        let input = vec![tdata([1u32]), tbar(1), tbar(2)];
+        let outs = run1(&mut n, input, 1, &[1, 1]);
+        assert_eq!(outs[0], vec![tdata([1u32]), tbar(2)]); // canonicalized
+        assert_eq!(outs[1], vec![tdata([1u32])]);
+    }
+
+    #[test]
+    fn void_tuples_flow() {
+        // Arity-0 tuples (void tokens) are legal thread payloads.
+        let mut n = EwNode::passthrough(0);
+        let out = run1(&mut n, vec![tdata::<[u32; 0], u32>([]), tbar(1)], 0, &[0]);
+        assert_eq!(out[0], vec![tdata::<[u32; 0], u32>([]), tbar(1)]);
+    }
+
+    #[test]
+    fn alloc_stall_blocks_without_consuming() {
+        let mut mem = MemoryState::default();
+        let a = mem.add_alloc("bufs", 0); // empty: always stalls
+        let mut n = EwNode::new(1, vec![EwInstr::AllocPop { alloc: a, dst: 1 }], vec![
+            OutputSpec::plain([1]),
+        ]);
+        let mut chans = vec![Channel::new(1), Channel::new(1)];
+        chans[0].push(tdata([1u32]));
+        let ins = [ChanId(0)];
+        let outs = [ChanId(1)];
+        let mut ib = vec![PortBudget::UNLIMITED; 1];
+        let mut ob = vec![PortBudget::UNLIMITED; 1];
+        let mut io = NodeIo::new(&mut chans, &ins, &outs, &mut mem, &mut ib, &mut ob);
+        let progressed = n.step(&mut io).unwrap();
+        assert!(!progressed);
+        assert_eq!(chans[0].len(), 1, "input not consumed while stalled");
+    }
+}

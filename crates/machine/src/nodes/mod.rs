@@ -1,0 +1,13 @@
+//! The §III-B streaming primitives.
+
+mod contract;
+mod endpoints;
+mod ew;
+mod expand;
+mod merge;
+
+pub use contract::{FlattenNode, ReduceNode};
+pub use endpoints::{SinkHandle, SinkNode, SourceNode};
+pub use ew::{EwNode, OutputSpec};
+pub use expand::{BroadcastNode, CounterNode, ForkNode};
+pub use merge::{FbMergeNode, FwdMergeNode};

@@ -1,0 +1,292 @@
+//! Modules, functions, and the building API.
+
+use crate::ops::{Op, OpKind, Region, Value};
+use crate::types::{DramDecl, DramRef, Ty};
+
+/// An on-chip SRAM region declaration (instantiated in a
+/// [`revet_machine::MemoryState`] in declaration order, so that
+/// [`revet_machine::SramId`] indices line up).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SramDecl {
+    /// Region name.
+    pub name: String,
+    /// Size in 32-bit words.
+    pub words: u32,
+}
+
+/// An allocator-queue declaration (§V-B a).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AllocDecl {
+    /// Queue name.
+    pub name: String,
+    /// Initial pointer count (`0..max`).
+    pub max: u32,
+}
+
+/// A compilation unit: functions plus module-level memory declarations.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Module {
+    /// Functions; `main` is the entry point.
+    pub funcs: Vec<Func>,
+    /// DRAM symbols.
+    pub drams: Vec<DramDecl>,
+    /// SRAM regions (created by lowering passes).
+    pub srams: Vec<SramDecl>,
+    /// Allocator queues (created by lowering passes).
+    pub allocs: Vec<AllocDecl>,
+}
+
+impl Module {
+    /// Finds a function by name.
+    pub fn func(&self, name: &str) -> Option<&Func> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Finds a function by name, mutably.
+    pub fn func_mut(&mut self, name: &str) -> Option<&mut Func> {
+        self.funcs.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Declares a DRAM symbol; returns its reference.
+    pub fn add_dram(&mut self, name: impl Into<String>, elem_bytes: u32) -> DramRef {
+        assert!(matches!(elem_bytes, 1 | 2 | 4), "element width 1/2/4 bytes");
+        let r = DramRef(self.drams.len() as u32);
+        self.drams.push(DramDecl {
+            name: name.into(),
+            elem_bytes,
+        });
+        r
+    }
+
+    /// Declares an SRAM region; returns its id.
+    pub fn add_sram(&mut self, name: impl Into<String>, words: u32) -> revet_machine::SramId {
+        let id = revet_machine::SramId(self.srams.len() as u32);
+        self.srams.push(SramDecl {
+            name: name.into(),
+            words,
+        });
+        id
+    }
+
+    /// Declares an allocator queue; returns its id.
+    pub fn add_alloc(&mut self, name: impl Into<String>, max: u32) -> revet_machine::AllocId {
+        let id = revet_machine::AllocId(self.allocs.len() as u32);
+        self.allocs.push(AllocDecl {
+            name: name.into(),
+            max,
+        });
+        id
+    }
+
+    /// Instantiates this module's SRAM regions and allocator queues into a
+    /// fresh memory state with the given DRAM size.
+    pub fn build_memory(&self, dram_bytes: usize) -> revet_machine::MemoryState {
+        let mut mem = revet_machine::MemoryState::with_dram_size(dram_bytes);
+        for s in &self.srams {
+            mem.add_sram(s.name.clone(), s.words as usize);
+        }
+        for a in &self.allocs {
+            mem.add_alloc(a.name.clone(), a.max);
+        }
+        mem
+    }
+}
+
+/// A function: parameters, result types, a body region, and the value table.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Func {
+    /// Function name.
+    pub name: String,
+    /// Parameter values (typed in the value table).
+    pub params: Vec<Value>,
+    /// Result types.
+    pub results: Vec<Ty>,
+    /// Body (terminated by `Return`).
+    pub body: Region,
+    vals: Vec<Ty>,
+}
+
+impl Func {
+    /// Creates an empty function with the given parameter types.
+    pub fn new(name: impl Into<String>, param_tys: &[Ty], results: Vec<Ty>) -> Self {
+        let mut f = Func {
+            name: name.into(),
+            params: Vec::new(),
+            results,
+            body: Region::default(),
+            vals: Vec::new(),
+        };
+        for &ty in param_tys {
+            let v = f.new_value(ty);
+            f.params.push(v);
+        }
+        f
+    }
+
+    /// Allocates a new SSA value of type `ty`.
+    pub fn new_value(&mut self, ty: Ty) -> Value {
+        let v = Value(self.vals.len() as u32);
+        self.vals.push(ty);
+        v
+    }
+
+    /// The type of a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from another function.
+    pub fn ty(&self, v: Value) -> Ty {
+        self.vals[v.0 as usize]
+    }
+
+    /// Number of values in the table.
+    pub fn value_count(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Walks every op in the function (pre-order, regions inside-out last).
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a Op)) {
+        fn go<'a>(r: &'a Region, f: &mut dyn FnMut(&'a Op)) {
+            for op in &r.ops {
+                f(op);
+                for sub in op.kind.regions() {
+                    go(sub, f);
+                }
+            }
+        }
+        go(&self.body, f);
+    }
+
+    /// Counts ops satisfying a predicate anywhere in the function.
+    pub fn count_ops(&self, pred: impl Fn(&OpKind) -> bool) -> usize {
+        let mut n = 0;
+        self.walk(&mut |op| {
+            if pred(&op.kind) {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+/// A cursor-style builder appending ops to one region.
+///
+/// Typical use: make a builder for the function body, emit ops, then split
+/// off nested regions with fresh builders.
+#[derive(Debug)]
+pub struct RegionBuilder {
+    ops: Vec<Op>,
+    args: Vec<Value>,
+}
+
+impl Default for RegionBuilder {
+    fn default() -> Self {
+        RegionBuilder::new()
+    }
+}
+
+impl RegionBuilder {
+    /// An empty builder with no region arguments.
+    pub fn new() -> Self {
+        RegionBuilder {
+            ops: Vec::new(),
+            args: Vec::new(),
+        }
+    }
+
+    /// A builder whose region binds the given arguments.
+    pub fn with_args(args: Vec<Value>) -> Self {
+        RegionBuilder {
+            ops: Vec::new(),
+            args,
+        }
+    }
+
+    /// Appends an op with results allocated by the caller.
+    pub fn push(&mut self, kind: OpKind, results: Vec<Value>) {
+        self.ops.push(Op { kind, results });
+    }
+
+    /// Appends an op with a single result allocated from `func`.
+    pub fn emit(&mut self, func: &mut Func, kind: OpKind, ty: Ty) -> Value {
+        let v = func.new_value(ty);
+        self.push(kind, vec![v]);
+        v
+    }
+
+    /// Appends a result-less op.
+    pub fn emit0(&mut self, kind: OpKind) {
+        self.push(kind, vec![]);
+    }
+
+    /// Emits an `i32` constant.
+    pub fn const_i32(&mut self, func: &mut Func, v: i64) -> Value {
+        self.emit(func, OpKind::ConstI(v, Ty::I32), Ty::I32)
+    }
+
+    /// Emits a binary ALU op.
+    pub fn bin(
+        &mut self,
+        func: &mut Func,
+        op: crate::ops::AluOp,
+        a: Value,
+        b: Value,
+    ) -> Value {
+        self.emit(func, OpKind::Bin(op, a, b), Ty::I32)
+    }
+
+    /// The kind of the last op appended, if any (used to detect regions that
+    /// already ended in a terminator).
+    pub fn last_kind(&self) -> Option<&OpKind> {
+        self.ops.last().map(|o| &o.kind)
+    }
+
+    /// Finishes the region.
+    pub fn build(self) -> Region {
+        Region {
+            args: self.args,
+            ops: self.ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::AluOp;
+
+    #[test]
+    fn build_simple_func() {
+        let mut f = Func::new("add1", &[Ty::I32], vec![Ty::I32]);
+        let p = f.params[0];
+        let mut b = RegionBuilder::new();
+        let one = b.const_i32(&mut f, 1);
+        let sum = b.bin(&mut f, AluOp::Add, p, one);
+        b.emit0(OpKind::Return(vec![sum]));
+        f.body = b.build();
+        assert_eq!(f.value_count(), 3);
+        assert_eq!(f.ty(sum), Ty::I32);
+        assert_eq!(f.count_ops(|k| matches!(k, OpKind::Bin(..))), 1);
+    }
+
+    #[test]
+    fn module_decls() {
+        let mut m = Module::default();
+        let d = m.add_dram("input", 1);
+        let s = m.add_sram("buf", 64);
+        let a = m.add_alloc("ptrs", 16);
+        assert_eq!(d.0, 0);
+        assert_eq!(s.0, 0);
+        assert_eq!(a.0, 0);
+        let mem = m.build_memory(128);
+        assert_eq!(mem.dram.len(), 128);
+        assert_eq!(mem.sram_count(), 1);
+        assert_eq!(mem.alloc_available(a), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "element width")]
+    fn bad_dram_width() {
+        Module::default().add_dram("x", 3);
+    }
+}

@@ -1,0 +1,55 @@
+//! # revet-mir — the Revet compiler's SSA intermediate representation
+//!
+//! An MLIR-inspired IR (§V of the paper, Fig. 8): SSA values, ops with
+//! nested regions, a structured-control-flow dialect (`if`/`while`/
+//! `foreach`/`replicate`/`fork`), physical memory ops (SRAM/DRAM/allocator
+//! queues), and a high-level Revet dialect (views & iterators, Table I) that
+//! front-end lowering removes.
+//!
+//! The crate also provides:
+//!
+//! - [`verify`]: a structural verifier run between passes,
+//! - [`print_module`]/[`print_func`]: a textual form for debugging,
+//! - [`Interp`]: a **reference interpreter** defining sequential semantics —
+//!   the oracle against which every lowering pass and the final dataflow
+//!   execution are differentially tested.
+//!
+//! ## Example
+//!
+//! ```
+//! use revet_mir::{Func, Module, RegionBuilder, OpKind, AluOp, Ty};
+//! use revet_mir::{DramLayout, Interp};
+//! use revet_sltf::Word;
+//!
+//! let mut m = Module::default();
+//! let mut f = Func::new("main", &[Ty::I32], vec![Ty::I32]);
+//! let p = f.params[0];
+//! let mut b = RegionBuilder::new();
+//! let one = b.const_i32(&mut f, 1);
+//! let s = b.bin(&mut f, AluOp::Add, p, one);
+//! b.emit0(OpKind::Return(vec![s]));
+//! f.body = b.build();
+//! m.funcs.push(f);
+//! revet_mir::verify_module(&m).unwrap();
+//!
+//! let layout = DramLayout::default();
+//! let mut mem = m.build_memory(64);
+//! let out = Interp::new(&m, &layout, &mut mem).run("main", &[Word(41)]).unwrap();
+//! assert_eq!(out, vec![Word(42)]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod func;
+mod interp;
+mod ops;
+mod print;
+mod types;
+mod verify;
+
+pub use func::{AllocDecl, Func, Module, RegionBuilder, SramDecl};
+pub use interp::{Interp, InterpError};
+pub use ops::{AluOp, ForeachFlags, ItKind, Op, OpKind, Region, Value, ViewKind};
+pub use print::{print_func, print_module};
+pub use types::{DramDecl, DramLayout, DramRef, Ty};
+pub use verify::{verify_func, verify_module, VerifyError};

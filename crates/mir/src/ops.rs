@@ -1,0 +1,611 @@
+//! MIR operations: arithmetic, physical memory, structured control flow
+//! (SCF), and the high-level Revet dialect (views & iterators).
+//!
+//! The op set mirrors the compiler pipeline of Fig. 8: the front end emits a
+//! mixture of SCF and *high-level Revet* ops; high-level lowering rewrites
+//! views/iterators into physical SRAM/DRAM accesses; optimization passes
+//! rewrite SCF in place; and the CFG conversion consumes only physical ops.
+
+use crate::types::{DramRef, Ty};
+pub use revet_machine::instr::AluOp;
+use revet_machine::{AllocId, SramId};
+
+/// An SSA value id, scoped to one function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Value(pub u32);
+
+/// A region: block arguments plus an op list. Regions may reference values
+/// defined in enclosing regions (they are not isolated from above).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Region {
+    /// Values bound on entry (loop variables, indices, …).
+    pub args: Vec<Value>,
+    /// Ops in program order; the last op must be a terminator where the
+    /// containing construct requires one.
+    pub ops: Vec<Op>,
+}
+
+impl Region {
+    /// A region with the given arguments and ops.
+    pub fn new(args: Vec<Value>, ops: Vec<Op>) -> Self {
+        Region { args, ops }
+    }
+}
+
+/// Kinds of memory views (Table I): small auto-fetched/stored tiles.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ViewKind {
+    /// `ReadView<size>(dram, base)` — auto-fetched, read-only.
+    Read,
+    /// `WriteView<size>(dram, base)` — auto-stored on flush.
+    Write,
+    /// `ModifyView<size>(dram, base)` — fetched and stored.
+    Modify,
+    /// Raw `SRAM<size>` scratchpad (array-decay capable).
+    Sram,
+}
+
+/// Kinds of iterators (Table I): linear DRAM access with small-tile staging.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ItKind {
+    /// `ReadIt<tile>(dram, seek)` — linear read.
+    Read,
+    /// `PeekReadIt<tile>(dram, seek)` — linear read with look-ahead.
+    PeekRead,
+    /// `WriteIt<tile>(dram, seek)` — linear write (flushed automatically).
+    Write,
+    /// `ManualWriteIt<tile>(dram, seek)` — linear write with caller-driven
+    /// last-iteration flush elision (§V-A a).
+    ManualWrite,
+}
+
+/// An operation: kind plus result values.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Op {
+    /// What the op does.
+    pub kind: OpKind,
+    /// SSA results (types in the function's value table).
+    pub results: Vec<Value>,
+}
+
+/// Foreach attributes (pragmas).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ForeachFlags {
+    /// `pragma(eliminate_hierarchy)`: rewrite to a fork + shared counter
+    /// (Fig. 9) so stragglers of consecutive parents interleave.
+    pub eliminate_hierarchy: bool,
+}
+
+/// The operation kinds.
+#[derive(Clone, PartialEq, Debug)]
+pub enum OpKind {
+    // ---- arithmetic ----
+    /// An integer constant of the given type.
+    ConstI(i64, Ty),
+    /// Binary ALU op (includes comparisons; results are 0/1 i32).
+    Bin(AluOp, Value, Value),
+    /// `cond ? t : f`.
+    Select(Value, Value, Value),
+    /// Width cast (truncate / zero-extend / sign-extend).
+    Cast {
+        /// Input value.
+        v: Value,
+        /// Target type.
+        to: Ty,
+        /// Sign-extend when widening.
+        signed: bool,
+    },
+
+    // ---- physical memory (post high-level lowering) ----
+    /// `result = sram[addr]` (word granularity).
+    SramRead {
+        /// Region.
+        sram: SramId,
+        /// Word address.
+        addr: Value,
+    },
+    /// `sram[addr] = val`.
+    SramWrite {
+        /// Region.
+        sram: SramId,
+        /// Word address.
+        addr: Value,
+        /// Stored value.
+        val: Value,
+    },
+    /// Atomic decrement-and-fetch (returns the new value).
+    SramDecFetch {
+        /// Region.
+        sram: SramId,
+        /// Word address.
+        addr: Value,
+    },
+    /// DRAM element read from a symbol: `result = dram[idx]` with the
+    /// symbol's element width (byte-addressed underneath).
+    DramRead {
+        /// Symbol.
+        dram: DramRef,
+        /// Element index.
+        idx: Value,
+    },
+    /// DRAM element write.
+    DramWrite {
+        /// Symbol.
+        dram: DramRef,
+        /// Element index.
+        idx: Value,
+        /// Stored value.
+        val: Value,
+    },
+    /// Pops a buffer pointer from an allocator queue (blocking).
+    AllocPop {
+        /// Queue.
+        alloc: AllocId,
+    },
+    /// Returns a buffer pointer to an allocator queue.
+    AllocPush {
+        /// Queue.
+        alloc: AllocId,
+        /// Pointer to free.
+        ptr: Value,
+    },
+    /// Bulk DRAM→SRAM transfer (`len` elements from `dram[dram_base..]` into
+    /// `sram[sram_base..]`); lowered to a `foreach` of element reads (§V-A).
+    BulkLoad {
+        /// Source symbol.
+        dram: DramRef,
+        /// First element index.
+        dram_base: Value,
+        /// Destination region.
+        sram: SramId,
+        /// Destination word offset.
+        sram_base: Value,
+        /// Element count.
+        len: Value,
+    },
+    /// Bulk SRAM→DRAM transfer.
+    BulkStore {
+        /// Destination symbol.
+        dram: DramRef,
+        /// First element index.
+        dram_base: Value,
+        /// Source region.
+        sram: SramId,
+        /// Source word offset.
+        sram_base: Value,
+        /// Element count.
+        len: Value,
+    },
+
+    // ---- structured control flow ----
+    /// `if cond { then } else { else_ }`; both regions end in `Yield` with
+    /// matching arities; results carry the yielded values.
+    If {
+        /// Condition (non-zero = then).
+        cond: Value,
+        /// Taken region.
+        then: Region,
+        /// Fallback region (may be empty-yield).
+        else_: Region,
+    },
+    /// MLIR-style while: `before` evaluates the condition from the carried
+    /// values (terminator [`OpKind::Condition`]); `after` is the loop body
+    /// (terminator [`OpKind::Yield`] with the next carried values). Results
+    /// are the condition's forwarded values at exit.
+    While {
+        /// Initial carried values.
+        inits: Vec<Value>,
+        /// Condition region (args = carried values).
+        before: Region,
+        /// Body region (args = forwarded values).
+        after: Region,
+    },
+    /// Explicitly parallel `foreach (lo..hi by step)`; body args = [index];
+    /// body terminator yields reduction operands.
+    Foreach {
+        /// Lower bound.
+        lo: Value,
+        /// Exclusive upper bound.
+        hi: Value,
+        /// Step.
+        step: Value,
+        /// Per-thread body.
+        body: Region,
+        /// Associative reduction ops applied to yielded values (one per
+        /// result).
+        reduce: Vec<AluOp>,
+        /// Pragmas.
+        flags: ForeachFlags,
+    },
+    /// `replicate (ways) { … }`: semantically identity over threads;
+    /// physically duplicated into `ways` parallel regions (§IV-A, §V-C d).
+    Replicate {
+        /// Physical duplication factor.
+        ways: u32,
+        /// Body (terminator yields passthrough values).
+        body: Region,
+    },
+    /// `fork (count) { i => … }`: spawns `count` hierarchy-less threads; at
+    /// most one may reach the body's `Yield` (the continuation thread);
+    /// others must `Exit` (§IV-A a, Fig. 9).
+    Fork {
+        /// Spawn count.
+        count: Value,
+        /// Per-spawn body, arg = spawn index.
+        body: Region,
+    },
+    /// Terminates the current thread without yielding (§IV-A a).
+    Exit,
+    /// Region terminator: yields values to the enclosing construct.
+    Yield(Vec<Value>),
+    /// `before`-region terminator of [`OpKind::While`].
+    Condition {
+        /// Keep looping while non-zero.
+        cond: Value,
+        /// Values forwarded to the body (and out of the loop on exit).
+        fwd: Vec<Value>,
+    },
+    /// Function terminator.
+    Return(Vec<Value>),
+    /// Runs `inner` only when `pred`'s truthiness equals `expect`; otherwise
+    /// results are zero and side effects are suppressed. Produced by
+    /// if-to-select conversion for memory operations (§V-B c).
+    Predicated {
+        /// The predicate value.
+        pred: Value,
+        /// Required truthiness.
+        expect: bool,
+        /// The guarded operation (must be region-free).
+        inner: Box<OpKind>,
+    },
+
+    // ---- high-level Revet dialect (front-end only) ----
+    /// Creates a view (Table I); result is a handle.
+    ViewNew {
+        /// Access pattern.
+        kind: ViewKind,
+        /// Backing symbol (None for raw SRAM).
+        dram: Option<DramRef>,
+        /// Base element index (tile `base*size`; None for raw SRAM).
+        base: Option<Value>,
+        /// Tile size in elements.
+        size: u32,
+    },
+    /// `view[idx]` read.
+    ViewRead {
+        /// The view handle.
+        view: Value,
+        /// Element index within the tile.
+        idx: Value,
+    },
+    /// `view[idx] = val` write.
+    ViewWrite {
+        /// The view handle.
+        view: Value,
+        /// Element index within the tile.
+        idx: Value,
+        /// Stored value.
+        val: Value,
+    },
+    /// Creates an iterator (Table I); result is a handle.
+    ItNew {
+        /// Access pattern.
+        kind: ItKind,
+        /// Backing symbol.
+        dram: DramRef,
+        /// Starting element index.
+        seek: Value,
+        /// Tile (staging buffer) size in elements.
+        tile: u32,
+    },
+    /// `*it` (reads; `Read`/`PeekRead` kinds only).
+    ItDeref {
+        /// The iterator handle.
+        it: Value,
+    },
+    /// `it.peek(ahead)` look-ahead read (`PeekRead` only; `ahead < tile`).
+    ItPeek {
+        /// The iterator handle.
+        it: Value,
+        /// Elements ahead of the cursor.
+        ahead: Value,
+    },
+    /// `*it = val` (write iterators).
+    ItWrite {
+        /// The iterator handle.
+        it: Value,
+        /// Stored value.
+        val: Value,
+    },
+    /// `it++`; for `ManualWrite`, `last` non-zero elides the deallocation
+    /// flush (§V-A a).
+    ItInc {
+        /// The iterator handle.
+        it: Value,
+        /// Last-iteration hint (ManualWrite only).
+        last: Option<Value>,
+    },
+}
+
+impl OpKind {
+    /// True for region terminators.
+    pub fn is_terminator(&self) -> bool {
+        if let OpKind::Predicated { .. } = self {
+            return false;
+        }
+        matches!(
+            self,
+            OpKind::Yield(_) | OpKind::Condition { .. } | OpKind::Return(_) | OpKind::Exit
+        )
+    }
+
+    /// Nested regions, in order (for generic traversal).
+    pub fn regions(&self) -> Vec<&Region> {
+        match self {
+            OpKind::If { then, else_, .. } => vec![then, else_],
+            OpKind::While { before, after, .. } => vec![before, after],
+            OpKind::Foreach { body, .. }
+            | OpKind::Replicate { body, .. }
+            | OpKind::Fork { body, .. } => {
+                vec![body]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Mutable nested regions.
+    pub fn regions_mut(&mut self) -> Vec<&mut Region> {
+        match self {
+            OpKind::If { then, else_, .. } => vec![then, else_],
+            OpKind::While { before, after, .. } => vec![before, after],
+            OpKind::Foreach { body, .. }
+            | OpKind::Replicate { body, .. }
+            | OpKind::Fork { body, .. } => {
+                vec![body]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Directly used values (not including region internals).
+    pub fn operands(&self) -> Vec<Value> {
+        match self {
+            OpKind::ConstI(..) | OpKind::Exit | OpKind::AllocPop { .. } => Vec::new(),
+            OpKind::Bin(_, a, b) => vec![*a, *b],
+            OpKind::Select(c, t, f) => vec![*c, *t, *f],
+            OpKind::Cast { v, .. } => vec![*v],
+            OpKind::SramRead { addr, .. } | OpKind::SramDecFetch { addr, .. } => vec![*addr],
+            OpKind::SramWrite { addr, val, .. } => vec![*addr, *val],
+            OpKind::DramRead { idx, .. } => vec![*idx],
+            OpKind::DramWrite { idx, val, .. } => vec![*idx, *val],
+            OpKind::AllocPush { ptr, .. } => vec![*ptr],
+            OpKind::BulkLoad {
+                dram_base,
+                sram_base,
+                len,
+                ..
+            }
+            | OpKind::BulkStore {
+                dram_base,
+                sram_base,
+                len,
+                ..
+            } => vec![*dram_base, *sram_base, *len],
+            OpKind::If { cond, .. } => vec![*cond],
+            OpKind::While { inits, .. } => inits.clone(),
+            OpKind::Foreach { lo, hi, step, .. } => vec![*lo, *hi, *step],
+            OpKind::Replicate { .. } => Vec::new(),
+            OpKind::Fork { count, .. } => vec![*count],
+            OpKind::Yield(vs) | OpKind::Return(vs) => vs.clone(),
+            OpKind::Condition { cond, fwd } => {
+                let mut v = vec![*cond];
+                v.extend(fwd);
+                v
+            }
+            OpKind::Predicated { pred, inner, .. } => {
+                let mut v = vec![*pred];
+                v.extend(inner.operands());
+                v
+            }
+            OpKind::ViewNew { base, .. } => base.iter().copied().collect(),
+            OpKind::ViewRead { view, idx } => vec![*view, *idx],
+            OpKind::ViewWrite { view, idx, val } => vec![*view, *idx, *val],
+            OpKind::ItNew { seek, .. } => vec![*seek],
+            OpKind::ItDeref { it } => vec![*it],
+            OpKind::ItPeek { it, ahead } => vec![*it, *ahead],
+            OpKind::ItWrite { it, val } => vec![*it, *val],
+            OpKind::ItInc { it, last } => {
+                let mut v = vec![*it];
+                v.extend(last.iter());
+                v
+            }
+        }
+    }
+
+    /// Mutates every direct operand through `f` (used by inlining and
+    /// rewrite passes to remap values).
+    pub fn map_operands(&mut self, f: &mut dyn FnMut(Value) -> Value) {
+        match self {
+            OpKind::ConstI(..) | OpKind::Exit | OpKind::AllocPop { .. } => {}
+            OpKind::Bin(_, a, b) => {
+                *a = f(*a);
+                *b = f(*b);
+            }
+            OpKind::Select(c, t, fl) => {
+                *c = f(*c);
+                *t = f(*t);
+                *fl = f(*fl);
+            }
+            OpKind::Cast { v, .. } => *v = f(*v),
+            OpKind::SramRead { addr, .. } | OpKind::SramDecFetch { addr, .. } => *addr = f(*addr),
+            OpKind::SramWrite { addr, val, .. } => {
+                *addr = f(*addr);
+                *val = f(*val);
+            }
+            OpKind::DramRead { idx, .. } => *idx = f(*idx),
+            OpKind::DramWrite { idx, val, .. } => {
+                *idx = f(*idx);
+                *val = f(*val);
+            }
+            OpKind::AllocPush { ptr, .. } => *ptr = f(*ptr),
+            OpKind::BulkLoad {
+                dram_base,
+                sram_base,
+                len,
+                ..
+            }
+            | OpKind::BulkStore {
+                dram_base,
+                sram_base,
+                len,
+                ..
+            } => {
+                *dram_base = f(*dram_base);
+                *sram_base = f(*sram_base);
+                *len = f(*len);
+            }
+            OpKind::If { cond, .. } => *cond = f(*cond),
+            OpKind::While { inits, .. } => {
+                for v in inits {
+                    *v = f(*v);
+                }
+            }
+            OpKind::Foreach { lo, hi, step, .. } => {
+                *lo = f(*lo);
+                *hi = f(*hi);
+                *step = f(*step);
+            }
+            OpKind::Replicate { .. } => {}
+            OpKind::Fork { count, .. } => *count = f(*count),
+            OpKind::Yield(vs) | OpKind::Return(vs) => {
+                for v in vs {
+                    *v = f(*v);
+                }
+            }
+            OpKind::Condition { cond, fwd } => {
+                *cond = f(*cond);
+                for v in fwd {
+                    *v = f(*v);
+                }
+            }
+            OpKind::Predicated { pred, inner, .. } => {
+                *pred = f(*pred);
+                inner.map_operands(f);
+            }
+            OpKind::ViewNew { base, .. } => {
+                if let Some(b) = base {
+                    *b = f(*b);
+                }
+            }
+            OpKind::ViewRead { view, idx } => {
+                *view = f(*view);
+                *idx = f(*idx);
+            }
+            OpKind::ViewWrite { view, idx, val } => {
+                *view = f(*view);
+                *idx = f(*idx);
+                *val = f(*val);
+            }
+            OpKind::ItNew { seek, .. } => *seek = f(*seek),
+            OpKind::ItDeref { it } => *it = f(*it),
+            OpKind::ItPeek { it, ahead } => {
+                *it = f(*it);
+                *ahead = f(*ahead);
+            }
+            OpKind::ItWrite { it, val } => {
+                *it = f(*it);
+                *val = f(*val);
+            }
+            OpKind::ItInc { it, last } => {
+                *it = f(*it);
+                if let Some(l) = last {
+                    *l = f(*l);
+                }
+            }
+        }
+    }
+
+    /// True if this op (not counting nested regions) touches memory.
+    pub fn is_memory(&self) -> bool {
+        if let OpKind::Predicated { inner, .. } = self {
+            return inner.is_memory();
+        }
+        matches!(
+            self,
+            OpKind::SramRead { .. }
+                | OpKind::SramWrite { .. }
+                | OpKind::SramDecFetch { .. }
+                | OpKind::DramRead { .. }
+                | OpKind::DramWrite { .. }
+                | OpKind::AllocPop { .. }
+                | OpKind::AllocPush { .. }
+                | OpKind::BulkLoad { .. }
+                | OpKind::BulkStore { .. }
+                | OpKind::ViewRead { .. }
+                | OpKind::ViewWrite { .. }
+                | OpKind::ItDeref { .. }
+                | OpKind::ItPeek { .. }
+                | OpKind::ItWrite { .. }
+                | OpKind::ItInc { .. }
+        )
+    }
+
+    /// True for high-level Revet-dialect ops that must be lowered before CFG
+    /// conversion.
+    pub fn is_high_level(&self) -> bool {
+        matches!(
+            self,
+            OpKind::ViewNew { .. }
+                | OpKind::ViewRead { .. }
+                | OpKind::ViewWrite { .. }
+                | OpKind::ItNew { .. }
+                | OpKind::ItDeref { .. }
+                | OpKind::ItPeek { .. }
+                | OpKind::ItWrite { .. }
+                | OpKind::ItInc { .. }
+                | OpKind::BulkLoad { .. }
+                | OpKind::BulkStore { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_listing_and_mapping() {
+        let mut k = OpKind::Bin(AluOp::Add, Value(1), Value(2));
+        assert_eq!(k.operands(), vec![Value(1), Value(2)]);
+        k.map_operands(&mut |v| Value(v.0 + 10));
+        assert_eq!(k.operands(), vec![Value(11), Value(12)]);
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(OpKind::Yield(vec![]).is_terminator());
+        assert!(OpKind::Exit.is_terminator());
+        assert!(!OpKind::ConstI(0, Ty::I32).is_terminator());
+    }
+
+    #[test]
+    fn region_traversal() {
+        let k = OpKind::If {
+            cond: Value(0),
+            then: Region::default(),
+            else_: Region::default(),
+        };
+        assert_eq!(k.regions().len(), 2);
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(OpKind::DramRead {
+            dram: DramRef(0),
+            idx: Value(0)
+        }
+        .is_memory());
+        assert!(OpKind::ItDeref { it: Value(0) }.is_high_level());
+        assert!(!OpKind::Bin(AluOp::Add, Value(0), Value(1)).is_memory());
+    }
+}

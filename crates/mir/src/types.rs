@@ -1,0 +1,112 @@
+//! MIR types and module-level declarations.
+//!
+//! The Revet machine computes on 32-bit lanes; `I8`/`I16` are *storage*
+//! widths that matter to the memory lowering and to the sub-word packing
+//! optimization (§V-B d). Signedness lives in the operations (the ALU has
+//! signed/unsigned variants), mirroring LLVM/MLIR.
+
+use core::fmt;
+
+/// A value type.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Ty {
+    /// 8-bit storage (computed on a 32-bit lane).
+    I8,
+    /// 16-bit storage.
+    I16,
+    /// Full 32-bit word.
+    I32,
+    /// A data-free ordering token.
+    Void,
+    /// An opaque handle to a view/iterator/SRAM object (front-end only;
+    /// eliminated by high-level lowering).
+    Handle,
+}
+
+impl Ty {
+    /// Storage width in bytes (handles and void have none).
+    pub fn bytes(self) -> Option<u32> {
+        match self {
+            Ty::I8 => Some(1),
+            Ty::I16 => Some(2),
+            Ty::I32 => Some(4),
+            Ty::Void | Ty::Handle => None,
+        }
+    }
+
+    /// True for the integer storage types.
+    pub fn is_int(self) -> bool {
+        matches!(self, Ty::I8 | Ty::I16 | Ty::I32)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::I8 => "i8",
+            Ty::I16 => "i16",
+            Ty::I32 => "i32",
+            Ty::Void => "void",
+            Ty::Handle => "handle",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Reference to a module-level DRAM symbol.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct DramRef(pub u32);
+
+/// A DRAM symbol declaration (`dram<u8> input;`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DramDecl {
+    /// Symbol name.
+    pub name: String,
+    /// Element storage width in bytes (1, 2 or 4).
+    pub elem_bytes: u32,
+}
+
+/// Where each DRAM symbol lives in the flat simulated DRAM.
+///
+/// Assigned by the application harness before execution; the compiler only
+/// deals in symbols.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DramLayout {
+    /// Base byte address per [`DramRef`] index.
+    pub base: Vec<u32>,
+}
+
+impl DramLayout {
+    /// Byte address of element `idx` of symbol `d` with the given element
+    /// width.
+    pub fn addr(&self, d: DramRef, elem_bytes: u32, idx: u32) -> u32 {
+        self.base[d.0 as usize].wrapping_add(idx.wrapping_mul(elem_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ty_bytes() {
+        assert_eq!(Ty::I8.bytes(), Some(1));
+        assert_eq!(Ty::I16.bytes(), Some(2));
+        assert_eq!(Ty::I32.bytes(), Some(4));
+        assert_eq!(Ty::Void.bytes(), None);
+        assert!(Ty::I8.is_int() && !Ty::Handle.is_int());
+    }
+
+    #[test]
+    fn layout_addresses() {
+        let l = DramLayout {
+            base: vec![0, 1024],
+        };
+        assert_eq!(l.addr(DramRef(1), 4, 3), 1024 + 12);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ty::I16.to_string(), "i16");
+    }
+}

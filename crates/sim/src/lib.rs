@@ -1,0 +1,314 @@
+//! # revet-sim — cycle-level vRDA simulation
+//!
+//! Times compiled Revet programs on the Table II machine: 200 CUs / 200 MUs
+//! / 80 AGs at 1.6 GHz with HBM2-class DRAM (~900 GB/s, 32 B bursts).
+//!
+//! The simulator re-executes the *same* dataflow graph as the untimed
+//! functional reference, under per-cycle constraints:
+//!
+//! - every link moves at most its class bandwidth per cycle (vector: 16 data
+//!   elements + 1 barrier; scalar: 1 + 1);
+//! - channels have finite buffers (Table II input-buffer depths), so
+//!   downstream congestion back-pressures producers;
+//! - DRAM traffic drains a token bucket refilled at the HBM2 byte rate, with
+//!   an additional issue cap per AG context per cycle (the burst/activation
+//!   bound that limits random-access workloads like hash-table);
+//! - each context (= physical unit) fires once per cycle.
+//!
+//! Identical DRAM results as the untimed run are asserted by the test suite;
+//! only *when* things happen differs. Ideal-model toggles ([`IdealModels`])
+//! reproduce Table V's D / SN / SND columns, and [`AurochsMode`] models the
+//! §VI-B c comparison (no thread-local SRAM: live values ride the pipeline;
+//! value duplication on fork; timeout-based loop synchronization overhead).
+
+#![warn(missing_docs)]
+
+mod aurochs;
+mod config;
+mod stats;
+
+pub use aurochs::{aurochs_slowdown, AurochsMode};
+pub use config::{IdealModels, RdaConfig};
+pub use stats::SimStats;
+
+use revet_core::CompiledProgram;
+use revet_machine::{LinkClass, MachineError, NodeId, PortBudget, UnitClass};
+use revet_sltf::Word;
+
+/// The cycle-level simulator.
+#[derive(Debug)]
+pub struct Simulator {
+    /// Machine parameters.
+    pub config: RdaConfig,
+    /// Which subsystems are idealized (Table V ideal columns).
+    pub ideal: IdealModels,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Simulator {
+            config: RdaConfig::default(),
+            ideal: IdealModels::default(),
+        }
+    }
+}
+
+impl Simulator {
+    /// A simulator with the given configuration.
+    pub fn new(config: RdaConfig, ideal: IdealModels) -> Self {
+        Simulator { config, ideal }
+    }
+
+    /// Runs `program` with `main` arguments to completion; returns timing
+    /// statistics. DRAM inputs must already be loaded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine protocol errors; reports livelock if the cycle cap
+    /// is hit.
+    pub fn run(
+        &self,
+        program: &mut CompiledProgram,
+        args: &[Word],
+        max_cycles: u64,
+    ) -> Result<SimStats, MachineError> {
+        let cfg = &self.config;
+        // Apply buffer capacities (ideal network = unbounded).
+        let chan_count = program.graph.chan_count();
+        if !self.ideal.network {
+            for c in 0..chan_count {
+                let chan = program.graph.chan_mut(revet_machine::ChanId(c as u32));
+                let cap = if chan.canonicalize {
+                    match chan.class {
+                        LinkClass::Vector => cfg.vector_buffer_tokens,
+                        LinkClass::Scalar => cfg.scalar_buffer_tokens,
+                    }
+                } else {
+                    // Backedges get the deadlock-avoidance depth.
+                    cfg.deadlock_buffer_tokens
+                };
+                chan.capacity = Some(cap);
+            }
+        }
+        // Inject the argument thread.
+        {
+            let chan = program.graph.chan_mut(program.entry);
+            chan.capacity = None;
+            chan.push(revet_sltf::Tok::Data(args.to_vec()));
+            chan.push(revet_sltf::Tok::Barrier(revet_sltf::BarrierLevel::L1));
+        }
+        let nodes: Vec<(NodeId, UnitClass, Vec<LinkClass>, Vec<LinkClass>)> = (0..program
+            .graph
+            .node_count())
+            .map(|i| {
+                let slot = &program.graph.nodes()[i];
+                let in_cls: Vec<LinkClass> = slot
+                    .ins
+                    .iter()
+                    .map(|c| program.graph.chans()[c.0 as usize].class)
+                    .collect();
+                let out_cls: Vec<LinkClass> = slot
+                    .outs
+                    .iter()
+                    .map(|c| program.graph.chans()[c.0 as usize].class)
+                    .collect();
+                (NodeId(i as u32), slot.unit, in_cls, out_cls)
+            })
+            .collect();
+
+        let mut stats = SimStats::new(program.graph.node_count());
+        let bytes_per_cycle = cfg.dram_bytes_per_cycle();
+        let mut dram_bucket: f64 = bytes_per_cycle;
+        let mut idle_cycles = 0u64;
+        let base_read = program.graph.mem.dram_read_bytes;
+        let base_written = program.graph.mem.dram_written_bytes;
+        let mut cycles: u64 = 0;
+        loop {
+            if cycles >= max_cycles {
+                return Err(MachineError::new(format!(
+                    "cycle cap {max_cycles} reached (livelock or undersized cap)"
+                )));
+            }
+            cycles += 1;
+            if !self.ideal.dram {
+                dram_bucket =
+                    (dram_bucket + bytes_per_cycle).min(cfg.dram_burst_bytes as f64 * 64.0);
+            }
+            let mut any = false;
+            let dram_before =
+                program.graph.mem.dram_read_bytes + program.graph.mem.dram_written_bytes;
+            for (id, unit, in_cls, out_cls) in &nodes {
+                // DRAM gating: AG contexts stall when the bucket is dry.
+                if *unit == UnitClass::AddressGen && !self.ideal.dram && dram_bucket <= 0.0 {
+                    continue;
+                }
+                let budget_for = |cls: &LinkClass| -> PortBudget {
+                    if self.ideal.network {
+                        return PortBudget::UNLIMITED;
+                    }
+                    PortBudget {
+                        data: cls.width(),
+                        barrier: 1,
+                    }
+                };
+                let mut ib: Vec<PortBudget> = in_cls.iter().map(budget_for).collect();
+                let mut ob: Vec<PortBudget> = out_cls.iter().map(budget_for).collect();
+                if self.ideal.sram && *unit == UnitClass::Memory {
+                    ib.iter_mut().for_each(|b| *b = PortBudget::UNLIMITED);
+                    ob.iter_mut().for_each(|b| *b = PortBudget::UNLIMITED);
+                }
+                // AG issue cap models burst/activation limits.
+                if *unit == UnitClass::AddressGen && !self.ideal.dram {
+                    for b in ib.iter_mut() {
+                        b.data = b.data.min(cfg.ag_issues_per_cycle);
+                    }
+                }
+                let progressed = program.graph.step_node(*id, &mut ib, &mut ob)?;
+                if progressed {
+                    any = true;
+                    stats.busy_cycles[id.0 as usize] += 1;
+                }
+            }
+            let dram_after =
+                program.graph.mem.dram_read_bytes + program.graph.mem.dram_written_bytes;
+            let delta = (dram_after - dram_before) as f64;
+            if !self.ideal.dram {
+                dram_bucket -= delta;
+            }
+            if any {
+                idle_cycles = 0;
+            } else {
+                idle_cycles += 1;
+                if idle_cycles >= 4 {
+                    // Quiescent: verify nothing is stuck (a silent partial
+                    // result would be worse than an error).
+                    let mut stuck = Vec::new();
+                    for (ni, node) in program.graph.nodes().iter().enumerate() {
+                        for cin in &node.ins {
+                            let ch = &program.graph.chans()[cin.0 as usize];
+                            if !ch.is_empty() {
+                                stuck.push(format!(
+                                    "{} tokens -> '{}'",
+                                    ch.len(),
+                                    program.graph.nodes()[ni].label
+                                ));
+                            }
+                        }
+                    }
+                    if !stuck.is_empty() {
+                        return Err(MachineError::new(format!(
+                            "timed deadlock after {cycles} cycles: {}",
+                            stuck.join("; ")
+                        )));
+                    }
+                    break;
+                }
+            }
+        }
+        stats.cycles = cycles;
+        stats.freq_ghz = cfg.clock_ghz;
+        stats.dram_read_bytes = program.graph.mem.dram_read_bytes - base_read;
+        stats.dram_written_bytes = program.graph.mem.dram_written_bytes - base_written;
+        stats.peak_dram_bytes_per_cycle = bytes_per_cycle;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revet_core::{Compiler, PassOptions};
+
+    fn squares_program() -> CompiledProgram {
+        let src = r#"
+            dram<u32> output;
+            void main(u32 n) {
+                foreach (n) { u32 i =>
+                    output[i] = i * i;
+                };
+            }
+        "#;
+        Compiler::new(PassOptions {
+            dram_bytes: 1 << 16,
+            ..PassOptions::default()
+        })
+        .compile_source(src)
+        .unwrap()
+    }
+
+    #[test]
+    fn timed_matches_untimed_results() {
+        let mut p = squares_program();
+        let sim = Simulator::default();
+        let stats = sim.run(&mut p, &[Word(32)], 1_000_000).unwrap();
+        assert!(stats.cycles > 0);
+        for i in 0..32usize {
+            let got = u32::from_le_bytes(p.graph.mem.dram[4 * i..4 * i + 4].try_into().unwrap());
+            assert_eq!(got, (i * i) as u32);
+        }
+    }
+
+    #[test]
+    fn ideal_dram_is_not_slower() {
+        let sim = Simulator::default();
+        let mut p1 = squares_program();
+        let real = sim.run(&mut p1, &[Word(64)], 1_000_000).unwrap();
+        let ideal_sim = Simulator::new(RdaConfig::default(), IdealModels::dram_only());
+        let mut p2 = squares_program();
+        let ideal = ideal_sim.run(&mut p2, &[Word(64)], 1_000_000).unwrap();
+        assert!(
+            ideal.cycles <= real.cycles,
+            "ideal DRAM {} > real {}",
+            ideal.cycles,
+            real.cycles
+        );
+    }
+
+    #[test]
+    fn stats_throughput() {
+        let mut p = squares_program();
+        let sim = Simulator::default();
+        let stats = sim.run(&mut p, &[Word(16)], 1_000_000).unwrap();
+        let gbps = stats.throughput_gbps(16 * 4);
+        assert!(gbps > 0.0);
+        assert!(stats.dram_utilization() >= 0.0 && stats.dram_utilization() <= 1.0);
+    }
+
+    #[test]
+    fn while_loops_complete_under_timing() {
+        let src = r#"
+            dram<u32> input;
+            dram<u32> output;
+            void main(u32 n) {
+                foreach (n) { u32 i =>
+                    u32 x = input[i];
+                    u32 s = 0;
+                    while (x != 0) {
+                        s = s + x;
+                        x = x - 1;
+                    };
+                    output[i] = s;
+                };
+            }
+        "#;
+        let mut p = Compiler::new(PassOptions {
+            dram_bytes: 1 << 16,
+            ..PassOptions::default()
+        })
+        .compile_source(src)
+        .unwrap();
+        for i in 0..8u32 {
+            let b = (i + 1).to_le_bytes();
+            p.graph.mem.dram[4 * i as usize..4 * i as usize + 4].copy_from_slice(&b);
+        }
+        let sim = Simulator::default();
+        sim.run(&mut p, &[Word(8)], 10_000_000).unwrap();
+        let half = (1 << 16) / 2;
+        for i in 0..8u32 {
+            let a = half + 4 * i as usize;
+            let got = u32::from_le_bytes(p.graph.mem.dram[a..a + 4].try_into().unwrap());
+            let n = i + 1;
+            assert_eq!(got, n * (n + 1) / 2, "triangular({n})");
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Simulation statistics and derived metrics.
+
+/// Timing results of one simulated run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Total machine cycles.
+    pub cycles: u64,
+    /// Clock in GHz (copied from the config for derived metrics).
+    pub freq_ghz: f64,
+    /// DRAM bytes read during the run.
+    pub dram_read_bytes: u64,
+    /// DRAM bytes written during the run.
+    pub dram_written_bytes: u64,
+    /// Peak deliverable DRAM bytes/cycle.
+    pub peak_dram_bytes_per_cycle: f64,
+    /// Busy-cycle count per node (utilization analysis).
+    pub busy_cycles: Vec<u64>,
+}
+
+impl SimStats {
+    pub(crate) fn new(nodes: usize) -> Self {
+        SimStats {
+            busy_cycles: vec![0; nodes],
+            ..Default::default()
+        }
+    }
+
+    /// Wall-clock seconds at the configured frequency.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / (self.freq_ghz * 1e9)
+    }
+
+    /// Application throughput in GB/s for `app_bytes` of input+output data
+    /// (the paper's normalized performance metric, §VI-A b).
+    pub fn throughput_gbps(&self, app_bytes: u64) -> f64 {
+        app_bytes as f64 / 1e9 / self.seconds()
+    }
+
+    /// Fraction of peak HBM2 bandwidth consumed (Table IV's HBM2 %).
+    pub fn dram_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let per_cycle =
+            (self.dram_read_bytes + self.dram_written_bytes) as f64 / self.cycles as f64;
+        (per_cycle / self.peak_dram_bytes_per_cycle).min(1.0)
+    }
+
+    /// Read/write split of DRAM utilization.
+    pub fn dram_rw_utilization(&self) -> (f64, f64) {
+        if self.cycles == 0 {
+            return (0.0, 0.0);
+        }
+        let denom = self.peak_dram_bytes_per_cycle * self.cycles as f64;
+        (
+            self.dram_read_bytes as f64 / denom,
+            self.dram_written_bytes as f64 / denom,
+        )
+    }
+
+    /// Mean node utilization (busy cycles / total cycles).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.busy_cycles.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.busy_cycles.iter().sum();
+        sum as f64 / (self.cycles as f64 * self.busy_cycles.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = SimStats {
+            cycles: 1_600_000,
+            freq_ghz: 1.6,
+            dram_read_bytes: 450_000_000,
+            dram_written_bytes: 112_500_000,
+            peak_dram_bytes_per_cycle: 562.5,
+            busy_cycles: vec![800_000, 1_600_000],
+        };
+        assert!((s.seconds() - 1e-3).abs() < 1e-12);
+        assert!((s.throughput_gbps(1_000_000_000) - 1000.0).abs() < 1e-6);
+        let u = s.dram_utilization();
+        assert!((u - 0.625).abs() < 1e-9);
+        let (r, w) = s.dram_rw_utilization();
+        assert!((r - 0.5).abs() < 1e-9);
+        assert!((w - 0.125).abs() < 1e-9);
+        assert!((s.mean_utilization() - 0.75).abs() < 1e-9);
+    }
+}

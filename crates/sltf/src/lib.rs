@@ -1,0 +1,43 @@
+//! # revet-sltf — the Structured-Link Tensor Format
+//!
+//! The on-chip data representation of the Revet dataflow-threads machine
+//! (§III-A of *"Revet: A Language and Compiler for Dataflow Threads"*,
+//! HPCA 2024).
+//!
+//! Dataflow threads are sets of live values kept together in a pipeline.
+//! Hierarchy across groups of threads (loop nests, parallel regions) is
+//! encoded as **barrier tokens** Ωn terminating dimension `n` of a ragged
+//! tensor, streamed in-band with the data. This crate provides:
+//!
+//! - [`Word`]: the 32-bit lane payload, with sub-word views,
+//! - [`Token`]/[`Tok`]: data-or-barrier stream tokens and [`BarrierLevel`],
+//! - [`Ragged`]: ragged k-D tensors with canonical/explicit SLTF encodings
+//!   and an incremental [`Decoder`],
+//! - [`Stream`]: whole-stream utilities (link-cycle accounting, round-trips).
+//!
+//! ## Example
+//!
+//! The paper's running example: the 2-D tensor `[[0, 1], [2]]` is encoded as
+//! `0 1 Ω1 2 Ω2` — the trailing Ω1 is implied by Ω2 following data.
+//!
+//! ```
+//! use revet_sltf::{data, omega, Ragged, Stream};
+//!
+//! let tensor = Ragged::node([Ragged::leaf([0u32, 1]), Ragged::leaf([2u32])]);
+//! let stream = Stream::from_ragged(&tensor, 2);
+//! assert_eq!(stream.tokens(), &[data(0u32), data(1u32), omega(1), data(2u32), omega(2)]);
+//! assert_eq!(stream.to_ragged(2).unwrap(), tensor);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ragged;
+mod stream;
+mod token;
+mod word;
+
+pub use ragged::{canonicalize, DecodeError, Decoder, Ragged};
+pub use stream::Stream;
+pub use token::{data, omega, BarrierLevel, Tok, Token, MAX_BARRIER_LEVEL};
+pub use word::Word;

@@ -1,0 +1,290 @@
+//! Whole-stream utilities over SLTF token sequences.
+//!
+//! A [`Stream`] is an owned sequence of [`Token`]s as observed on one on-chip
+//! link over time. It is the lingua franca of unit tests and of the untimed
+//! executor's inputs/outputs; the machine itself works on queues of tokens.
+
+use crate::{canonicalize, BarrierLevel, DecodeError, Ragged, Token, Word};
+use core::fmt;
+
+/// An owned SLTF token sequence.
+///
+/// # Examples
+///
+/// ```
+/// use revet_sltf::{Stream, Ragged};
+///
+/// let t = Ragged::node([Ragged::leaf([0u32, 1]), Ragged::leaf([2u32])]);
+/// let s = Stream::from_ragged(&t, 2);
+/// assert_eq!(s.data_len(), 3);
+/// assert_eq!(s.to_ragged(2).unwrap(), t);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct Stream {
+    tokens: Vec<Token>,
+}
+
+impl Stream {
+    /// An empty stream.
+    pub fn new() -> Self {
+        Stream::default()
+    }
+
+    /// Builds a stream from tokens.
+    pub fn from_tokens(tokens: impl IntoIterator<Item = Token>) -> Self {
+        Stream {
+            tokens: tokens.into_iter().collect(),
+        }
+    }
+
+    /// Builds a stream of bare data words with no barriers.
+    pub fn from_words<I, W>(words: I) -> Self
+    where
+        I: IntoIterator<Item = W>,
+        W: Into<Word>,
+    {
+        Stream {
+            tokens: words.into_iter().map(|w| Token::Data(w.into())).collect(),
+        }
+    }
+
+    /// Encodes a ragged tensor canonically at dimensionality `dims`.
+    pub fn from_ragged(tensor: &Ragged, dims: u8) -> Self {
+        Stream {
+            tokens: tensor.encode_canonical(dims),
+        }
+    }
+
+    /// Encodes a sequence of `dims`-D tensors back-to-back.
+    pub fn from_ragged_sequence<'a>(
+        tensors: impl IntoIterator<Item = &'a Ragged>,
+        dims: u8,
+    ) -> Self {
+        let mut tokens = Vec::new();
+        for t in tensors {
+            tokens.extend(t.encode_canonical(dims));
+        }
+        Stream { tokens }
+    }
+
+    /// Decodes the stream as exactly one `dims`-D tensor.
+    ///
+    /// # Errors
+    ///
+    /// See [`Ragged::decode`].
+    pub fn to_ragged(&self, dims: u8) -> Result<Ragged, DecodeError> {
+        Ragged::decode(&self.tokens, dims)
+    }
+
+    /// Decodes the stream as a sequence of `dims`-D tensors.
+    ///
+    /// # Errors
+    ///
+    /// See [`Ragged::decode_sequence`].
+    pub fn to_ragged_sequence(&self, dims: u8) -> Result<Vec<Ragged>, DecodeError> {
+        Ragged::decode_sequence(&self.tokens, dims)
+    }
+
+    /// The underlying token slice.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// Consumes the stream, yielding its tokens.
+    pub fn into_tokens(self) -> Vec<Token> {
+        self.tokens
+    }
+
+    /// Appends a token.
+    pub fn push(&mut self, tok: Token) {
+        self.tokens.push(tok);
+    }
+
+    /// Appends all tokens of `other`.
+    pub fn extend_from(&mut self, other: &Stream) {
+        self.tokens.extend_from_slice(&other.tokens);
+    }
+
+    /// Number of tokens (data + barriers).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True if the stream holds no tokens at all.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Number of data tokens.
+    pub fn data_len(&self) -> usize {
+        self.tokens.iter().filter(|t| t.is_data()).count()
+    }
+
+    /// Number of barrier tokens.
+    pub fn barrier_len(&self) -> usize {
+        self.tokens.len() - self.data_len()
+    }
+
+    /// The data payloads in order, barriers skipped.
+    pub fn data_words(&self) -> Vec<Word> {
+        self.tokens
+            .iter()
+            .filter_map(|t| t.data().copied())
+            .collect()
+    }
+
+    /// The highest barrier level present, if any.
+    pub fn max_barrier_level(&self) -> Option<BarrierLevel> {
+        self.tokens.iter().filter_map(Token::barrier_level).max()
+    }
+
+    /// Rewrites the stream into canonical form (drops implied barriers).
+    pub fn canonicalized(self) -> Stream {
+        Stream {
+            tokens: canonicalize(self.tokens),
+        }
+    }
+
+    /// Cycles needed to transmit this stream on a link of the given data
+    /// width, under the §III-C rule: a link moves up to `width` data elements
+    /// *and* at most one barrier per cycle.
+    ///
+    /// ```
+    /// use revet_sltf::{data, omega, Stream};
+    /// // (t1, t2, Ω1) fits in one vector cycle but takes two scalar cycles.
+    /// let s = Stream::from_tokens([data(1), data(2), omega(1)]);
+    /// assert_eq!(s.link_cycles(16), 1);
+    /// assert_eq!(s.link_cycles(1), 2);
+    /// // (Ω1, Ω2) takes two cycles on any link.
+    /// let b = Stream::from_tokens([omega(1), omega(2)]);
+    /// assert_eq!(b.link_cycles(16), 2);
+    /// ```
+    pub fn link_cycles(&self, width: usize) -> u64 {
+        assert!(width >= 1, "link width must be positive");
+        let mut cycles: u64 = 0;
+        let mut data_in_flight = 0usize;
+        let mut barrier_in_flight = false;
+        for tok in &self.tokens {
+            match tok {
+                Token::Data(_) => {
+                    if barrier_in_flight || data_in_flight == width {
+                        cycles += 1;
+                        data_in_flight = 0;
+                        barrier_in_flight = false;
+                    }
+                    data_in_flight += 1;
+                }
+                Token::Barrier(_) => {
+                    if barrier_in_flight {
+                        cycles += 1;
+                        data_in_flight = 0;
+                    }
+                    barrier_in_flight = true;
+                }
+            }
+        }
+        if data_in_flight > 0 || barrier_in_flight {
+            cycles += 1;
+        }
+        cycles
+    }
+}
+
+impl FromIterator<Token> for Stream {
+    fn from_iter<I: IntoIterator<Item = Token>>(iter: I) -> Self {
+        Stream::from_tokens(iter)
+    }
+}
+
+impl Extend<Token> for Stream {
+    fn extend<I: IntoIterator<Item = Token>>(&mut self, iter: I) {
+        self.tokens.extend(iter);
+    }
+}
+
+impl IntoIterator for Stream {
+    type Item = Token;
+    type IntoIter = std::vec::IntoIter<Token>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tokens.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Stream {
+    type Item = &'a Token;
+    type IntoIter = std::slice::Iter<'a, Token>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tokens.iter()
+    }
+}
+
+impl fmt::Display for Stream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{data, omega};
+
+    #[test]
+    fn counts() {
+        let s = Stream::from_tokens([data(1), omega(1), data(2), omega(2)]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.data_len(), 2);
+        assert_eq!(s.barrier_len(), 2);
+        assert_eq!(s.max_barrier_level(), Some(BarrierLevel::of(2)));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn from_words_has_no_barriers() {
+        let s = Stream::from_words([1u32, 2, 3]);
+        assert_eq!(s.barrier_len(), 0);
+        assert_eq!(s.data_words(), vec![Word(1), Word(2), Word(3)]);
+    }
+
+    #[test]
+    fn canonicalized_drops_implied() {
+        let s = Stream::from_tokens([data(2), omega(1), omega(2)]).canonicalized();
+        assert_eq!(s.tokens(), &[data(2), omega(2)]);
+    }
+
+    #[test]
+    fn link_cycles_scalar_vs_vector() {
+        // 17 data words + Ω1: vector = 2 cycles (16 + 1&Ω), scalar = 17.
+        let mut toks: Vec<Token> = (0..17u32).map(data).collect();
+        toks.push(omega(1));
+        let s = Stream::from_tokens(toks);
+        assert_eq!(s.link_cycles(16), 2);
+        assert_eq!(s.link_cycles(1), 17);
+    }
+
+    #[test]
+    fn link_cycles_back_to_back_barriers() {
+        let s = Stream::from_tokens([omega(1), omega(1), omega(2)]);
+        assert_eq!(s.link_cycles(16), 3);
+    }
+
+    #[test]
+    fn ragged_sequence_roundtrip() {
+        let a = Ragged::leaf([1, 2]);
+        let b = Ragged::leaf::<_, Word>([]);
+        let s = Stream::from_ragged_sequence([&a, &b], 1);
+        assert_eq!(s.to_ragged_sequence(1).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn display() {
+        let s = Stream::from_tokens([data(1), omega(1)]);
+        assert_eq!(s.to_string(), "1 Ω1");
+    }
+}

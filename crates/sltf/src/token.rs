@@ -1,0 +1,240 @@
+//! Stream tokens: data elements and barrier (done) tokens Ωn.
+//!
+//! §III-A of the paper: hierarchy across groups of dataflow threads is encoded
+//! *in-band* in the element order and *out-of-band* as barrier tokens Ωn that
+//! terminate dimension `n` of a ragged tensor. At most one barrier travels per
+//! link per cycle, and `n ≤ 15` (four bits of link metadata).
+
+use crate::Word;
+use core::fmt;
+
+/// The maximum representable barrier level (the paper allots 4 bits; Ω0 is
+/// not a valid barrier, so levels span 1..=15).
+pub const MAX_BARRIER_LEVEL: u8 = 15;
+
+/// A barrier level `n` in Ωn, guaranteed to be in `1..=15`.
+///
+/// # Examples
+///
+/// ```
+/// use revet_sltf::BarrierLevel;
+///
+/// let b = BarrierLevel::new(2).unwrap();
+/// assert_eq!(b.get(), 2);
+/// assert_eq!(b.raised().unwrap().get(), 3);
+/// assert_eq!(b.lowered().unwrap().get(), 1);
+/// assert!(BarrierLevel::new(1).unwrap().lowered().is_none());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BarrierLevel(u8);
+
+impl BarrierLevel {
+    /// Ω1, the innermost dimension terminator.
+    pub const L1: BarrierLevel = BarrierLevel(1);
+    /// Ω2.
+    pub const L2: BarrierLevel = BarrierLevel(2);
+    /// Ω3.
+    pub const L3: BarrierLevel = BarrierLevel(3);
+    /// Ω4.
+    pub const L4: BarrierLevel = BarrierLevel(4);
+
+    /// Creates a barrier level, returning `None` unless `1 <= n <= 15`.
+    #[inline]
+    pub const fn new(n: u8) -> Option<Self> {
+        if n >= 1 && n <= MAX_BARRIER_LEVEL {
+            Some(BarrierLevel(n))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a barrier level, panicking on an invalid value.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= n <= 15`.
+    #[inline]
+    pub const fn of(n: u8) -> Self {
+        match Self::new(n) {
+            Some(l) => l,
+            None => panic!("barrier level must be in 1..=15"),
+        }
+    }
+
+    /// The numeric level `n` of Ωn.
+    #[inline]
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+
+    /// Ω(n+1), or `None` at the ceiling. Loop headers raise incoming barriers
+    /// one level to reserve Ω1 for body-drain detection (§III-B d).
+    #[inline]
+    pub const fn raised(self) -> Option<Self> {
+        Self::new(self.0 + 1)
+    }
+
+    /// Ω(n-1), or `None` for Ω1. Loop exits lower barriers one level.
+    #[inline]
+    pub const fn lowered(self) -> Option<Self> {
+        if self.0 > 1 {
+            Some(BarrierLevel(self.0 - 1))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for BarrierLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ω{}", self.0)
+    }
+}
+
+impl fmt::Display for BarrierLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ω{}", self.0)
+    }
+}
+
+/// A generic stream token: either a data payload or a barrier Ωn.
+///
+/// The payload type is generic so that single-word streams (`Token`) and the
+/// machine's tuple-of-live-variables streams share one representation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Tok<T> {
+    /// A data element (one dataflow-thread's worth of payload).
+    Data(T),
+    /// A barrier Ωn terminating dimension `n`.
+    Barrier(BarrierLevel),
+}
+
+impl<T> Tok<T> {
+    /// True for [`Tok::Data`].
+    #[inline]
+    pub const fn is_data(&self) -> bool {
+        matches!(self, Tok::Data(_))
+    }
+
+    /// True for [`Tok::Barrier`].
+    #[inline]
+    pub const fn is_barrier(&self) -> bool {
+        matches!(self, Tok::Barrier(_))
+    }
+
+    /// The barrier level, if this token is a barrier.
+    #[inline]
+    pub fn barrier_level(&self) -> Option<BarrierLevel> {
+        match self {
+            Tok::Barrier(l) => Some(*l),
+            Tok::Data(_) => None,
+        }
+    }
+
+    /// A reference to the payload, if this token is data.
+    #[inline]
+    pub fn data(&self) -> Option<&T> {
+        match self {
+            Tok::Data(d) => Some(d),
+            Tok::Barrier(_) => None,
+        }
+    }
+
+    /// Consumes the token, returning the payload if it is data.
+    #[inline]
+    pub fn into_data(self) -> Option<T> {
+        match self {
+            Tok::Data(d) => Some(d),
+            Tok::Barrier(_) => None,
+        }
+    }
+
+    /// Maps the data payload, passing barriers through unchanged.
+    #[inline]
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Tok<U> {
+        match self {
+            Tok::Data(d) => Tok::Data(f(d)),
+            Tok::Barrier(l) => Tok::Barrier(l),
+        }
+    }
+}
+
+/// A single-word stream token, the payload of one lane of an on-chip link.
+pub type Token = Tok<Word>;
+
+/// Shorthand constructor for a data token.
+///
+/// ```
+/// use revet_sltf::{data, Token, Word};
+/// assert_eq!(data(7), Token::Data(Word::from_u32(7)));
+/// ```
+pub fn data(v: impl Into<Word>) -> Token {
+    Tok::Data(v.into())
+}
+
+/// Shorthand constructor for a barrier token Ωn.
+///
+/// # Panics
+///
+/// Panics unless `1 <= n <= 15`.
+///
+/// ```
+/// use revet_sltf::{omega, BarrierLevel, Token};
+/// assert_eq!(omega(2), Token::Barrier(BarrierLevel::of(2)));
+/// ```
+pub fn omega(n: u8) -> Token {
+    Tok::Barrier(BarrierLevel::of(n))
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Data(w) => write!(f, "{w}"),
+            Tok::Barrier(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_bounds() {
+        assert!(BarrierLevel::new(0).is_none());
+        assert!(BarrierLevel::new(16).is_none());
+        assert_eq!(BarrierLevel::new(15).unwrap().get(), 15);
+    }
+
+    #[test]
+    fn raise_lower() {
+        assert_eq!(BarrierLevel::of(15).raised(), None);
+        assert_eq!(BarrierLevel::of(1).lowered(), None);
+        assert_eq!(BarrierLevel::of(3).lowered(), Some(BarrierLevel::of(2)));
+    }
+
+    #[test]
+    fn tok_accessors() {
+        let d = data(5u32);
+        assert!(d.is_data());
+        assert_eq!(d.data(), Some(&Word::from_u32(5)));
+        assert_eq!(d.barrier_level(), None);
+        let b = omega(3);
+        assert!(b.is_barrier());
+        assert_eq!(b.barrier_level(), Some(BarrierLevel::of(3)));
+        assert_eq!(b.into_data(), None);
+    }
+
+    #[test]
+    fn tok_map_preserves_barriers() {
+        let b: Tok<u32> = Tok::Barrier(BarrierLevel::L2);
+        assert_eq!(b.map(|x| x + 1), Tok::Barrier(BarrierLevel::L2));
+        assert_eq!(Tok::Data(2u32).map(|x| x + 1), Tok::Data(3u32));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", omega(4)), "Ω4");
+        assert_eq!(format!("{}", data(9u32)), "9");
+    }
+}

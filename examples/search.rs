@@ -1,0 +1,30 @@
+//! Table III's `search` application from the public registry: exact-match
+//! text search with Horspool skips (the nested data-dependent while loops
+//! that MapReduce-style front ends cannot express), validated against the
+//! oracle and timed on the vRDA model.
+//!
+//! Run with: `cargo run --example search`
+
+use revet::apps;
+use revet::compiler::PassOptions;
+use revet::sim::{IdealModels, RdaConfig, Simulator};
+use revet_sltf::Word;
+
+fn main() {
+    let app = apps::app("search").expect("registered");
+    let workload = (app.workload)(32, 0xB00C);
+    let mut program = app
+        .compile(4, &PassOptions::default())
+        .expect("compiles");
+    app.load(&mut program, &workload);
+    let args: Vec<Word> = workload.args.iter().map(|&a| Word(a)).collect();
+    let sim = Simulator::new(RdaConfig::default(), IdealModels::default());
+    let stats = sim.run(&mut program, &args, 500_000_000).expect("runs");
+    app.check(&program, &workload);
+    println!(
+        "search: {} chunks in {} cycles -> {:.2} GB/s (validated against oracle)",
+        workload.threads,
+        stats.cycles,
+        stats.throughput_gbps(workload.app_bytes)
+    );
+}

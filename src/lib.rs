@@ -1,0 +1,38 @@
+//! # Revet
+//!
+//! A reproduction of *"Revet: A Language and Compiler for Dataflow Threads"*
+//! (HPCA 2024). This facade crate re-exports the whole stack:
+//!
+//! - [`sltf`] — the structured-link tensor format (on-chip streams, barriers)
+//! - [`machine`] — streaming primitives and the abstract dataflow machine
+//! - [`mir`] — the SSA mid-level IR the compiler operates on
+//! - [`lang`] — the Revet language front-end
+//! - [`compiler`] — passes, CFG→dataflow lowering, splitting, placement
+//! - [`sim`] — the cycle-level vRDA simulator
+//! - [`baselines`] — GPU/CPU baseline models
+//! - [`apps`] — the eight evaluation applications
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use revet::compiler::{Compiler, PassOptions};
+//!
+//! let source = r#"
+//!     dram<u32> output;
+//!     void main(u32 n) {
+//!         foreach (n) { u32 i =>
+//!             output[i] = i * i;
+//!         };
+//!     }
+//! "#;
+//! let program = Compiler::new(PassOptions::default()).compile_source(source).unwrap();
+//! assert!(program.context_count() > 0);
+//! ```
+pub use revet_apps as apps;
+pub use revet_baselines as baselines;
+pub use revet_core as compiler;
+pub use revet_lang as lang;
+pub use revet_machine as machine;
+pub use revet_mir as mir;
+pub use revet_sim as sim;
+pub use revet_sltf as sltf;
