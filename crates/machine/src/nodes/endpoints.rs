@@ -2,9 +2,8 @@
 
 use crate::node::{MachineError, Node, NodeIo};
 use crate::tuple::TTok;
-use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A shared handle to the tokens a [`SinkNode`] has collected.
 #[derive(Clone, Debug, Default)]
@@ -13,17 +12,17 @@ pub struct SinkHandle(Arc<Mutex<Vec<TTok>>>);
 impl SinkHandle {
     /// Snapshot of the collected tokens.
     pub fn tokens(&self) -> Vec<TTok> {
-        self.0.lock().clone()
+        self.0.lock().unwrap().clone()
     }
 
     /// Number of collected tokens.
     pub fn len(&self) -> usize {
-        self.0.lock().len()
+        self.0.lock().unwrap().len()
     }
 
     /// True if nothing was collected.
     pub fn is_empty(&self) -> bool {
-        self.0.lock().is_empty()
+        self.0.lock().unwrap().is_empty()
     }
 }
 
@@ -80,7 +79,7 @@ impl Node for SinkNode {
         let mut progressed = false;
         while io.peek_in(0).is_some() {
             let tok = io.pop_in(0);
-            self.out.0.lock().push(tok);
+            self.out.0.lock().unwrap().push(tok);
             progressed = true;
         }
         Ok(progressed)

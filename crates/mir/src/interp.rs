@@ -651,7 +651,8 @@ mod tests {
         f.body = b.build();
         m.funcs.push(f);
         let (out, _) = run_main(&m, &[Word(5)], vec![]);
-        assert_eq!(out, vec![Word(0 + 1 + 4 + 9 + 16)]);
+        // squares of 0..5
+        assert_eq!(out, vec![Word(1 + 4 + 9 + 16)]);
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Smoke test: every `examples/` program compiles and runs to completion,
+//! printing the output its doc comment promises. Exercised through the real
+//! `cargo` binary so the test fails if an example rots out of the build.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn cargo() -> Command {
+    // CARGO is set by the cargo that launched the test harness.
+    Command::new(std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into()))
+}
+
+#[test]
+fn examples_build_and_run() {
+    let root = workspace_root();
+
+    let build = cargo()
+        .args(["build", "--examples"])
+        .current_dir(&root)
+        .output()
+        .expect("spawn cargo build --examples");
+    assert!(
+        build.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+
+    // (example, substring its output must contain)
+    let expectations = [
+        ("quickstart", "collatz_steps(6) = 8"),
+        ("search", "validated against oracle"),
+        ("strlen", "strlen(\"dataflow-thre\") = 13"),
+    ];
+
+    for (name, needle) in expectations {
+        let run = cargo()
+            .args(["run", "--example", name])
+            .current_dir(&root)
+            .output()
+            .unwrap_or_else(|e| panic!("spawn example {name}: {e}"));
+        let stdout = String::from_utf8_lossy(&run.stdout);
+        assert!(
+            run.status.success(),
+            "example {name} exited with {:?}:\n{}",
+            run.status.code(),
+            String::from_utf8_lossy(&run.stderr)
+        );
+        assert!(
+            stdout.contains(needle),
+            "example {name} output missing {needle:?}:\n{stdout}"
+        );
+    }
+}
