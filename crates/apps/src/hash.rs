@@ -176,7 +176,8 @@ void main(u32 count) {{
                     res.to_le_bytes()
                 })
                 .collect();
-            let to_bytes = |v: &[u32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
+            let to_bytes =
+                |v: &[u32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
             Workload {
                 args: vec![scale as u32],
                 // Normalized size: queries + results (the table is the data

@@ -170,11 +170,11 @@ void main(u32 blocks) {{
             for b in 0..scale {
                 let (bytes, total) =
                     encode_block(&cb, &symbols[b * SYMS as usize..(b + 1) * SYMS as usize]);
-                outbits[b * OUTB as usize..b * OUTB as usize + bytes.len()]
-                    .copy_from_slice(&bytes);
+                outbits[b * OUTB as usize..b * OUTB as usize + bytes.len()].copy_from_slice(&bytes);
                 totals.extend(total.to_le_bytes());
             }
-            let to_bytes = |v: &[u32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
+            let to_bytes =
+                |v: &[u32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
             Workload {
                 args: vec![scale as u32],
                 app_bytes: (symbols.len() + outbits.iter().filter(|&&b| b != 0).count()) as u64,
@@ -258,7 +258,8 @@ void main(u32 blocks) {{
                     encode_block(&cb, &symbols[b * SYMS as usize..(b + 1) * SYMS as usize]);
                 bits[b * INB as usize..b * INB as usize + bytes.len()].copy_from_slice(&bytes);
             }
-            let to_bytes = |v: &[u32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
+            let to_bytes =
+                |v: &[u32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
             Workload {
                 args: vec![scale as u32],
                 app_bytes: (bits.iter().filter(|&&b| b != 0).count() + symbols.len()) as u64,

@@ -79,7 +79,11 @@ pub fn count_in_rect(t: &KdTree, rect: (u32, u32, u32, u32)) -> u32 {
             }
         } else {
             let split = t.nodes[b + 1];
-            let (lo, hi) = if flag == 0 { (xmin, xmax) } else { (ymin, ymax) };
+            let (lo, hi) = if flag == 0 {
+                (xmin, xmax)
+            } else {
+                (ymin, ymax)
+            };
             if lo < split {
                 stack.push(t.nodes[b + 2]);
             }
@@ -181,7 +185,8 @@ void main(u32 count) {{
                 fetched_points += c as u64;
                 expected.extend(c.to_le_bytes());
             }
-            let to_bytes = |v: &[u32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
+            let to_bytes =
+                |v: &[u32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
             Workload {
                 args: vec![scale as u32],
                 // Paper: size = fetched points that are counted.
@@ -210,8 +215,9 @@ mod tests {
     #[test]
     fn oracle_counts_match_brute_force() {
         let mut r = gen::rng(9);
-        let mut points: Vec<(u32, u32)> =
-            (0..500).map(|_| (r.gen_range(0..1000), r.gen_range(0..1000))).collect();
+        let mut points: Vec<(u32, u32)> = (0..500)
+            .map(|_| (r.gen_range(0..1000), r.gen_range(0..1000)))
+            .collect();
         let brute = points.clone();
         let tree = build(&mut points);
         for _ in 0..20 {

@@ -182,8 +182,7 @@ impl GpuModel {
             return useful_bytes_per_wave / (levels * self.launch_us * 1e-6) / 1e9;
         }
         let mem = self.mem_gbps * self.coalescing_factor(t.bytes_per_thread, t.random_access);
-        let compute =
-            self.sms as f64 * self.warp as f64 * self.clock_ghz / t.gpu_ops_per_byte;
+        let compute = self.sms as f64 * self.warp as f64 * self.clock_ghz / t.gpu_ops_per_byte;
         mem.min(compute)
     }
 }
@@ -191,9 +190,7 @@ impl GpuModel {
 impl CpuModel {
     /// Modelled throughput in GB/s.
     pub fn throughput_gbps(&self, t: &AppTraits) -> f64 {
-        let mem = self.mem_gbps
-            * self.mem_efficiency
-            * if t.random_access { 0.06 } else { 1.0 };
+        let mem = self.mem_gbps * self.mem_efficiency * if t.random_access { 0.06 } else { 1.0 };
         let compute = self.threads as f64 * self.clock_ghz / t.cpu_ops_per_byte;
         mem.min(compute)
     }

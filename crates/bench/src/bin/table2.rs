@@ -1,4 +1,7 @@
 //! Regenerates Table II (RDA parameters).
 fn main() {
-    println!("=== Table II: RDA parameters ===\n{}", revet_bench::table2());
+    println!(
+        "=== Table II: RDA parameters ===\n{}",
+        revet_bench::table2()
+    );
 }

@@ -484,8 +484,7 @@ pub fn fig14(inputs: &[usize]) -> Vec<Fig14Point> {
             }
             let total: u64 = done_per_region.iter().sum();
             let slow = 100.0 * done_per_region[0] as f64 / total as f64;
-            let fast = 100.0
-                * done_per_region[1..].iter().copied().max().unwrap_or(0) as f64
+            let fast = 100.0 * done_per_region[1..].iter().copied().max().unwrap_or(0) as f64
                 / total as f64;
             Fig14Point {
                 inputs: n,

@@ -116,10 +116,31 @@ impl CompiledProgram {
         args: &[Word],
         max_rounds: u64,
     ) -> Result<revet_machine::ExecReport, revet_machine::MachineError> {
+        self.inject_args(args);
+        self.graph.run_untimed(max_rounds)
+    }
+
+    /// Like [`CompiledProgram::run_untimed`] but using the retained
+    /// dense-sweep reference executor — for scheduler-equivalence checks
+    /// and the executor benchmark; prefer `run_untimed` everywhere else.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine protocol errors and deadlock diagnoses.
+    pub fn run_untimed_dense(
+        &mut self,
+        args: &[Word],
+        max_rounds: u64,
+    ) -> Result<revet_machine::ExecReport, revet_machine::MachineError> {
+        self.inject_args(args);
+        self.graph.run_untimed_dense(max_rounds)
+    }
+
+    /// Injects the `main` argument thread: one data tuple closed by Ω1.
+    fn inject_args(&mut self, args: &[Word]) {
         let chan = self.graph.chan_mut(self.entry);
         chan.push(revet_sltf::Tok::Data(args.to_vec()));
         chan.push(revet_sltf::Tok::Barrier(revet_sltf::BarrierLevel::L1));
-        self.graph.run_untimed(max_rounds)
     }
 
     /// The number of contexts (Table IV's unit counts derive from this).
@@ -230,9 +251,11 @@ impl DfLower<'_> {
     }
 
     fn chan_raw(&mut self, arity: usize, class: LinkClass) -> ChanId {
-        let id = self
-            .g
-            .add_chan(Channel::new(arity).with_class(class).without_canonicalization());
+        let id = self.g.add_chan(
+            Channel::new(arity)
+                .with_class(class)
+                .without_canonicalization(),
+        );
         self.links.push(LinkInfo {
             id: id.0,
             arity,
@@ -291,6 +314,9 @@ impl DfLower<'_> {
             .add_node("main.sink", Box::new(sink), vec![cur.chan], vec![]);
         self.g.set_node_meta(id, u32::MAX, UnitClass::Virtual);
         self.g.mem = self.module.build_memory(dram_bytes);
+        // The wiring is complete: build the channel-endpoint index both
+        // executors use for ready-set scheduling.
+        self.g.finalize_topology();
         Ok(CompiledProgram {
             graph: self.g,
             contexts: self.infos,
@@ -536,17 +562,15 @@ impl DfLower<'_> {
                 .copied()
                 .ok_or_else(|| CoreError::new(format!("value %{} unavailable in block", v.0)))
         };
-        let mut alloc = |operand: &mut HashMap<Value, Operand>,
-                         v: Option<&Value>,
-                         next_reg: &mut Reg|
-         -> Reg {
-            let r = *next_reg;
-            *next_reg += 1;
-            if let Some(v) = v {
-                operand.insert(*v, Operand::Reg(r));
-            }
-            r
-        };
+        let mut alloc =
+            |operand: &mut HashMap<Value, Operand>, v: Option<&Value>, next_reg: &mut Reg| -> Reg {
+                let r = *next_reg;
+                *next_reg += 1;
+                if let Some(v) = v {
+                    operand.insert(*v, Operand::Reg(r));
+                }
+                r
+            };
         self.gen_instrs_inner(op, operand, next_reg, items, &get, &mut alloc, None)
     }
 
@@ -567,7 +591,16 @@ impl DfLower<'_> {
                 let a = get(a, operand)?;
                 let b = get(b, operand)?;
                 let dst = alloc(operand, op.results.first(), next_reg);
-                items.push((EwInstr::Alu { op: *aop, a, b, dst }, false, UnitClass::Compute));
+                items.push((
+                    EwInstr::Alu {
+                        op: *aop,
+                        a,
+                        b,
+                        dst,
+                    },
+                    false,
+                    UnitClass::Compute,
+                ));
             }
             OpKind::Select(c, t, f) => {
                 let c = get(c, operand)?;
@@ -623,11 +656,7 @@ impl DfLower<'_> {
                             UnitClass::Compute,
                         ));
                     }
-                    _ => items.push((
-                        EwInstr::Mov { src, dst },
-                        false,
-                        UnitClass::Compute,
-                    )),
+                    _ => items.push((EwInstr::Mov { src, dst }, false, UnitClass::Compute)),
                 }
             }
             OpKind::SramRead { sram, addr } => {
@@ -1021,7 +1050,15 @@ impl DfLower<'_> {
                 } => {
                     let live = self.tupleize(&live_after[i]);
                     cur = self.lower_foreach(
-                        op, *lo, *hi, *step, body, reduce, cur, &live, &mut pending,
+                        op,
+                        *lo,
+                        *hi,
+                        *step,
+                        body,
+                        reduce,
+                        cur,
+                        &live,
+                        &mut pending,
                     )?;
                 }
                 OpKind::Fork { count, body } => {
@@ -1114,73 +1151,89 @@ impl DfLower<'_> {
             vec![cur.chan],
             vec![then_chan, else_chan],
         );
-        self.note_node(id, &label, "filter", UnitClass::Compute, 0, regs, self.category());
+        self.note_node(
+            id,
+            &label,
+            "filter",
+            UnitClass::Compute,
+            0,
+            regs,
+            self.category(),
+        );
         // Branch tuples: results-positional + passthrough.
         let mut out_arity = op.results.len() + passthrough.len();
-        let lower_branch = |lw: &mut Self, region: &Region, chan: ChanId| -> Result<Cur, CoreError> {
-            let cur = Cur {
-                chan,
-                vars: in_tuple.clone(),
-            };
-            let (bcur, term) = lw.lower_ops(&region.ops, cur, &passthrough)?;
-            match term {
-                Term::Yield => Ok(bcur),
-                Term::Exit => {
-                    // Barrier-only output with the merge arity.
-                    let arity = op.results.len() + passthrough.len();
-                    let out = lw.chan(arity, LinkClass::Scalar);
-                    let node = EwNode::new(
-                        bcur.vars.len().max(1) as u16,
-                        vec![],
-                        vec![OutputSpec {
-                            slots: vec![0; arity],
-                            pred: Some((0, true)),
-                            strip_barriers: false,
-                        }],
-                    );
-                    // An arity-0 tuple has no reg 0; use a const-false pred
-                    // via a Mov instr instead.
-                    let node = if bcur.vars.is_empty() {
-                        EwNode::new(
-                            1,
-                            vec![EwInstr::Mov {
-                                src: Operand::Const(Word(0)),
-                                dst: 0,
-                            }],
+        let lower_branch =
+            |lw: &mut Self, region: &Region, chan: ChanId| -> Result<Cur, CoreError> {
+                let cur = Cur {
+                    chan,
+                    vars: in_tuple.clone(),
+                };
+                let (bcur, term) = lw.lower_ops(&region.ops, cur, &passthrough)?;
+                match term {
+                    Term::Yield => Ok(bcur),
+                    Term::Exit => {
+                        // Barrier-only output with the merge arity.
+                        let arity = op.results.len() + passthrough.len();
+                        let out = lw.chan(arity, LinkClass::Scalar);
+                        let node = EwNode::new(
+                            bcur.vars.len().max(1) as u16,
+                            vec![],
                             vec![OutputSpec {
                                 slots: vec![0; arity],
                                 pred: Some((0, true)),
                                 strip_barriers: false,
                             }],
-                        )
-                    } else {
-                        let _ = node;
-                        EwNode::new(
-                            bcur.vars.len() as u16,
-                            vec![EwInstr::Mov {
-                                src: Operand::Const(Word(0)),
-                                dst: bcur.vars.len() as Reg,
-                            }],
-                            vec![OutputSpec {
-                                slots: vec![0; arity],
-                                pred: Some((bcur.vars.len() as Reg, true)),
-                                strip_barriers: false,
-                            }],
-                        )
-                    };
-                    let label = lw.label("exit.drop");
-                    let id = lw
-                        .g
-                        .add_node(&label, Box::new(node), vec![bcur.chan], vec![out]);
-                    lw.note_node(id, &label, "filter", UnitClass::Compute, 1, 1, lw.category());
-                    Ok(Cur {
-                        chan: out,
-                        vars: vec![],
-                    })
+                        );
+                        // An arity-0 tuple has no reg 0; use a const-false pred
+                        // via a Mov instr instead.
+                        let node = if bcur.vars.is_empty() {
+                            EwNode::new(
+                                1,
+                                vec![EwInstr::Mov {
+                                    src: Operand::Const(Word(0)),
+                                    dst: 0,
+                                }],
+                                vec![OutputSpec {
+                                    slots: vec![0; arity],
+                                    pred: Some((0, true)),
+                                    strip_barriers: false,
+                                }],
+                            )
+                        } else {
+                            let _ = node;
+                            EwNode::new(
+                                bcur.vars.len() as u16,
+                                vec![EwInstr::Mov {
+                                    src: Operand::Const(Word(0)),
+                                    dst: bcur.vars.len() as Reg,
+                                }],
+                                vec![OutputSpec {
+                                    slots: vec![0; arity],
+                                    pred: Some((bcur.vars.len() as Reg, true)),
+                                    strip_barriers: false,
+                                }],
+                            )
+                        };
+                        let label = lw.label("exit.drop");
+                        let id =
+                            lw.g.add_node(&label, Box::new(node), vec![bcur.chan], vec![out]);
+                        lw.note_node(
+                            id,
+                            &label,
+                            "filter",
+                            UnitClass::Compute,
+                            1,
+                            1,
+                            lw.category(),
+                        );
+                        Ok(Cur {
+                            chan: out,
+                            vars: vec![],
+                        })
+                    }
+                    _ => Err(CoreError::new("if branch must end in yield or exit")),
                 }
-                _ => Err(CoreError::new("if branch must end in yield or exit")),
-            }
-        };
+            };
         let then_cur = lower_branch(self, then, then_chan)?;
         let else_cur = lower_branch(self, else_, else_chan)?;
         if !then_cur.vars.is_empty() {
@@ -1196,7 +1249,15 @@ impl DfLower<'_> {
             vec![then_cur.chan, else_cur.chan],
             vec![merged],
         );
-        self.note_node(id, &label, "fwd-merge", UnitClass::Compute, 0, 0, self.category());
+        self.note_node(
+            id,
+            &label,
+            "fwd-merge",
+            UnitClass::Compute,
+            0,
+            0,
+            self.category(),
+        );
         let mut vars = op.results.clone();
         vars.extend(passthrough);
         Ok(Cur { chan: merged, vars })
@@ -1261,7 +1322,15 @@ impl DfLower<'_> {
             vec![fwd_cur.chan, back_chan],
             vec![body_chan],
         );
-        self.note_node(id, &label, "fb-merge", UnitClass::Compute, 0, 0, self.category());
+        self.note_node(
+            id,
+            &label,
+            "fb-merge",
+            UnitClass::Compute,
+            0,
+            0,
+            self.category(),
+        );
         // One deadlock-avoidance buffer MU per recirculating region.
         self.add_buffer_mu(Category::Deadlock, "while.buf");
         self.depth += 1;
@@ -1330,7 +1399,15 @@ impl DfLower<'_> {
             vec![cond_cur.chan],
             vec![body_path, exit_path],
         );
-        self.note_node(id, &label, "filter", UnitClass::Compute, 0, regs, self.category());
+        self.note_node(
+            id,
+            &label,
+            "filter",
+            UnitClass::Compute,
+            0,
+            regs,
+            self.category(),
+        );
         // Body: after.args bound positionally to fwd values.
         let mut body_vars: Vec<Value> = after.args.clone();
         body_vars.extend(invariant.iter().copied());
@@ -1356,10 +1433,18 @@ impl DfLower<'_> {
                 // channel already exists; reuse by adding a forwarding node).
                 let label = self.label("while.back");
                 let node = EwNode::passthrough(arity as u16);
-                let id = self
-                    .g
-                    .add_node(&label, Box::new(node), vec![back_cur.chan], vec![back_chan]);
-                self.note_node(id, &label, "ew", UnitClass::Compute, 0, arity, self.category());
+                let id =
+                    self.g
+                        .add_node(&label, Box::new(node), vec![back_cur.chan], vec![back_chan]);
+                self.note_node(
+                    id,
+                    &label,
+                    "ew",
+                    UnitClass::Compute,
+                    0,
+                    arity,
+                    self.category(),
+                );
             }
             Term::Exit => {
                 // All threads exit: the backedge still needs barriers.
@@ -1376,10 +1461,18 @@ impl DfLower<'_> {
                         strip_barriers: false,
                     }],
                 );
-                let id = self
-                    .g
-                    .add_node(&label, Box::new(node), vec![body_out.chan], vec![back_chan]);
-                self.note_node(id, &label, "filter", UnitClass::Compute, 1, 1, self.category());
+                let id =
+                    self.g
+                        .add_node(&label, Box::new(node), vec![body_out.chan], vec![back_chan]);
+                self.note_node(
+                    id,
+                    &label,
+                    "filter",
+                    UnitClass::Compute,
+                    1,
+                    1,
+                    self.category(),
+                );
             }
             _ => return Err(CoreError::new("while body must end in yield or exit")),
         }
@@ -1398,7 +1491,15 @@ impl DfLower<'_> {
             vec![exit_path],
             vec![stripped],
         );
-        self.note_node(id, &label, "flatten", UnitClass::Compute, 0, 0, self.category());
+        self.note_node(
+            id,
+            &label,
+            "flatten",
+            UnitClass::Compute,
+            0,
+            0,
+            self.category(),
+        );
         // Reorder [fwd, invariant, passthrough] → [results, passthrough].
         let exit_in_vars: Vec<Value> = {
             // Rename fwd positions to result values.
@@ -1479,7 +1580,15 @@ impl DfLower<'_> {
             vec![cur.chan],
             vec![child, parent],
         );
-        self.note_node(id, &label, "counter", UnitClass::Compute, 0, in_tuple.len(), self.category());
+        self.note_node(
+            id,
+            &label,
+            "counter",
+            UnitClass::Compute,
+            0,
+            in_tuple.len(),
+            self.category(),
+        );
         self.depth += 1;
         // Broadcast live-ins onto children (scalar parent link), if any.
         let body_cur = if body_live_in.is_empty() {
@@ -1499,13 +1608,27 @@ impl DfLower<'_> {
             let node = EwNode::new(
                 in_tuple.len() as u16,
                 vec![],
-                vec![OutputSpec::stripped(feed_slots), OutputSpec::plain(all_slots)],
+                vec![
+                    OutputSpec::stripped(feed_slots),
+                    OutputSpec::plain(all_slots),
+                ],
             );
             let label = self.label("foreach.split");
-            let id = self
-                .g
-                .add_node(&label, Box::new(node), vec![parent], vec![bcast_feed, bypass]);
-            self.note_node(id, &label, "ew", UnitClass::Compute, 0, in_tuple.len(), self.category());
+            let id = self.g.add_node(
+                &label,
+                Box::new(node),
+                vec![parent],
+                vec![bcast_feed, bypass],
+            );
+            self.note_node(
+                id,
+                &label,
+                "ew",
+                UnitClass::Compute,
+                0,
+                in_tuple.len(),
+                self.category(),
+            );
             let joined = self.chan(1 + body_live_in.len(), LinkClass::Vector);
             let label = self.label("foreach.bcast");
             let id = self.g.add_node(
@@ -1514,7 +1637,15 @@ impl DfLower<'_> {
                 vec![bcast_feed, child],
                 vec![joined],
             );
-            self.note_node(id, &label, "broadcast", UnitClass::Compute, 0, 0, self.category());
+            self.note_node(
+                id,
+                &label,
+                "broadcast",
+                UnitClass::Compute,
+                0,
+                0,
+                self.category(),
+            );
             let mut vars = vec![index];
             vars.extend(body_live_in.iter().copied());
             // Re-route the bypass as the new parent for the rejoin below.
@@ -1536,7 +1667,15 @@ impl DfLower<'_> {
                 let id = self
                     .g
                     .add_node(&label, node, vec![body_out.chan], vec![reduced]);
-                self.note_node(id, &label, "reduce", UnitClass::Compute, 0, 1, self.category());
+                self.note_node(
+                    id,
+                    &label,
+                    "reduce",
+                    UnitClass::Compute,
+                    0,
+                    1,
+                    self.category(),
+                );
             }
             Term::Exit => {
                 // All iterations exit: reduce still sees barriers.
@@ -1544,7 +1683,15 @@ impl DfLower<'_> {
                 let id = self
                     .g
                     .add_node(&label, node, vec![body_out.chan], vec![reduced]);
-                self.note_node(id, &label, "reduce", UnitClass::Compute, 0, 1, self.category());
+                self.note_node(
+                    id,
+                    &label,
+                    "reduce",
+                    UnitClass::Compute,
+                    0,
+                    1,
+                    self.category(),
+                );
             }
             _ => return Err(CoreError::new("foreach body must end in yield or exit")),
         }
@@ -1561,7 +1708,15 @@ impl DfLower<'_> {
             vec![reduced, bypass_chan],
             vec![zipped],
         );
-        self.note_node(id, &label, "ew", UnitClass::Compute, 0, zip_vars.len(), self.category());
+        self.note_node(
+            id,
+            &label,
+            "ew",
+            UnitClass::Compute,
+            0,
+            zip_vars.len(),
+            self.category(),
+        );
         // Final tuple: results ++ passthrough.
         let mut out_tuple: Vec<Value> = op.results.to_vec();
         out_tuple.extend(passthrough.iter().copied());
@@ -1622,7 +1777,15 @@ impl DfLower<'_> {
             vec![cur.chan],
             vec![spawned],
         );
-        self.note_node(id, &label, "fork", UnitClass::Compute, 0, in_tuple.len() + 1, self.category());
+        self.note_node(
+            id,
+            &label,
+            "fork",
+            UnitClass::Compute,
+            0,
+            in_tuple.len() + 1,
+            self.category(),
+        );
         let mut body_vars = in_tuple.clone();
         body_vars.push(index);
         let body_cur = Cur {
@@ -1724,7 +1887,15 @@ impl DfLower<'_> {
             let id = self
                 .g
                 .add_node(&label, Box::new(node), vec![cur.chan], vec![chan]);
-            self.note_node(id, &label, "ew", UnitClass::Memory, 1, out_tuple.len(), Category::Replicate);
+            self.note_node(
+                id,
+                &label,
+                "ew",
+                UnitClass::Memory,
+                1,
+                out_tuple.len(),
+                Category::Replicate,
+            );
             in_tuple = out_tuple.clone();
             cur = Cur {
                 chan,
@@ -1744,10 +1915,7 @@ impl DfLower<'_> {
                     .filter(|v| !body_live_in.contains(v))
                     .collect();
                 if !buffered.is_empty() {
-                    let threads = self
-                        .opts
-                        .threads
-                        .unwrap_or(crate::passes::DEFAULT_THREADS);
+                    let threads = self.opts.threads.unwrap_or(crate::passes::DEFAULT_THREADS);
                     let sram = self.module.add_sram(
                         format!("rep_buf{}", self.label_n),
                         buffered.len() as u32 * threads,
@@ -1760,12 +1928,17 @@ impl DfLower<'_> {
                         .filter(|v| !buffered.contains(v))
                         .collect();
                     let mut instrs = Vec::new();
-                    let ppos = in_tuple.iter().position(|v| v == ptr).expect("ptr in tuple") as Reg;
+                    let ppos = in_tuple
+                        .iter()
+                        .position(|v| v == ptr)
+                        .expect("ptr in tuple") as Reg;
                     let k = buffered.len() as u32;
                     let scratch = in_tuple.len() as Reg;
                     for (j, v) in buffered.iter().enumerate() {
-                        let vpos =
-                            in_tuple.iter().position(|x| x == v).expect("buffered value") as Reg;
+                        let vpos = in_tuple
+                            .iter()
+                            .position(|x| x == v)
+                            .expect("buffered value") as Reg;
                         instrs.push(EwInstr::Alu {
                             op: AluOp::Mul,
                             a: Operand::Reg(ppos),
@@ -1790,14 +1963,25 @@ impl DfLower<'_> {
                         .map(|v| in_tuple.iter().position(|x| x == v).expect("kept") as Reg)
                         .collect();
                     let chan = self.chan(keep.len(), LinkClass::Vector);
-                    let node =
-                        EwNode::new(in_tuple.len() as u16 + 1, instrs, vec![OutputSpec::plain(out_keep)]);
+                    let node = EwNode::new(
+                        in_tuple.len() as u16 + 1,
+                        instrs,
+                        vec![OutputSpec::plain(out_keep)],
+                    );
                     let label = self.label("rep.bufstore");
                     let n_instrs = 3 * buffered.len();
                     let id = self
                         .g
                         .add_node(&label, Box::new(node), vec![cur.chan], vec![chan]);
-                    self.note_node(id, &label, "ew", UnitClass::Memory, n_instrs, keep.len() + 1, Category::Buffer);
+                    self.note_node(
+                        id,
+                        &label,
+                        "ew",
+                        UnitClass::Memory,
+                        n_instrs,
+                        keep.len() + 1,
+                        Category::Buffer,
+                    );
                     in_tuple = keep.clone();
                     cur = Cur { chan, vars: keep };
                 }
@@ -1839,10 +2023,21 @@ impl DfLower<'_> {
         let node = EwNode::new(keyed.len() as u16, dist_instrs, outs);
         let regs = node.reg_count() as usize;
         let label = self.label("rep.dist");
-        let id = self
-            .g
-            .add_node(&label, Box::new(node), vec![cur.chan], vec![out_chans.clone()].concat());
-        self.note_node(id, &label, "filter", UnitClass::Compute, 1 + ways as usize, regs, Category::Replicate);
+        let id = self.g.add_node(
+            &label,
+            Box::new(node),
+            vec![cur.chan],
+            vec![out_chans.clone()].concat(),
+        );
+        self.note_node(
+            id,
+            &label,
+            "filter",
+            UnitClass::Compute,
+            1 + ways as usize,
+            regs,
+            Category::Replicate,
+        );
         // One retiming buffer MU in the distribution network (§V-C d).
         self.add_buffer_mu(Category::Retime, "rep.retime");
 
@@ -1861,8 +2056,7 @@ impl DfLower<'_> {
                 .iter()
                 .enumerate()
                 .filter(|(j, _)| {
-                    Some(*j) != hoisted.as_ref().map(|(j, _, _)| *j)
-                        && Some(*j) != hoisted_push
+                    Some(*j) != hoisted.as_ref().map(|(j, _, _)| *j) && Some(*j) != hoisted_push
                 })
                 .map(|(_, o)| o.clone())
                 .collect();
@@ -1880,21 +2074,13 @@ impl DfLower<'_> {
             match term {
                 Term::Yield => region_outs.push(out),
                 Term::Exit => region_outs.push(out),
-                _ => {
-                    return Err(CoreError::new(
-                        "replicate body must end in yield or exit",
-                    ))
-                }
+                _ => return Err(CoreError::new("replicate body must end in yield or exit")),
             }
             let _ = i;
         }
         self.in_replicate -= 1;
         // Merge tree.
-        let out_arity = region_outs
-            .iter()
-            .map(|c| c.vars.len())
-            .max()
-            .unwrap_or(0);
+        let out_arity = region_outs.iter().map(|c| c.vars.len()).max().unwrap_or(0);
         let mut frontier: Vec<ChanId> = region_outs.iter().map(|c| c.chan).collect();
         while frontier.len() > 1 {
             let mut next = Vec::new();
@@ -1908,7 +2094,15 @@ impl DfLower<'_> {
                         vec![pair[0], pair[1]],
                         vec![merged],
                     );
-                    self.note_node(id, &label, "fwd-merge", UnitClass::Compute, 0, 0, Category::Replicate);
+                    self.note_node(
+                        id,
+                        &label,
+                        "fwd-merge",
+                        UnitClass::Compute,
+                        0,
+                        0,
+                        Category::Replicate,
+                    );
                     next.push(merged);
                 } else {
                     next.push(pair[0]);
@@ -1943,8 +2137,7 @@ impl DfLower<'_> {
                     .position(|v| v == ptr)
                     .ok_or_else(|| CoreError::new("hoisted pointer lost through replicate"))?
                     as Reg;
-                let out_vars: Vec<Value> =
-                    cur.vars.iter().copied().filter(|v| v != ptr).collect();
+                let out_vars: Vec<Value> = cur.vars.iter().copied().filter(|v| v != ptr).collect();
                 let slots: Vec<Reg> = cur
                     .vars
                     .iter()
@@ -1966,7 +2159,15 @@ impl DfLower<'_> {
                 let id = self
                     .g
                     .add_node(&label, Box::new(node), vec![cur.chan], vec![chan]);
-                self.note_node(id, &label, "ew", UnitClass::Memory, 1, cur.vars.len(), Category::Replicate);
+                self.note_node(
+                    id,
+                    &label,
+                    "ew",
+                    UnitClass::Memory,
+                    1,
+                    cur.vars.len(),
+                    Category::Replicate,
+                );
                 cur = Cur {
                     chan,
                     vars: out_vars,
@@ -2011,12 +2212,7 @@ impl DfLower<'_> {
                 src: Operand::Reg(ppos),
                 pred: None,
             });
-            let mut out_vars: Vec<Value> = cur
-                .vars
-                .iter()
-                .copied()
-                .filter(|v| v != ptr)
-                .collect();
+            let mut out_vars: Vec<Value> = cur.vars.iter().copied().filter(|v| v != ptr).collect();
             out_vars.extend(buffered.iter().copied());
             let mut slots: Vec<Reg> = cur
                 .vars
@@ -2039,7 +2235,15 @@ impl DfLower<'_> {
             let id = self
                 .g
                 .add_node(&label, Box::new(node), vec![cur.chan], vec![chan]);
-            self.note_node(id, &label, "ew", UnitClass::Memory, n_instrs, out_vars.len() + 2, Category::Buffer);
+            self.note_node(
+                id,
+                &label,
+                "ew",
+                UnitClass::Memory,
+                n_instrs,
+                out_vars.len() + 2,
+                Category::Buffer,
+            );
             cur = Cur {
                 chan,
                 vars: out_vars,
@@ -2137,7 +2341,15 @@ impl DfLower<'_> {
         let id = self
             .g
             .add_node(&label, Box::new(node), vec![cur.chan], vec![chan]);
-        self.note_node(id, &label, "ew", UnitClass::Compute, n, scratch as usize, self.category());
+        self.note_node(
+            id,
+            &label,
+            "ew",
+            UnitClass::Compute,
+            n,
+            scratch as usize,
+            self.category(),
+        );
         let mut phys_vars: Vec<Value> = pack.full.iter().map(|&i| logical[i]).collect();
         for g in &pack.groups {
             phys_vars.push(logical[g.positions[0]]);
@@ -2149,7 +2361,12 @@ impl DfLower<'_> {
     }
 
     /// Emits an unpacking EW node: physical tuple → logical tuple.
-    fn emit_unpack(&mut self, cur: Cur, logical: &[Value], pack: &Packing) -> Result<Cur, CoreError> {
+    fn emit_unpack(
+        &mut self,
+        cur: Cur,
+        logical: &[Value],
+        pack: &Packing,
+    ) -> Result<Cur, CoreError> {
         let mut instrs = Vec::new();
         // Physical layout: full positions first, then one slot per group.
         let n_full = pack.full.len();
@@ -2185,7 +2402,15 @@ impl DfLower<'_> {
         let id = self
             .g
             .add_node(&label, Box::new(node), vec![cur.chan], vec![chan]);
-        self.note_node(id, &label, "ew", UnitClass::Compute, n, scratch as usize, self.category());
+        self.note_node(
+            id,
+            &label,
+            "ew",
+            UnitClass::Compute,
+            n,
+            scratch as usize,
+            self.category(),
+        );
         Ok(Cur {
             chan,
             vars: logical.to_vec(),
@@ -2302,9 +2527,9 @@ fn instr_write(i: &EwInstr) -> Option<Reg> {
 fn remap_instr(i: &mut EwInstr, remap: &mut HashMap<Reg, Reg>, next: &mut Reg) {
     let mo = |o: &mut Operand, remap: &mut HashMap<Reg, Reg>| {
         if let Operand::Reg(r) = o {
-            *r = *remap.get(r).unwrap_or_else(|| {
-                panic!("segment read of unmapped register r{r}")
-            });
+            *r = *remap
+                .get(r)
+                .unwrap_or_else(|| panic!("segment read of unmapped register r{r}"));
         }
     };
     let mw = |r: &mut Reg, remap: &mut HashMap<Reg, Reg>, next: &mut Reg| {

@@ -83,10 +83,7 @@ fn rewrite(
                     kind: OpKind::Bin(AluOp::Add, idx, zero),
                     results: vec![body_arg],
                 });
-                let body_ends_exit = matches!(
-                    body.ops.last().map(|o| &o.kind),
-                    Some(OpKind::Exit)
-                );
+                let body_ends_exit = matches!(body.ops.last().map(|o| &o.kind), Some(OpKind::Exit));
                 for bop in body.ops {
                     // The body's trailing yield is dropped; the fork decides
                     // continuation via the shared counter below.

@@ -49,9 +49,7 @@ fn rewrite(func: &mut Func, region: Region, count: &mut usize) -> Region {
             *r = rewrite(func, taken, count);
         }
         match op.kind {
-            OpKind::If { cond, then, else_ }
-                if convertible(&then) && convertible(&else_) =>
-            {
+            OpKind::If { cond, then, else_ } if convertible(&then) && convertible(&else_) => {
                 *count += 1;
                 let then_yield = inline_branch(&mut out, then, cond, true);
                 let else_yield = inline_branch(&mut out, else_, cond, false);

@@ -86,14 +86,7 @@ impl ViewsPass<'_> {
         r
     }
 
-    fn bin(
-        &mut self,
-        func: &mut Func,
-        out: &mut Vec<Op>,
-        op: AluOp,
-        a: Value,
-        b: Value,
-    ) -> Value {
+    fn bin(&mut self, func: &mut Func, out: &mut Vec<Op>, op: AluOp, a: Value, b: Value) -> Value {
         let r = self.fresh(func, Ty::I32);
         out.push(Op {
             kind: OpKind::Bin(op, a, b),
@@ -183,7 +176,11 @@ impl ViewsPass<'_> {
                 } => {
                     let ptr = self.get_ptr(func, &mut out, &mut region_ptrs);
                     self.counter += 1;
-                    let win = if kind == ItKind::PeekRead { 2 * tile } else { tile };
+                    let win = if kind == ItKind::PeekRead {
+                        2 * tile
+                    } else {
+                        tile
+                    };
                     let buf = self
                         .module
                         .add_sram(format!("itbuf{}", self.counter), win * self.threads);
@@ -284,7 +281,10 @@ impl ViewsPass<'_> {
                     region_objs.push(handle);
                 }
                 OpKind::ViewRead { view, idx } => {
-                    let Obj::View { size, sram, ptr, .. } = self.objs[&view].clone() else {
+                    let Obj::View {
+                        size, sram, ptr, ..
+                    } = self.objs[&view].clone()
+                    else {
                         unreachable!("view read on iterator");
                     };
                     let addr = self.buf_addr(func, &mut out, ptr, size, idx);
@@ -294,7 +294,10 @@ impl ViewsPass<'_> {
                     });
                 }
                 OpKind::ViewWrite { view, idx, val } => {
-                    let Obj::View { size, sram, ptr, .. } = self.objs[&view].clone() else {
+                    let Obj::View {
+                        size, sram, ptr, ..
+                    } = self.objs[&view].clone()
+                    else {
                         unreachable!("view write on iterator");
                     };
                     let addr = self.buf_addr(func, &mut out, ptr, size, idx);
@@ -316,7 +319,11 @@ impl ViewsPass<'_> {
                     else {
                         unreachable!("deref on view");
                     };
-                    let win = if kind == ItKind::PeekRead { 2 * tile } else { tile };
+                    let win = if kind == ItKind::PeekRead {
+                        2 * tile
+                    } else {
+                        tile
+                    };
                     let two = self.konst(func, &mut out, 2);
                     let saddr = self.bin(func, &mut out, AluOp::Mul, ptr, two);
                     let one = self.konst(func, &mut out, 1);
@@ -400,7 +407,11 @@ impl ViewsPass<'_> {
                 }
                 OpKind::ItPeek { it, ahead } => {
                     let Obj::It {
-                        tile, buf, state, ptr, ..
+                        tile,
+                        buf,
+                        state,
+                        ptr,
+                        ..
                     } = self.objs[&it].clone()
                     else {
                         unreachable!("peek on view");
@@ -428,7 +439,11 @@ impl ViewsPass<'_> {
                 }
                 OpKind::ItWrite { it, val } => {
                     let Obj::It {
-                        tile, buf, state, ptr, ..
+                        tile,
+                        buf,
+                        state,
+                        ptr,
+                        ..
                     } = self.objs[&it].clone()
                     else {
                         unreachable!("write on view");
@@ -500,8 +515,7 @@ impl ViewsPass<'_> {
                                 match last {
                                     Some(lv) => {
                                         let zero = self.konst(func, &mut out, 0);
-                                        let lastb =
-                                            self.bin(func, &mut out, AluOp::Ne, lv, zero);
+                                        let lastb = self.bin(func, &mut out, AluOp::Ne, lv, zero);
                                         self.bin(func, &mut out, AluOp::Or, full, lastb)
                                     }
                                     None => full,
@@ -769,9 +783,8 @@ mod tests {
         lower_views(&mut module, Some(16), true);
         revet_mir::verify_module(&module).unwrap();
         assert_eq!(
-            module
-                .funcs[0]
-                .count_ops(|k| k.is_high_level() && !matches!(k, OpKind::BulkLoad { .. } | OpKind::BulkStore { .. })),
+            module.funcs[0].count_ops(|k| k.is_high_level()
+                && !matches!(k, OpKind::BulkLoad { .. } | OpKind::BulkStore { .. })),
             0,
             "no view/iterator ops remain"
         );

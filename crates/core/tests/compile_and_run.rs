@@ -128,8 +128,18 @@ fn strlen_full_pipeline() {
         }
     "#;
     let strings: &[&str] = &[
-        "hello", "", "dataflow", "ab", "xyz", "q", "", "threads!",
-        "a-much-longer-string-spanning-tiles", "7", "zz", "end",
+        "hello",
+        "",
+        "dataflow",
+        "ab",
+        "xyz",
+        "q",
+        "",
+        "threads!",
+        "a-much-longer-string-spanning-tiles",
+        "7",
+        "zz",
+        "end",
     ];
     let mut input = Vec::new();
     let mut offsets = Vec::new();
@@ -396,7 +406,11 @@ fn subword_packing_reduces_link_width() {
         p.graph
             .nodes()
             .iter()
-            .filter(|n| n.behavior.as_ref().is_some_and(|b| b.kind().contains("merge")))
+            .filter(|n| {
+                n.behavior
+                    .as_ref()
+                    .is_some_and(|b| b.kind().contains("merge"))
+            })
             .flat_map(|n| n.ins.iter())
             .map(|c| p.graph.chans()[c.0 as usize].arity)
             .sum()
@@ -408,13 +422,7 @@ fn subword_packing_reduces_link_width() {
         "packing narrows merge inputs: {w_packed} vs {w_unpacked}"
     );
     // And results match.
-    let d1 = run_with(
-        PassOptions::default(),
-        src,
-        &[4],
-        &[(0, &input)],
-        2,
-    );
+    let d1 = run_with(PassOptions::default(), src, &[4], &[(0, &input)], 2);
     let d2 = run_with(
         PassOptions {
             pack_subwords: false,

@@ -82,13 +82,9 @@ pub fn lower_program(prog: &Program) -> Result<Lowered, LowerError> {
             ret: fast.ret,
         };
         for ((ty, name), val) in fast.params.iter().zip(lw.func.params.clone()) {
-            lw.scopes[0].bindings.insert(
-                name.clone(),
-                Binding::Var(VarInfo {
-                    val,
-                    ty: *ty,
-                }),
-            );
+            lw.scopes[0]
+                .bindings
+                .insert(name.clone(), Binding::Var(VarInfo { val, ty: *ty }));
         }
         let mut b = RegionBuilder::new();
         lw.lower_block(&fast.body, &mut b)?;
@@ -208,7 +204,9 @@ impl Lowerer<'_> {
                 crossed_boundary = true;
             }
         }
-        Err(LowerError::new(format!("assignment to unknown variable '{name}'")))
+        Err(LowerError::new(format!(
+            "assignment to unknown variable '{name}'"
+        )))
     }
 
     fn set_var(&mut self, scope_idx: usize, name: &str, val: Value, ty: TyName) {
@@ -317,7 +315,8 @@ impl Lowerer<'_> {
                 }
             }
             Expr::Deref(name) => {
-                let (val, elem) = self.it_handle(name, &[ItKindName::Read, ItKindName::PeekRead])?;
+                let (val, elem) =
+                    self.it_handle(name, &[ItKindName::Read, ItKindName::PeekRead])?;
                 let raw = b.emit(self.func, OpKind::ItDeref { it: val }, storage_ty(elem));
                 Ok((self.extend(raw, elem, b), promote(elem)))
             }
@@ -367,13 +366,7 @@ impl Lowerer<'_> {
                     .last_mut()
                     .expect("just pushed")
                     .bindings
-                    .insert(
-                        ivar.clone(),
-                        Binding::Var(VarInfo {
-                            val: idx,
-                            ty: *ity,
-                        }),
-                    );
+                    .insert(ivar.clone(), Binding::Var(VarInfo { val: idx, ty: *ity }));
                 let mut body_b = RegionBuilder::with_args(vec![idx]);
                 let (stmts, yielded) = split_trailing_yield(body)?;
                 self.lower_block(stmts, &mut body_b)?;
@@ -417,11 +410,7 @@ impl Lowerer<'_> {
         )
     }
 
-    fn it_handle(
-        &self,
-        name: &str,
-        allowed: &[ItKindName],
-    ) -> Result<(Value, TyName), LowerError> {
+    fn it_handle(&self, name: &str, allowed: &[ItKindName]) -> Result<(Value, TyName), LowerError> {
         match self.lookup(name) {
             Some(Binding::Handle {
                 val,
@@ -442,12 +431,7 @@ impl Lowerer<'_> {
 
     /// Truncates a value to a narrow declared type (keeps lane values
     /// canonical for u8/u16 variables).
-    fn narrow_to(
-        &mut self,
-        v: Value,
-        ty: TyName,
-        b: &mut RegionBuilder,
-    ) -> Value {
+    fn narrow_to(&mut self, v: Value, ty: TyName, b: &mut RegionBuilder) -> Value {
         if ty.bytes() >= 4 {
             return v;
         }
@@ -468,9 +452,7 @@ impl Lowerer<'_> {
         for (i, s) in stmts.iter().enumerate() {
             let terminated = self.lower_stmt(s, b)?;
             if terminated && i + 1 < stmts.len() {
-                return Err(LowerError::new(
-                    "unreachable statements after exit/return",
-                ));
+                return Err(LowerError::new("unreachable statements after exit/return"));
             }
         }
         Ok(())
@@ -611,8 +593,7 @@ impl Lowerer<'_> {
             }
             Stmt::DerefStore { it, value } => {
                 let (vv, _) = self.lower_expr(value, b)?;
-                let (val, _) =
-                    self.it_handle(it, &[ItKindName::Write, ItKindName::ManualWrite])?;
+                let (val, _) = self.it_handle(it, &[ItKindName::Write, ItKindName::ManualWrite])?;
                 b.emit0(OpKind::ItWrite { it: val, val: vv });
                 Ok(false)
             }
@@ -640,7 +621,10 @@ impl Lowerer<'_> {
                 let mut then_b = RegionBuilder::new();
                 self.scopes.push(Scope::new(false));
                 self.lower_block(then, &mut then_b)?;
-                if !matches!(b_last_kind(&then_b), Some(OpKind::Exit) | Some(OpKind::Return(_))) {
+                if !matches!(
+                    b_last_kind(&then_b),
+                    Some(OpKind::Exit) | Some(OpKind::Return(_))
+                ) {
                     let vals: Vec<Value> = assigned
                         .iter()
                         .map(|n| self.var(n).expect("assigned var exists").val)
@@ -651,7 +635,10 @@ impl Lowerer<'_> {
                 let mut else_b = RegionBuilder::new();
                 self.scopes.push(Scope::new(false));
                 self.lower_block(els, &mut else_b)?;
-                if !matches!(b_last_kind(&else_b), Some(OpKind::Exit) | Some(OpKind::Return(_))) {
+                if !matches!(
+                    b_last_kind(&else_b),
+                    Some(OpKind::Exit) | Some(OpKind::Return(_))
+                ) {
                     let vals: Vec<Value> = assigned
                         .iter()
                         .map(|n| self.var(n).expect("assigned var exists").val)
@@ -1113,4 +1100,3 @@ fn reduce_alu(op: ReduceOp) -> AluOp {
         ReduceOp::Max => AluOp::MaxU,
     }
 }
-

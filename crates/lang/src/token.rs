@@ -150,16 +150,19 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             } else {
                 10
             };
-            while i < bytes.len()
-                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-            {
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                 i += 1;
                 col += 1;
             }
             let text = src[s..i].replace('_', "");
             let digits = if radix == 16 { &text[2..] } else { &text[..] };
-            let v = i64::from_str_radix(digits, radix)
-                .map_err(|e| err(format!("bad integer literal '{text}': {e}"), line, start_col))?;
+            let v = i64::from_str_radix(digits, radix).map_err(|e| {
+                err(
+                    format!("bad integer literal '{text}': {e}"),
+                    line,
+                    start_col,
+                )
+            })?;
             out.push(Spanned {
                 tok: Tok::Int(v),
                 line,

@@ -11,7 +11,9 @@ fn run(src: &str, args: &[u32], dram_init: &[(usize, &[u8])], sym_bytes: u32) ->
     let lowered = compile_to_mir(src).unwrap_or_else(|e| panic!("{e}"));
     let module = &lowered.module;
     let layout = DramLayout {
-        base: (0..module.drams.len() as u32).map(|i| i * sym_bytes).collect(),
+        base: (0..module.drams.len() as u32)
+            .map(|i| i * sym_bytes)
+            .collect(),
     };
     let mut mem = module.build_memory((module.drams.len() as usize) * sym_bytes as usize);
     for (off, bytes) in dram_init {

@@ -1,14 +1,36 @@
 //! Dataflow graphs of streaming nodes and the untimed executor.
 //!
 //! A [`Graph`] owns nodes, channels, and the shared [`MemoryState`]. The
-//! untimed executor runs it as a Kahn-style process network: rounds of node
-//! steps with unbounded channels until quiescence. It is the *functional
-//! reference* for compiled programs; the cycle-level simulator (crate
-//! `revet-sim`) re-executes the same graph under timing constraints.
+//! untimed executor runs it as a Kahn-style process network until
+//! quiescence. It is the *functional reference* for compiled programs; the
+//! cycle-level simulator (crate `revet-sim`) re-executes the same graph
+//! under timing constraints.
+//!
+//! ## Event-driven scheduling
+//!
+//! Both executors are driven by token availability, not dense sweeps. A
+//! precomputed [`TopologyIndex`] maps every channel to its producer and
+//! consumer nodes; [`IoEvents`] records which channels gained tokens or
+//! regained capacity during a step. The executor keeps a ready worklist and
+//! re-enqueues a node only when
+//!
+//! 1. one of its **input channels gains a token** (it may now fire),
+//! 2. one of its **output channels regains capacity** after being full
+//!    (back-pressure release — only possible on bounded channels), or
+//! 3. a pointer is **pushed to an allocator queue** and the node declares
+//!    [`Node::may_stall_on_alloc`] (allocator releases are the one
+//!    progress-enabling state change invisible on the channel network).
+//!
+//! Because nodes are Kahn processes (blocking reads, no sampling of
+//! channel emptiness), the final token streams and memory state are
+//! independent of the order in which ready nodes are drained; only the
+//! amount of scheduler work changes. The retained dense-sweep reference
+//! ([`Graph::run_untimed_dense`]) pins that equivalence in tests.
 
 use crate::channel::Channel;
 use crate::mem::MemoryState;
-use crate::node::{ChanId, MachineError, Node, NodeId, NodeIo, PortBudget};
+use crate::node::{ChanId, IoEvents, MachineError, Node, NodeId, NodeIo, PortBudget};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// What kind of physical unit a node maps to (§VI-A: CUs, MUs, AGs).
@@ -54,6 +76,68 @@ impl fmt::Debug for NodeSlot {
     }
 }
 
+/// Precomputed channel-endpoint index: who produces into and consumes from
+/// every channel, plus which nodes can stall on allocator queues.
+///
+/// Built once per wiring ([`Graph::finalize_topology`], called by the
+/// compiler when it finishes a [`Graph`]); invalidated by any later
+/// `add_node`/`add_chan`. Shared by the untimed executor and the
+/// cycle-level simulator for ready-set wake-ups and one-pass deadlock
+/// diagnosis.
+#[derive(Debug, Clone, Default)]
+pub struct TopologyIndex {
+    /// Per channel: nodes reading it (almost always exactly one).
+    consumers: Vec<Vec<NodeId>>,
+    /// Per channel: nodes writing it (almost always exactly one).
+    producers: Vec<Vec<NodeId>>,
+    /// Nodes whose behavior may stall on allocator availability.
+    alloc_waiters: Vec<NodeId>,
+}
+
+impl TopologyIndex {
+    fn build(nodes: &[NodeSlot], chan_count: usize) -> Self {
+        let mut consumers = vec![Vec::new(); chan_count];
+        let mut producers = vec![Vec::new(); chan_count];
+        let mut alloc_waiters = Vec::new();
+        for (i, slot) in nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            for c in &slot.ins {
+                consumers[c.0 as usize].push(id);
+            }
+            for c in &slot.outs {
+                producers[c.0 as usize].push(id);
+            }
+            if slot
+                .behavior
+                .as_ref()
+                .is_some_and(|b| b.may_stall_on_alloc())
+            {
+                alloc_waiters.push(id);
+            }
+        }
+        TopologyIndex {
+            consumers,
+            producers,
+            alloc_waiters,
+        }
+    }
+
+    /// Nodes consuming from channel `c`.
+    pub fn consumers(&self, c: ChanId) -> &[NodeId] {
+        &self.consumers[c.0 as usize]
+    }
+
+    /// Nodes producing into channel `c`.
+    pub fn producers(&self, c: ChanId) -> &[NodeId] {
+        &self.producers[c.0 as usize]
+    }
+
+    /// Nodes that can stall on allocator-queue availability.
+    pub fn alloc_waiters(&self) -> &[NodeId] {
+        &self.alloc_waiters
+    }
+}
+
 /// A dataflow graph: nodes, channels, and shared memory.
 #[derive(Debug, Default)]
 pub struct Graph {
@@ -61,15 +145,34 @@ pub struct Graph {
     chans: Vec<Channel>,
     /// Shared DRAM / SRAM / allocator state.
     pub mem: MemoryState,
+    /// Channel-endpoint index; `None` until finalized or after rewiring.
+    topo: Option<TopologyIndex>,
 }
 
 /// Summary of an untimed run.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct ExecReport {
-    /// Scheduler rounds executed.
+    /// Scheduler generations executed (worklist drains; comparable to the
+    /// dense sweep's rounds — the livelock cap counts these).
     pub rounds: u64,
-    /// Node steps that made progress.
+    /// Node steps that made progress (moved at least one token).
     pub productive_steps: u64,
+    /// Node steps attempted by the scheduler. The dense sweep attempts
+    /// `rounds × nodes`; the ready-set executor only steps woken nodes, so
+    /// this is the "work" a scheduler comparison should look at.
+    pub steps: u64,
+}
+
+impl ExecReport {
+    /// Fraction of attempted steps that made progress (1.0 when no steps
+    /// were attempted — an empty run wastes nothing).
+    pub fn productive_ratio(&self) -> f64 {
+        if self.steps == 0 {
+            1.0
+        } else {
+            self.productive_steps as f64 / self.steps as f64
+        }
+    }
 }
 
 impl Graph {
@@ -80,6 +183,7 @@ impl Graph {
 
     /// Adds a channel; returns its id.
     pub fn add_chan(&mut self, chan: Channel) -> ChanId {
+        self.topo = None;
         let id = ChanId(self.chans.len() as u32);
         self.chans.push(chan);
         id
@@ -93,6 +197,7 @@ impl Graph {
         ins: Vec<ChanId>,
         outs: Vec<ChanId>,
     ) -> NodeId {
+        self.topo = None;
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(NodeSlot {
             behavior: Some(behavior),
@@ -137,9 +242,25 @@ impl Graph {
         &self.chans
     }
 
-    /// Mutable channel access (simulator wiring).
+    /// Mutable channel access (simulator wiring). Capacity/class changes do
+    /// not alter endpoints, so the topology index stays valid.
     pub fn chan_mut(&mut self, id: ChanId) -> &mut Channel {
         &mut self.chans[id.0 as usize]
+    }
+
+    /// Builds (or reuses) the channel-endpoint index for the current wiring.
+    /// The compiler calls this once when a program's graph is complete;
+    /// executors call it defensively before running.
+    pub fn finalize_topology(&mut self) -> &TopologyIndex {
+        if self.topo.is_none() {
+            self.topo = Some(TopologyIndex::build(&self.nodes, self.chans.len()));
+        }
+        self.topo.as_ref().expect("just built")
+    }
+
+    /// The topology index, if the current wiring has been finalized.
+    pub fn topology(&self) -> Option<&TopologyIndex> {
+        self.topo.as_ref()
     }
 
     /// Steps one node once with the given port budgets. Returns whether the
@@ -147,18 +268,51 @@ impl Graph {
     ///
     /// # Errors
     ///
-    /// Propagates node protocol errors, attributed with the node label.
+    /// Propagates node protocol errors, attributed with the node label; a
+    /// reentrant step (behavior already checked out) is reported as a
+    /// [`MachineError`] rather than a crash.
     pub fn step_node(
         &mut self,
         id: NodeId,
         in_budget: &mut [PortBudget],
         out_budget: &mut [PortBudget],
     ) -> Result<bool, MachineError> {
+        self.step_node_inner(id, in_budget, out_budget, None)
+    }
+
+    /// Like [`Graph::step_node`], additionally recording channel gain/free
+    /// events into `events` (cleared first) for ready-set scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::step_node`].
+    pub fn step_node_traced(
+        &mut self,
+        id: NodeId,
+        in_budget: &mut [PortBudget],
+        out_budget: &mut [PortBudget],
+        events: &mut IoEvents,
+    ) -> Result<bool, MachineError> {
+        events.clear();
+        self.step_node_inner(id, in_budget, out_budget, Some(events))
+    }
+
+    fn step_node_inner(
+        &mut self,
+        id: NodeId,
+        in_budget: &mut [PortBudget],
+        out_budget: &mut [PortBudget],
+        events: Option<&mut IoEvents>,
+    ) -> Result<bool, MachineError> {
         let idx = id.0 as usize;
-        let mut behavior = self.nodes[idx]
-            .behavior
-            .take()
-            .expect("node behavior missing (reentrant step?)");
+        let Some(mut behavior) = self.nodes[idx].behavior.take() else {
+            return Err(MachineError {
+                node: Some(self.nodes[idx].label.clone()),
+                message: "reentrant step: node behavior already checked out \
+                          (a node stepped itself, or an executor re-entered the graph)"
+                    .into(),
+            });
+        };
         let slot_ins = std::mem::take(&mut self.nodes[idx].ins);
         let slot_outs = std::mem::take(&mut self.nodes[idx].outs);
         let mut io = NodeIo::new(
@@ -169,6 +323,9 @@ impl Graph {
             in_budget,
             out_budget,
         );
+        if let Some(ev) = events {
+            io = io.with_events(ev);
+        }
         let result = behavior.step(&mut io);
         self.nodes[idx].ins = slot_ins;
         self.nodes[idx].outs = slot_outs;
@@ -181,18 +338,179 @@ impl Graph {
         })
     }
 
-    /// Runs the graph untimed (unbounded budgets) until quiescence.
+    /// One-pass deadlock diagnosis over the consumer index: every non-empty
+    /// channel that *has* a consumer is stuck (channels nobody reads —
+    /// dangling outputs — may legally retain tokens). Returns one line per
+    /// stuck channel with its consumer labels. Used by both executors at
+    /// quiescence; an empty result means a clean drain.
+    pub fn stuck_channels(&self) -> Vec<String> {
+        match &self.topo {
+            Some(t) => self.stuck_channel_report(t),
+            None => {
+                let t = TopologyIndex::build(&self.nodes, self.chans.len());
+                self.stuck_channel_report(&t)
+            }
+        }
+    }
+
+    fn stuck_channel_report(&self, topo: &TopologyIndex) -> Vec<String> {
+        let mut stuck = Vec::new();
+        for (ci, chan) in self.chans.iter().enumerate() {
+            if chan.is_empty() {
+                continue;
+            }
+            let consumers = topo.consumers(ChanId(ci as u32));
+            if consumers.is_empty() {
+                continue;
+            }
+            let labels: Vec<&str> = consumers
+                .iter()
+                .map(|id| self.nodes[id.0 as usize].label.as_str())
+                .collect();
+            stuck.push(format!(
+                "channel #{ci} -> '{}': {} tokens pending",
+                labels.join(", "),
+                chan.len()
+            ));
+        }
+        stuck
+    }
+
+    /// Runs the graph untimed (unbounded budgets) until quiescence, using
+    /// the event-driven ready-set scheduler: a node is stepped only when an
+    /// input channel gained tokens, an output channel regained capacity, or
+    /// an allocator it can block on received a pointer (see module docs).
     ///
     /// # Errors
     ///
     /// Returns a node error, a round-limit error (suspected livelock), or a
-    /// deadlock diagnosis listing stuck channels.
+    /// deadlock diagnosis listing all stuck channels.
     pub fn run_untimed(&mut self, max_rounds: u64) -> Result<ExecReport, MachineError> {
+        self.run_with_topology(|g, topo| g.run_untimed_ready(topo, max_rounds))
+    }
+
+    /// Checks the topology index out of `self` so an executor can hold it
+    /// while mutably stepping the graph, restoring it on every exit path.
+    fn run_with_topology<F>(&mut self, f: F) -> Result<ExecReport, MachineError>
+    where
+        F: FnOnce(&mut Self, &TopologyIndex) -> Result<ExecReport, MachineError>,
+    {
+        self.finalize_topology();
+        let topo = self.topo.take().expect("just finalized");
+        let result = f(self, &topo);
+        self.topo = Some(topo);
+        result
+    }
+
+    fn run_untimed_ready(
+        &mut self,
+        topo: &TopologyIndex,
+        max_rounds: u64,
+    ) -> Result<ExecReport, MachineError> {
         let n = self.nodes.len();
-        let mut report = ExecReport {
-            rounds: 0,
-            productive_steps: 0,
-        };
+        let max_in = self.nodes.iter().map(|s| s.ins.len()).max().unwrap_or(0);
+        let max_out = self.nodes.iter().map(|s| s.outs.len()).max().unwrap_or(0);
+        // Reusable budget buffers: refreshed per step, never reallocated.
+        let mut ib = vec![PortBudget::UNLIMITED; max_in];
+        let mut ob = vec![PortBudget::UNLIMITED; max_out];
+        let mut events = IoEvents::default();
+        let mut report = ExecReport::default();
+
+        // Generation-structured worklist: `current` is drained while wakes
+        // accumulate in `next`; one drain ≈ one dense round for the livelock
+        // cap. `queued` dedups membership across both queues.
+        let mut current: VecDeque<u32> = (0..n as u32).collect();
+        let mut next: VecDeque<u32> = VecDeque::new();
+        let mut queued = vec![true; n];
+
+        while !current.is_empty() {
+            if report.rounds >= max_rounds {
+                return Err(MachineError::new(format!(
+                    "no quiescence after {max_rounds} rounds (livelock or huge workload)"
+                )));
+            }
+            report.rounds += 1;
+            while let Some(i) = current.pop_front() {
+                let idx = i as usize;
+                queued[idx] = false;
+                let n_in = self.nodes[idx].ins.len();
+                let n_out = self.nodes[idx].outs.len();
+                for b in &mut ib[..n_in] {
+                    *b = PortBudget::UNLIMITED;
+                }
+                for b in &mut ob[..n_out] {
+                    *b = PortBudget::UNLIMITED;
+                }
+                let allocs_before = self.mem.alloc_push_ops();
+                report.steps += 1;
+                let progressed = self.step_node_traced(
+                    NodeId(i),
+                    &mut ib[..n_in],
+                    &mut ob[..n_out],
+                    &mut events,
+                )?;
+                if progressed {
+                    report.productive_steps += 1;
+                }
+                let wake = |id: NodeId, next: &mut VecDeque<u32>, queued: &mut Vec<bool>| {
+                    if !queued[id.0 as usize] {
+                        queued[id.0 as usize] = true;
+                        next.push_back(id.0);
+                    }
+                };
+                for &c in &events.pushed {
+                    for &w in topo.consumers(c) {
+                        wake(w, &mut next, &mut queued);
+                    }
+                }
+                for &c in &events.freed {
+                    for &w in topo.producers(c) {
+                        wake(w, &mut next, &mut queued);
+                    }
+                }
+                if self.mem.alloc_push_ops() != allocs_before {
+                    for &w in topo.alloc_waiters() {
+                        wake(w, &mut next, &mut queued);
+                    }
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        // Quiescent: every channel with a consumer should be drained.
+        let stuck = self.stuck_channel_report(topo);
+        if !stuck.is_empty() {
+            return Err(MachineError::new(format!(
+                "deadlock at quiescence: {}",
+                stuck.join("; ")
+            )));
+        }
+        Ok(report)
+    }
+
+    /// The retained dense-sweep reference executor: every round steps every
+    /// node until a whole round makes no progress. Semantically equivalent
+    /// to [`Graph::run_untimed`] (the property suite pins this); kept for
+    /// equivalence testing and as the scheduler-overhead baseline in the
+    /// executor benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::run_untimed`].
+    pub fn run_untimed_dense(&mut self, max_rounds: u64) -> Result<ExecReport, MachineError> {
+        self.run_with_topology(|g, topo| g.run_untimed_dense_inner(topo, max_rounds))
+    }
+
+    fn run_untimed_dense_inner(
+        &mut self,
+        topo: &TopologyIndex,
+        max_rounds: u64,
+    ) -> Result<ExecReport, MachineError> {
+        let n = self.nodes.len();
+        let max_in = self.nodes.iter().map(|s| s.ins.len()).max().unwrap_or(0);
+        let max_out = self.nodes.iter().map(|s| s.outs.len()).max().unwrap_or(0);
+        let mut ib = vec![PortBudget::UNLIMITED; max_in];
+        let mut ob = vec![PortBudget::UNLIMITED; max_out];
+        let mut report = ExecReport::default();
         loop {
             if report.rounds >= max_rounds {
                 return Err(MachineError::new(format!(
@@ -204,9 +522,14 @@ impl Graph {
             for i in 0..n {
                 let n_in = self.nodes[i].ins.len();
                 let n_out = self.nodes[i].outs.len();
-                let mut ib = vec![PortBudget::UNLIMITED; n_in];
-                let mut ob = vec![PortBudget::UNLIMITED; n_out];
-                if self.step_node(NodeId(i as u32), &mut ib, &mut ob)? {
+                for b in &mut ib[..n_in] {
+                    *b = PortBudget::UNLIMITED;
+                }
+                for b in &mut ob[..n_out] {
+                    *b = PortBudget::UNLIMITED;
+                }
+                report.steps += 1;
+                if self.step_node(NodeId(i as u32), &mut ib[..n_in], &mut ob[..n_out])? {
                     any = true;
                     report.productive_steps += 1;
                 }
@@ -215,30 +538,7 @@ impl Graph {
                 break;
             }
         }
-        // Quiescent: every channel with a consumer should be drained.
-        let mut stuck = Vec::new();
-        for (ci, chan) in self.chans.iter().enumerate() {
-            if !chan.is_empty() {
-                // Channels nobody reads (dangling outputs) are allowed to
-                // retain tokens; all others signal deadlock.
-                let has_consumer = self
-                    .nodes
-                    .iter()
-                    .any(|nodeslot| nodeslot.ins.contains(&ChanId(ci as u32)));
-                if has_consumer {
-                    let consumer = self
-                        .nodes
-                        .iter()
-                        .find(|nodeslot| nodeslot.ins.contains(&ChanId(ci as u32)))
-                        .map(|s| s.label.clone())
-                        .unwrap_or_default();
-                    stuck.push(format!(
-                        "channel #{ci} -> '{consumer}': {} tokens pending",
-                        chan.len()
-                    ));
-                }
-            }
-        }
+        let stuck = self.stuck_channel_report(topo);
         if !stuck.is_empty() {
             return Err(MachineError::new(format!(
                 "deadlock at quiescence: {}",
@@ -332,5 +632,116 @@ mod tests {
         // max_rounds=0 we hit the cap immediately.
         let err = g.run_untimed(0).unwrap_err();
         assert!(err.message.contains("no quiescence"), "got: {err}");
+    }
+
+    #[test]
+    fn reentrant_step_is_an_error_not_a_panic() {
+        // A node whose behavior steps the node again through nothing — we
+        // emulate the checked-out state by taking the behavior out directly.
+        let mut g = Graph::new();
+        let c0 = g.add_chan(Channel::new(1));
+        let id = g.add_node(
+            "src",
+            Box::new(SourceNode::new(vec![tdata([1u32])])),
+            vec![],
+            vec![c0],
+        );
+        g.nodes[id.0 as usize].behavior = None; // simulate mid-step state
+        let mut ib: Vec<PortBudget> = vec![];
+        let mut ob = vec![PortBudget::UNLIMITED];
+        let err = g.step_node(id, &mut ib, &mut ob).unwrap_err();
+        assert!(err.message.contains("reentrant step"), "got: {err}");
+        assert_eq!(err.node.as_deref(), Some("src"));
+    }
+
+    #[test]
+    fn deadlock_reports_all_stuck_channels() {
+        // Two independent starved zips: the diagnosis must list both, with
+        // their consumer labels, in one pass.
+        let mut g = Graph::new();
+        let starve = |g: &mut Graph, tag: &str| {
+            let c0 = g.add_chan(Channel::new(1));
+            let c1 = g.add_chan(Channel::new(1));
+            let c2 = g.add_chan(Channel::new(2));
+            g.add_node(
+                format!("src.{tag}"),
+                Box::new(SourceNode::new(vec![tdata([1u32])])),
+                vec![],
+                vec![c0],
+            );
+            g.add_node(
+                format!("zip.{tag}"),
+                Box::new(EwNode::passthrough(2)),
+                vec![c0, c1],
+                vec![c2],
+            );
+            let (sink, _h) = SinkNode::new();
+            g.add_node(format!("sink.{tag}"), Box::new(sink), vec![c2], vec![]);
+        };
+        starve(&mut g, "a");
+        starve(&mut g, "b");
+        let err = g.run_untimed(100).unwrap_err();
+        assert!(err.message.contains("deadlock"), "got: {err}");
+        assert!(err.message.contains("zip.a"), "got: {err}");
+        assert!(err.message.contains("zip.b"), "got: {err}");
+    }
+
+    #[test]
+    fn ready_set_does_less_work_than_dense() {
+        // A long pipeline: the dense sweep re-steps every node every round;
+        // the ready set only steps woken nodes.
+        let build = || {
+            let mut g = Graph::new();
+            let mut prev = g.add_chan(Channel::new(1));
+            let toks: Vec<_> = (0..16u32).map(|i| tdata([i])).chain([tbar(1)]).collect();
+            g.add_node("src", Box::new(SourceNode::new(toks)), vec![], vec![prev]);
+            for i in 0..24 {
+                let next = g.add_chan(Channel::new(1));
+                g.add_node(
+                    format!("stage{i}"),
+                    Box::new(EwNode::passthrough(1)),
+                    vec![prev],
+                    vec![next],
+                );
+                prev = next;
+            }
+            let (sink, handle) = SinkNode::new();
+            g.add_node("sink", Box::new(sink), vec![prev], vec![]);
+            (g, handle)
+        };
+        let (mut dense_g, dense_h) = build();
+        let dense = dense_g.run_untimed_dense(10_000).unwrap();
+        let (mut ready_g, ready_h) = build();
+        let ready = ready_g.run_untimed(10_000).unwrap();
+        assert_eq!(dense_h.tokens(), ready_h.tokens());
+        assert!(
+            ready.steps < dense.steps,
+            "ready {} !< dense {}",
+            ready.steps,
+            dense.steps
+        );
+        assert!(ready.productive_ratio() > dense.productive_ratio());
+    }
+
+    #[test]
+    fn topology_index_invalidated_by_rewiring() {
+        let mut g = Graph::new();
+        let c0 = g.add_chan(Channel::new(1));
+        g.add_node(
+            "src",
+            Box::new(SourceNode::new(vec![tdata([1u32])])),
+            vec![],
+            vec![c0],
+        );
+        g.finalize_topology();
+        assert!(g.topology().is_some());
+        let c1 = g.add_chan(Channel::new(1));
+        assert!(g.topology().is_none(), "add_chan must invalidate");
+        let (sink, _h) = SinkNode::new();
+        g.add_node("sink", Box::new(sink), vec![c0], vec![]);
+        let topo = g.finalize_topology();
+        assert_eq!(topo.consumers(c0).len(), 1);
+        assert_eq!(topo.producers(c0).len(), 1);
+        assert!(topo.consumers(c1).is_empty());
     }
 }

@@ -22,6 +22,16 @@
 //! All primitives observe the two SLTF composability rules: barriers pass
 //! through exactly once, in order, and data never reorders across barriers.
 //!
+//! The untimed executor is **event-driven**: a precomputed [`TopologyIndex`]
+//! maps channels to their endpoints, and a ready worklist re-steps a node
+//! only when an input channel gains tokens, a full output channel regains
+//! capacity, or an allocator queue it can block on receives a pointer. Kahn
+//! semantics make the results scheduler-order independent, so the ready-set
+//! executor and the retained dense-sweep reference
+//! ([`Graph::run_untimed_dense`]) produce identical streams and memory —
+//! the ready set just attempts far fewer steps (see
+//! [`ExecReport::productive_ratio`]).
+//!
 //! ## Example: a `foreach` as counter + reduce (paper Fig. 2)
 //!
 //! ```
@@ -59,7 +69,7 @@ pub mod nodes;
 mod tuple;
 
 pub use channel::{Channel, LinkClass};
-pub use graph::{ExecReport, Graph, NodeSlot, UnitClass};
+pub use graph::{ExecReport, Graph, NodeSlot, TopologyIndex, UnitClass};
 pub use mem::{AllocId, AllocQueue, MemoryState, SramId, SramRegion};
-pub use node::{ChanId, MachineError, Node, NodeId, NodeIo, PortBudget};
+pub use node::{ChanId, IoEvents, MachineError, Node, NodeId, NodeIo, PortBudget};
 pub use tuple::{tbar, tdata, TTok, Tuple};

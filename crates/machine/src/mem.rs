@@ -24,7 +24,7 @@ pub struct SramId(pub u32);
 pub struct AllocId(pub u32);
 
 /// An on-chip SRAM region (one or more MUs' worth of scratchpad).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SramRegion {
     /// Backing words, zero-initialized.
     pub words: Vec<Word>,
@@ -33,7 +33,7 @@ pub struct SramRegion {
 }
 
 /// An allocator queue of free buffer pointers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllocQueue {
     /// Free pointers; initialized to `0..max`.
     pub free: VecDeque<u32>,
@@ -44,7 +44,7 @@ pub struct AllocQueue {
 }
 
 /// All memory state of a running machine.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemoryState {
     /// Flat DRAM image (byte addressed).
     pub dram: Vec<u8>,
@@ -54,6 +54,10 @@ pub struct MemoryState {
     pub dram_read_bytes: u64,
     /// DRAM bytes written through AGs (statistics).
     pub dram_written_bytes: u64,
+    /// Monotonic count of allocator-queue pushes; event-driven executors
+    /// compare it across a node step to detect pointer releases (the only
+    /// progress-enabling state change invisible on the channel network).
+    alloc_pushes: u64,
 }
 
 impl MemoryState {
@@ -160,6 +164,12 @@ impl MemoryState {
     /// Returns a pointer to the free queue.
     pub fn alloc_push(&mut self, id: AllocId, ptr: u32) {
         self.allocs[id.0 as usize].free.push_back(ptr);
+        self.alloc_pushes += 1;
+    }
+
+    /// Lifetime count of allocator pushes (scheduler wake-up detection).
+    pub fn alloc_push_ops(&self) -> u64 {
+        self.alloc_pushes
     }
 
     /// Reads one little-endian word from DRAM (unaligned allowed). Reads past

@@ -86,6 +86,30 @@ impl PortBudget {
     }
 }
 
+/// Channel events recorded while a node steps, consumed by event-driven
+/// executors to maintain their ready sets.
+///
+/// The buffers are owned by the executor and reused across steps (call
+/// [`IoEvents::clear`] between steps); entries may repeat when a node moves
+/// several tokens over the same channel — executors dedup via their own
+/// queued-flags, so recording stays allocation-free on the hot path.
+#[derive(Debug, Default)]
+pub struct IoEvents {
+    /// Channels that gained at least one token (wake the consumer).
+    pub pushed: Vec<ChanId>,
+    /// Bounded channels that transitioned from full to having room (wake the
+    /// producer — back-pressure release). Unbounded channels never appear.
+    pub freed: Vec<ChanId>,
+}
+
+impl IoEvents {
+    /// Empties both buffers, keeping their allocations.
+    pub fn clear(&mut self) {
+        self.pushed.clear();
+        self.freed.clear();
+    }
+}
+
 /// The I/O surface a node sees while stepping: its input/output channels
 /// (resolved through the graph's channel table), shared memory state, and
 /// per-port budgets.
@@ -97,6 +121,7 @@ pub struct NodeIo<'a> {
     in_budget: &'a mut [PortBudget],
     out_budget: &'a mut [PortBudget],
     progressed: bool,
+    events: Option<&'a mut IoEvents>,
 }
 
 impl fmt::Debug for NodeIo<'_> {
@@ -128,7 +153,15 @@ impl<'a> NodeIo<'a> {
             in_budget,
             out_budget,
             progressed: false,
+            events: None,
         }
+    }
+
+    /// Attaches an event sink recording which channels gained tokens or
+    /// regained capacity during this step (ready-set scheduling).
+    pub fn with_events(mut self, events: &'a mut IoEvents) -> Self {
+        self.events = Some(events);
+        self
     }
 
     /// Number of input ports.
@@ -159,9 +192,14 @@ impl<'a> NodeIo<'a> {
     /// Panics if [`NodeIo::peek_in`] would return `None` (nodes must check
     /// first — this is check-then-commit discipline, not input validation).
     pub fn pop_in(&mut self, i: usize) -> TTok {
-        let tok = self.chans[self.ins[i].0 as usize]
-            .pop()
-            .expect("pop_in on empty channel");
+        let chan = &mut self.chans[self.ins[i].0 as usize];
+        let was_full = chan.room() == 0;
+        let tok = chan.pop().expect("pop_in on empty channel");
+        if was_full {
+            if let Some(ev) = self.events.as_deref_mut() {
+                ev.freed.push(self.ins[i]);
+            }
+        }
         self.in_budget[i].take(tok.is_barrier());
         self.progressed = true;
         tok
@@ -185,6 +223,9 @@ impl<'a> NodeIo<'a> {
         );
         self.out_budget[o].take(tok.is_barrier());
         self.chans[self.outs[o].0 as usize].push(tok);
+        if let Some(ev) = self.events.as_deref_mut() {
+            ev.pushed.push(self.outs[o]);
+        }
         self.progressed = true;
     }
 
@@ -229,4 +270,12 @@ pub trait Node: fmt::Debug + Send {
 
     /// A short static kind name ("ew", "fwd-merge", …) for reports.
     fn kind(&self) -> &'static str;
+
+    /// True if this node can stall on allocator-queue availability (§V-B a
+    /// blocking pops). Event-driven executors re-wake such nodes whenever
+    /// any node returns a pointer to an allocator, since that state change
+    /// is invisible on the channel network.
+    fn may_stall_on_alloc(&self) -> bool {
+        false
+    }
 }

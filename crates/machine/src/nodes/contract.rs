@@ -213,7 +213,13 @@ mod tests {
         let mut r = ReduceNode::new(AluOp::Add, 0u32);
         let out = run(
             &mut r,
-            vec![tdata([1u32]), tdata([2u32]), tbar(1), tdata([3u32]), tbar(2)],
+            vec![
+                tdata([1u32]),
+                tdata([2u32]),
+                tbar(1),
+                tdata([3u32]),
+                tbar(2),
+            ],
             1,
             1,
         );

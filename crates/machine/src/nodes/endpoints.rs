@@ -70,7 +70,12 @@ impl SinkNode {
     /// Creates a sink and the handle used to read it after execution.
     pub fn new() -> (Self, SinkHandle) {
         let handle = SinkHandle::default();
-        (SinkNode { out: handle.clone() }, handle)
+        (
+            SinkNode {
+                out: handle.clone(),
+            },
+            handle,
+        )
     }
 }
 
@@ -131,7 +136,10 @@ mod tests {
         let ins: [ChanId; 0] = [];
         let outs = [ChanId(0)];
         let mut ib = vec![];
-        let mut ob = vec![PortBudget { data: 1, barrier: 1 }];
+        let mut ob = vec![PortBudget {
+            data: 1,
+            barrier: 1,
+        }];
         let mut io = NodeIo::new(&mut chans, &ins, &outs, &mut mem, &mut ib, &mut ob);
         src.step(&mut io).unwrap();
         assert_eq!(chans[0].len(), 1, "budget limited to one data token");

@@ -216,6 +216,10 @@ impl Node for EwNode {
     fn kind(&self) -> &'static str {
         "ew"
     }
+
+    fn may_stall_on_alloc(&self) -> bool {
+        self.instrs.iter().any(|i| i.alloc_pop_id().is_some())
+    }
 }
 
 #[cfg(test)]
@@ -250,7 +254,12 @@ mod tests {
         chans[2].drain_all()
     }
 
-    fn run1(node: &mut dyn Node, input: Vec<TTok>, in_ar: usize, out_ars: &[usize]) -> Vec<Vec<TTok>> {
+    fn run1(
+        node: &mut dyn Node,
+        input: Vec<TTok>,
+        in_ar: usize,
+        out_ars: &[usize],
+    ) -> Vec<Vec<TTok>> {
         let mut chans = vec![Channel::new(in_ar)];
         for &a in out_ars {
             chans.push(Channel::new(a));
@@ -385,9 +394,11 @@ mod tests {
     fn alloc_stall_blocks_without_consuming() {
         let mut mem = MemoryState::default();
         let a = mem.add_alloc("bufs", 0); // empty: always stalls
-        let mut n = EwNode::new(1, vec![EwInstr::AllocPop { alloc: a, dst: 1 }], vec![
-            OutputSpec::plain([1]),
-        ]);
+        let mut n = EwNode::new(
+            1,
+            vec![EwInstr::AllocPop { alloc: a, dst: 1 }],
+            vec![OutputSpec::plain([1])],
+        );
         let mut chans = vec![Channel::new(1), Channel::new(1)];
         chans[0].push(tdata([1u32]));
         let ins = [ChanId(0)];

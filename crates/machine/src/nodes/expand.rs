@@ -501,10 +501,7 @@ mod tests {
         let mut b = BroadcastNode::new(1);
         let outs = run(
             &mut b,
-            vec![
-                (vec![tdata([10u32])], 1),
-                (vec![tdata([0u32]), tbar(2)], 1),
-            ],
+            vec![(vec![tdata([10u32])], 1), (vec![tdata([0u32]), tbar(2)], 1)],
             &[2],
         );
         assert_eq!(outs[0], vec![tdata([0u32, 10u32]), tbar(2)]);
@@ -516,7 +513,13 @@ mod tests {
         let outs = run(&mut c, vec![(vec![tdata([0u32]), tbar(1)], 1)], &[1]);
         assert_eq!(
             outs[0],
-            vec![tdata([3u32]), tdata([2u32]), tdata([1u32]), tbar(1), tbar(2)]
+            vec![
+                tdata([3u32]),
+                tdata([2u32]),
+                tdata([1u32]),
+                tbar(1),
+                tbar(2)
+            ]
         );
     }
 }

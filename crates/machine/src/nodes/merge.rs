@@ -344,7 +344,11 @@ mod tests {
         );
         // Wave 0 emitted, Ω1 appended, fwd barrier held (still queued).
         assert_eq!(out, vec![tdata([1u32]), tdata([2u32]), tbar(1)]);
-        assert_eq!(fwd_left, vec![tbar(1)], "forward barrier held, not consumed");
+        assert_eq!(
+            fwd_left,
+            vec![tbar(1)],
+            "forward barrier held, not consumed"
+        );
 
         // Backedge returns one survivor then the Ω1 echo; then the empty
         // wave's Ω1 echo signals drain.

@@ -270,7 +270,12 @@ fn figure4_fb_merge_while() {
         vec![back, exit_raw],
     );
     // Exit edge lowers all barriers one level (drops the reserved Ω1s).
-    g.add_node("exit-strip", Box::new(FlattenNode::new()), vec![exit_raw], vec![d]);
+    g.add_node(
+        "exit-strip",
+        Box::new(FlattenNode::new()),
+        vec![exit_raw],
+        vec![d],
+    );
     let (sink, out) = SinkNode::new();
     g.add_node("exit", Box::new(sink), vec![d], vec![]);
     g.run_untimed(10_000).unwrap();
@@ -309,7 +314,12 @@ fn fb_merge_back_to_back_tensors() {
         vec![],
         vec![a],
     );
-    g.add_node("head", Box::new(FbMergeNode::new()), vec![a, back], vec![body_in]);
+    g.add_node(
+        "head",
+        Box::new(FbMergeNode::new()),
+        vec![a, back],
+        vec![body_in],
+    );
     g.add_node(
         "body",
         Box::new(EwNode::new(
@@ -343,7 +353,12 @@ fn fb_merge_back_to_back_tensors() {
         vec![body_out],
         vec![back, exit_raw],
     );
-    g.add_node("strip", Box::new(FlattenNode::new()), vec![exit_raw], vec![d]);
+    g.add_node(
+        "strip",
+        Box::new(FlattenNode::new()),
+        vec![exit_raw],
+        vec![d],
+    );
     let (sink, out) = SinkNode::new();
     g.add_node("exit", Box::new(sink), vec![d], vec![]);
     g.run_untimed(10_000).unwrap();
@@ -547,7 +562,12 @@ fn foreach_inside_while_body() {
         vec![],
         vec![a],
     );
-    g.add_node("head", Box::new(FbMergeNode::new()), vec![a, back], vec![body_in]);
+    g.add_node(
+        "head",
+        Box::new(FbMergeNode::new()),
+        vec![a, back],
+        vec![body_in],
+    );
     // foreach(3): counter + sum-reduce, with the thread state bypassing on
     // the parent port (barriers kept for the rejoin zip).
     g.add_node(
@@ -615,7 +635,12 @@ fn foreach_inside_while_body() {
         vec![body_out],
         vec![back, exit_raw],
     );
-    g.add_node("strip", Box::new(FlattenNode::new()), vec![exit_raw], vec![d]);
+    g.add_node(
+        "strip",
+        Box::new(FlattenNode::new()),
+        vec![exit_raw],
+        vec![d],
+    );
     let (sink, out) = SinkNode::new();
     g.add_node("exit", Box::new(sink), vec![d], vec![]);
     g.run_untimed(100_000).unwrap();

@@ -1,0 +1,210 @@
+//! Scheduler-equivalence property tests: the event-driven ready-set
+//! executor and the retained dense-sweep reference must produce identical
+//! sink token streams and identical [`MemoryState`] on randomly generated
+//! acyclic graphs — Kahn determinism means results are independent of the
+//! order in which ready nodes are drained.
+//!
+//! The generator grows a DAG from one source by three count-preserving
+//! construction moves, so any two open channels always carry the same
+//! tensor structure and may be zipped:
+//!
+//! - **map**: an element-wise node transforming the value (`x op imm`),
+//! - **dup**: an element-wise node duplicating a stream onto two channels,
+//! - **zip**: an element-wise node combining two open channels into one.
+//!
+//! A subset of nodes additionally writes its values into a node-private
+//! DRAM window, so memory equality is exercised too (windows are disjoint:
+//! cross-node write ordering is schedule-dependent, but each node's own
+//! stream — and therefore its own write sequence — is deterministic).
+
+use proptest::prelude::*;
+use revet_machine::instr::{AluOp, EwInstr, Operand};
+use revet_machine::nodes::{EwNode, OutputSpec, SinkHandle, SinkNode, SourceNode};
+use revet_machine::{tbar, tdata, Channel, ExecReport, Graph, MemoryState, TTok};
+
+/// One construction move, decoded from a raw u32.
+#[derive(Clone, Copy, Debug)]
+enum Move {
+    Map { sel: u32, op: u32 },
+    Dup { sel: u32 },
+    Zip { sel_a: u32, sel_b: u32 },
+}
+
+fn decode(raw: u32) -> Move {
+    let kind = raw % 3;
+    let a = (raw / 3) % 1009;
+    let b = (raw / 3037) % 1013;
+    match kind {
+        0 => Move::Map { sel: a, op: b },
+        1 => Move::Dup { sel: a },
+        _ => Move::Zip { sel_a: a, sel_b: b },
+    }
+}
+
+/// Bytes reserved per writer node (16 word slots).
+const WINDOW: usize = 64;
+
+/// Builds the graph described by (`values`, `moves`); every node whose
+/// index is divisible by 3 also writes its stream into a private DRAM
+/// window. Returns the sink handles (one per remaining open channel).
+fn build(values: &[u32], moves: &[u32]) -> (Graph, Vec<SinkHandle>) {
+    let mut g = Graph::new();
+    let mut writer_count = 0u32;
+    let mut toks: Vec<TTok> = Vec::new();
+    for (i, &v) in values.iter().enumerate() {
+        toks.push(tdata([v]));
+        if v % 7 == 0 {
+            toks.push(tbar(1)); // ragged tensors: barriers mid-stream
+        }
+        if i + 1 == values.len() {
+            toks.push(tbar(1));
+        }
+    }
+    let first = g.add_chan(Channel::new(1));
+    g.add_node("src", Box::new(SourceNode::new(toks)), vec![], vec![first]);
+    let mut open = vec![first];
+
+    // Instructions shared by every generated node: an optional DRAM tap
+    // writing reg0 into the node's private window at (reg0 & 15)*4.
+    let mut tap = |instrs: &mut Vec<EwInstr>, node_idx: usize| {
+        if !node_idx.is_multiple_of(3) {
+            return;
+        }
+        let base = writer_count * WINDOW as u32;
+        writer_count += 1;
+        instrs.push(EwInstr::Alu {
+            op: AluOp::And,
+            a: Operand::Reg(0),
+            b: Operand::imm(15u32),
+            dst: 3,
+        });
+        instrs.push(EwInstr::Alu {
+            op: AluOp::Mul,
+            a: Operand::Reg(3),
+            b: Operand::imm(4u32),
+            dst: 3,
+        });
+        instrs.push(EwInstr::Alu {
+            op: AluOp::Add,
+            a: Operand::Reg(3),
+            b: Operand::imm(base),
+            dst: 3,
+        });
+        instrs.push(EwInstr::DramWriteW {
+            addr: Operand::Reg(3),
+            val: Operand::Reg(0),
+            pred: None,
+        });
+    };
+
+    for (node_idx, &raw) in moves.iter().enumerate() {
+        match decode(raw) {
+            Move::Map { sel, op } => {
+                let src = open.remove(sel as usize % open.len());
+                let dst = g.add_chan(Channel::new(1));
+                let alu = match op % 4 {
+                    0 => AluOp::Add,
+                    1 => AluOp::Xor,
+                    2 => AluOp::Mul,
+                    _ => AluOp::Rotl,
+                };
+                let mut instrs = vec![EwInstr::Alu {
+                    op: alu,
+                    a: Operand::Reg(0),
+                    b: Operand::imm(1 + op % 13),
+                    dst: 0,
+                }];
+                tap(&mut instrs, node_idx);
+                g.add_node(
+                    format!("map{node_idx}"),
+                    Box::new(EwNode::new(1, instrs, vec![OutputSpec::plain([0])])),
+                    vec![src],
+                    vec![dst],
+                );
+                open.push(dst);
+            }
+            Move::Dup { sel } => {
+                let src = open.remove(sel as usize % open.len());
+                let d0 = g.add_chan(Channel::new(1));
+                let d1 = g.add_chan(Channel::new(1));
+                let mut instrs = Vec::new();
+                tap(&mut instrs, node_idx);
+                g.add_node(
+                    format!("dup{node_idx}"),
+                    Box::new(EwNode::new(
+                        1,
+                        instrs,
+                        vec![OutputSpec::plain([0]), OutputSpec::plain([0])],
+                    )),
+                    vec![src],
+                    vec![d0, d1],
+                );
+                open.push(d0);
+                open.push(d1);
+            }
+            Move::Zip { sel_a, sel_b } => {
+                if open.len() < 2 {
+                    continue;
+                }
+                let a = open.remove(sel_a as usize % open.len());
+                let b = open.remove(sel_b as usize % open.len());
+                let dst = g.add_chan(Channel::new(1));
+                let mut instrs = vec![EwInstr::Alu {
+                    op: AluOp::Add,
+                    a: Operand::Reg(0),
+                    b: Operand::Reg(1),
+                    dst: 0,
+                }];
+                tap(&mut instrs, node_idx);
+                g.add_node(
+                    format!("zip{node_idx}"),
+                    Box::new(EwNode::new(2, instrs, vec![OutputSpec::plain([0])])),
+                    vec![a, b],
+                    vec![dst],
+                );
+                open.push(dst);
+            }
+        }
+    }
+
+    let mut handles = Vec::new();
+    for (i, c) in open.into_iter().enumerate() {
+        let (sink, h) = SinkNode::new();
+        g.add_node(format!("sink{i}"), Box::new(sink), vec![c], vec![]);
+        handles.push(h);
+    }
+    g.mem = MemoryState::with_dram_size(WINDOW * (writer_count as usize + 1));
+    (g, handles)
+}
+
+fn snapshot(handles: &[SinkHandle]) -> Vec<Vec<TTok>> {
+    handles.iter().map(|h| h.tokens()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Ready-set and dense-sweep executions of the same random DAG agree on
+    /// every sink stream and on the entire memory state (DRAM bytes, SRAM,
+    /// allocators, and traffic counters), while the ready set attempts no
+    /// more steps than the dense sweep.
+    #[test]
+    fn ready_set_matches_dense_reference(
+        values in prop::collection::vec(0u32..100, 0..14),
+        moves in prop::collection::vec(0u32..3_000_000, 0..18),
+    ) {
+        let (mut dense_g, dense_h) = build(&values, &moves);
+        let dense: ExecReport = dense_g.run_untimed_dense(100_000).unwrap();
+        let (mut ready_g, ready_h) = build(&values, &moves);
+        let ready: ExecReport = ready_g.run_untimed(100_000).unwrap();
+
+        prop_assert_eq!(snapshot(&dense_h), snapshot(&ready_h));
+        prop_assert_eq!(&dense_g.mem, &ready_g.mem);
+        // Step *grouping* is schedule-dependent (the ready set may fire a
+        // node at finer granularity), but total attempted work must not be.
+        prop_assert!(
+            ready.steps <= dense.steps,
+            "ready set did more work ({} > {})", ready.steps, dense.steps
+        );
+    }
+}

@@ -225,13 +225,7 @@ impl RegionBuilder {
     }
 
     /// Emits a binary ALU op.
-    pub fn bin(
-        &mut self,
-        func: &mut Func,
-        op: crate::ops::AluOp,
-        a: Value,
-        b: Value,
-    ) -> Value {
+    pub fn bin(&mut self, func: &mut Func, op: crate::ops::AluOp, a: Value, b: Value) -> Value {
         self.emit(func, OpKind::Bin(op, a, b), Ty::I32)
     }
 

@@ -349,11 +349,7 @@ impl<'m> Interp<'m> {
                             Flow::Yield(next) => carried = next,
                             Flow::Exit => return Ok(Flow::Exit),
                             Flow::Return(v) => return Ok(Flow::Return(v)),
-                            _ => {
-                                return Err(InterpError::new(
-                                    "while body must end in yield",
-                                ))
-                            }
+                            _ => return Err(InterpError::new("while body must end in yield")),
                         },
                         Flow::Cond(false, fwd) => {
                             self.set_results(fr, op, &fwd);
@@ -394,9 +390,7 @@ impl<'m> Interp<'m> {
                         Flow::Normal => {}
                         Flow::Exit => {} // exited threads contribute nothing
                         Flow::Return(v) => return Ok(Flow::Return(v)),
-                        Flow::Cond(..) => {
-                            return Err(InterpError::new("condition outside while"))
-                        }
+                        Flow::Cond(..) => return Err(InterpError::new("condition outside while")),
                     }
                     i += step;
                 }
@@ -426,9 +420,7 @@ impl<'m> Interp<'m> {
                         }
                         Flow::Normal | Flow::Exit => {}
                         Flow::Return(v) => return Ok(Flow::Return(v)),
-                        Flow::Cond(..) => {
-                            return Err(InterpError::new("condition outside while"))
-                        }
+                        Flow::Cond(..) => return Err(InterpError::new("condition outside while")),
                     }
                 }
                 match survivor {
@@ -501,9 +493,9 @@ impl<'m> Interp<'m> {
                         base,
                         ..
                     } => self.dram_load(d, Word(base + i)),
-                    HandleObj::View { dram: None, local, .. } => {
-                        local.get(i as usize).copied().unwrap_or(Word::ZERO)
-                    }
+                    HandleObj::View {
+                        dram: None, local, ..
+                    } => local.get(i as usize).copied().unwrap_or(Word::ZERO),
                     HandleObj::It { .. } => {
                         return Err(InterpError::new("view read on iterator handle"))
                     }
@@ -526,7 +518,9 @@ impl<'m> Interp<'m> {
                         let (d, base) = (*d, *base);
                         self.dram_store(d, Word(base + i), v);
                     }
-                    HandleObj::View { dram: None, local, .. } => {
+                    HandleObj::View {
+                        dram: None, local, ..
+                    } => {
                         let len = local.len();
                         *local.get_mut(i as usize).ok_or_else(|| {
                             InterpError::new(format!("SRAM view write {i} out of {len}"))

@@ -60,13 +60,14 @@ pub fn aurochs_slowdown(
 ) -> f64 {
     // 1. Link-pressure factor: carrying `carried_live_values` instead of
     //    the compiled tuple width multiplies recirculation bandwidth.
-    let width = (mode.carried_live_values.max(revet_tuple_width)) as f64
-        / revet_tuple_width.max(1) as f64;
+    let width =
+        (mode.carried_live_values.max(revet_tuple_width)) as f64 / revet_tuple_width.max(1) as f64;
     // 2. Serialized per-node comparisons instead of a vectorized foreach.
     let vector_loss = if mode.foreach_vectorizes {
         1.0
     } else {
-        mode.node_comparisons as f64 / (mode.node_comparisons as f64 / mode.lanes as f64).max(1.0)
+        mode.node_comparisons as f64
+            / (mode.node_comparisons as f64 / mode.lanes as f64).max(1.0)
             / mode.node_comparisons as f64
             * mode.node_comparisons as f64
     };

@@ -13,7 +13,15 @@
 //! - DRAM traffic drains a token bucket refilled at the HBM2 byte rate, with
 //!   an additional issue cap per AG context per cycle (the burst/activation
 //!   bound that limits random-access workloads like hash-table);
-//! - each context (= physical unit) fires once per cycle.
+//! - each context (= physical unit) fires at most once per cycle.
+//!
+//! The cycle loop is **event-driven**: it shares the untimed executor's
+//! channel-endpoint [`revet_machine::TopologyIndex`] and steps only the
+//! contexts woken by token arrivals, back-pressure releases, allocator
+//! pushes, or their own leftover work — not every context every cycle.
+//! [`SimStats::skipped_idle_steps`] counts the dense-sweep node-cycle slots
+//! this avoids; DRAM-gated AG contexts simply stay queued until the token
+//! bucket refills.
 //!
 //! Identical DRAM results as the untimed run are asserted by the test suite;
 //! only *when* things happen differs. Ideal-model toggles ([`IdealModels`])
@@ -32,8 +40,9 @@ pub use config::{IdealModels, RdaConfig};
 pub use stats::SimStats;
 
 use revet_core::CompiledProgram;
-use revet_machine::{LinkClass, MachineError, NodeId, PortBudget, UnitClass};
+use revet_machine::{IoEvents, LinkClass, MachineError, NodeId, PortBudget, UnitClass};
 use revet_sltf::Word;
+use std::collections::VecDeque;
 
 /// The cycle-level simulator.
 #[derive(Debug)]
@@ -97,9 +106,12 @@ impl Simulator {
             chan.push(revet_sltf::Tok::Data(args.to_vec()));
             chan.push(revet_sltf::Tok::Barrier(revet_sltf::BarrierLevel::L1));
         }
-        let nodes: Vec<(NodeId, UnitClass, Vec<LinkClass>, Vec<LinkClass>)> = (0..program
-            .graph
-            .node_count())
+        let n = program.graph.node_count();
+        // The shared channel-endpoint index drives ready-set wake-ups, the
+        // same as the untimed executor's (built by the compiler; cloning
+        // keeps the graph borrowable while stepping).
+        let topo = program.graph.finalize_topology().clone();
+        let nodes: Vec<(NodeId, UnitClass, Vec<LinkClass>, Vec<LinkClass>)> = (0..n)
             .map(|i| {
                 let slot = &program.graph.nodes()[i];
                 let in_cls: Vec<LinkClass> = slot
@@ -116,14 +128,29 @@ impl Simulator {
             })
             .collect();
 
-        let mut stats = SimStats::new(program.graph.node_count());
+        let mut stats = SimStats::new(n);
         let bytes_per_cycle = cfg.dram_bytes_per_cycle();
         let mut dram_bucket: f64 = bytes_per_cycle;
-        let mut idle_cycles = 0u64;
         let base_read = program.graph.mem.dram_read_bytes;
         let base_written = program.graph.mem.dram_written_bytes;
+
+        // Ready set: `current` holds the contexts that may fire this cycle,
+        // `next` those woken for the following cycle. A context fires at
+        // most once per cycle (`last_stepped` stamps), matching the
+        // one-fire-per-context-per-cycle hardware rule; an event for a
+        // context that already fired defers it to the next cycle.
+        let mut current: VecDeque<u32> = (0..n as u32).collect();
+        let mut next: VecDeque<u32> = VecDeque::new();
+        let mut queued = vec![true; n];
+        let mut last_stepped = vec![0u64; n];
+        let max_in = nodes.iter().map(|x| x.2.len()).max().unwrap_or(0);
+        let max_out = nodes.iter().map(|x| x.3.len()).max().unwrap_or(0);
+        let mut ib = vec![PortBudget::UNLIMITED; max_in];
+        let mut ob = vec![PortBudget::UNLIMITED; max_out];
+        let mut events = IoEvents::default();
         let mut cycles: u64 = 0;
-        loop {
+
+        while !current.is_empty() {
             if cycles >= max_cycles {
                 return Err(MachineError::new(format!(
                     "cycle cap {max_cycles} reached (livelock or undersized cap)"
@@ -134,12 +161,20 @@ impl Simulator {
                 dram_bucket =
                     (dram_bucket + bytes_per_cycle).min(cfg.dram_burst_bytes as f64 * 64.0);
             }
-            let mut any = false;
+            // DRAM gating: AG contexts stall this whole cycle when the
+            // bucket is dry (they stay queued and retry once it refills).
+            let dram_gated = !self.ideal.dram && dram_bucket <= 0.0;
             let dram_before =
                 program.graph.mem.dram_read_bytes + program.graph.mem.dram_written_bytes;
-            for (id, unit, in_cls, out_cls) in &nodes {
-                // DRAM gating: AG contexts stall when the bucket is dry.
-                if *unit == UnitClass::AddressGen && !self.ideal.dram && dram_bucket <= 0.0 {
+            let mut stepped_this_cycle: u64 = 0;
+            while let Some(i) = current.pop_front() {
+                let idx = i as usize;
+                queued[idx] = false;
+                let (id, unit, in_cls, out_cls) = &nodes[idx];
+                if *unit == UnitClass::AddressGen && dram_gated {
+                    // Not fired: keep it scheduled for the refilled cycle.
+                    queued[idx] = true;
+                    next.push_back(i);
                     continue;
                 }
                 let budget_for = |cls: &LinkClass| -> PortBudget {
@@ -151,59 +186,91 @@ impl Simulator {
                         barrier: 1,
                     }
                 };
-                let mut ib: Vec<PortBudget> = in_cls.iter().map(budget_for).collect();
-                let mut ob: Vec<PortBudget> = out_cls.iter().map(budget_for).collect();
+                for (b, cls) in ib.iter_mut().zip(in_cls.iter()) {
+                    *b = budget_for(cls);
+                }
+                for (b, cls) in ob.iter_mut().zip(out_cls.iter()) {
+                    *b = budget_for(cls);
+                }
+                let n_in = in_cls.len();
+                let n_out = out_cls.len();
                 if self.ideal.sram && *unit == UnitClass::Memory {
-                    ib.iter_mut().for_each(|b| *b = PortBudget::UNLIMITED);
-                    ob.iter_mut().for_each(|b| *b = PortBudget::UNLIMITED);
+                    ib[..n_in]
+                        .iter_mut()
+                        .for_each(|b| *b = PortBudget::UNLIMITED);
+                    ob[..n_out]
+                        .iter_mut()
+                        .for_each(|b| *b = PortBudget::UNLIMITED);
                 }
                 // AG issue cap models burst/activation limits.
                 if *unit == UnitClass::AddressGen && !self.ideal.dram {
-                    for b in ib.iter_mut() {
+                    for b in ib[..n_in].iter_mut() {
                         b.data = b.data.min(cfg.ag_issues_per_cycle);
                     }
                 }
-                let progressed = program.graph.step_node(*id, &mut ib, &mut ob)?;
+                last_stepped[idx] = cycles;
+                stepped_this_cycle += 1;
+                let allocs_before = program.graph.mem.alloc_push_ops();
+                let progressed = program.graph.step_node_traced(
+                    *id,
+                    &mut ib[..n_in],
+                    &mut ob[..n_out],
+                    &mut events,
+                )?;
+                let wake = |w: NodeId,
+                            current: &mut VecDeque<u32>,
+                            next: &mut VecDeque<u32>,
+                            queued: &mut Vec<bool>| {
+                    let wi = w.0 as usize;
+                    if queued[wi] {
+                        return;
+                    }
+                    queued[wi] = true;
+                    if last_stepped[wi] == cycles {
+                        // Already fired this cycle: one fire per cycle.
+                        next.push_back(w.0);
+                    } else {
+                        current.push_back(w.0);
+                    }
+                };
                 if progressed {
-                    any = true;
-                    stats.busy_cycles[id.0 as usize] += 1;
+                    stats.busy_cycles[idx] += 1;
+                    // Renewed budgets may allow more movement next cycle.
+                    wake(*id, &mut current, &mut next, &mut queued);
+                }
+                for &c in &events.pushed {
+                    for &w in topo.consumers(c) {
+                        wake(w, &mut current, &mut next, &mut queued);
+                    }
+                }
+                for &c in &events.freed {
+                    for &w in topo.producers(c) {
+                        wake(w, &mut current, &mut next, &mut queued);
+                    }
+                }
+                if program.graph.mem.alloc_push_ops() != allocs_before {
+                    for &w in topo.alloc_waiters() {
+                        wake(w, &mut current, &mut next, &mut queued);
+                    }
                 }
             }
+            stats.skipped_idle_steps += n as u64 - stepped_this_cycle;
             let dram_after =
                 program.graph.mem.dram_read_bytes + program.graph.mem.dram_written_bytes;
             let delta = (dram_after - dram_before) as f64;
             if !self.ideal.dram {
                 dram_bucket -= delta;
             }
-            if any {
-                idle_cycles = 0;
-            } else {
-                idle_cycles += 1;
-                if idle_cycles >= 4 {
-                    // Quiescent: verify nothing is stuck (a silent partial
-                    // result would be worse than an error).
-                    let mut stuck = Vec::new();
-                    for (ni, node) in program.graph.nodes().iter().enumerate() {
-                        for cin in &node.ins {
-                            let ch = &program.graph.chans()[cin.0 as usize];
-                            if !ch.is_empty() {
-                                stuck.push(format!(
-                                    "{} tokens -> '{}'",
-                                    ch.len(),
-                                    program.graph.nodes()[ni].label
-                                ));
-                            }
-                        }
-                    }
-                    if !stuck.is_empty() {
-                        return Err(MachineError::new(format!(
-                            "timed deadlock after {cycles} cycles: {}",
-                            stuck.join("; ")
-                        )));
-                    }
-                    break;
-                }
-            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        // Ready set empty: nothing can ever fire again. Verify nothing is
+        // stuck (a silent partial result would be worse than an error).
+        let stuck = program.graph.stuck_channels();
+        if !stuck.is_empty() {
+            return Err(MachineError::new(format!(
+                "timed deadlock after {cycles} cycles: {}",
+                stuck.join("; ")
+            )));
         }
         stats.cycles = cycles;
         stats.freq_ghz = cfg.clock_ghz;
@@ -246,6 +313,28 @@ mod tests {
             let got = u32::from_le_bytes(p.graph.mem.dram[4 * i..4 * i + 4].try_into().unwrap());
             assert_eq!(got, (i * i) as u32);
         }
+    }
+
+    #[test]
+    fn scheduler_skips_idle_work_with_identical_dram() {
+        // The ready set must do strictly less work than a dense sweep would
+        // (cycles × nodes slots), while the DRAM image stays bit-identical
+        // to the untimed reference run.
+        let mut timed = squares_program();
+        let stats = Simulator::default()
+            .run(&mut timed, &[Word(32)], 1_000_000)
+            .unwrap();
+        assert!(
+            stats.skipped_idle_steps > 0,
+            "scheduler never skipped an idle context"
+        );
+        assert!(stats.scheduler_skip_ratio() > 0.0);
+        let mut untimed = squares_program();
+        untimed.run_untimed(&[Word(32)], 1_000_000).unwrap();
+        assert_eq!(
+            timed.graph.mem.dram, untimed.graph.mem.dram,
+            "timed and untimed DRAM results diverged"
+        );
     }
 
     #[test]

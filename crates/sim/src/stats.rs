@@ -15,6 +15,10 @@ pub struct SimStats {
     pub peak_dram_bytes_per_cycle: f64,
     /// Busy-cycle count per node (utilization analysis).
     pub busy_cycles: Vec<u64>,
+    /// Node-cycle slots the ready-set scheduler never had to attempt
+    /// (a dense sweep would have stepped `cycles × nodes` slots; this is
+    /// how many of those the event-driven scheduler skipped as idle).
+    pub skipped_idle_steps: u64,
 }
 
 impl SimStats {
@@ -58,6 +62,16 @@ impl SimStats {
         )
     }
 
+    /// Fraction of dense-sweep node-cycle slots the scheduler skipped as
+    /// idle (0.0 = every context fired every cycle).
+    pub fn scheduler_skip_ratio(&self) -> f64 {
+        let total = self.cycles.saturating_mul(self.busy_cycles.len() as u64);
+        if total == 0 {
+            return 0.0;
+        }
+        self.skipped_idle_steps as f64 / total as f64
+    }
+
     /// Mean node utilization (busy cycles / total cycles).
     pub fn mean_utilization(&self) -> f64 {
         if self.cycles == 0 || self.busy_cycles.is_empty() {
@@ -81,6 +95,7 @@ mod tests {
             dram_written_bytes: 112_500_000,
             peak_dram_bytes_per_cycle: 562.5,
             busy_cycles: vec![800_000, 1_600_000],
+            skipped_idle_steps: 1_600_000,
         };
         assert!((s.seconds() - 1e-3).abs() < 1e-12);
         assert!((s.throughput_gbps(1_000_000_000) - 1000.0).abs() < 1e-6);
@@ -90,5 +105,6 @@ mod tests {
         assert!((r - 0.5).abs() < 1e-9);
         assert!((w - 0.125).abs() < 1e-9);
         assert!((s.mean_utilization() - 0.75).abs() < 1e-9);
+        assert!((s.scheduler_skip_ratio() - 0.5).abs() < 1e-9);
     }
 }

@@ -48,7 +48,9 @@ impl fmt::Display for DecodeError {
             DecodeError::LevelTooHigh { level, dims } => {
                 write!(f, "barrier Ω{level} exceeds tensor dimensionality {dims}")
             }
-            DecodeError::Truncated => write!(f, "stream ended before the closing top-level barrier"),
+            DecodeError::Truncated => {
+                write!(f, "stream ended before the closing top-level barrier")
+            }
             DecodeError::TrailingTokens => write!(f, "tokens remained after the closing barrier"),
         }
     }
@@ -478,10 +480,7 @@ mod tests {
         // [[],[1],[]] keeps its leading and trailing empties.
         let t = t2(&[&[], &[1], &[]]);
         let canon = t.encode_canonical(2);
-        assert_eq!(
-            canon,
-            vec![omega(1), data(1), omega(1), omega(1), omega(2)]
-        );
+        assert_eq!(canon, vec![omega(1), data(1), omega(1), omega(1), omega(2)]);
         assert_eq!(Ragged::decode(&canon, 2).unwrap(), t);
     }
 

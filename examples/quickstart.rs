@@ -33,7 +33,9 @@ fn main() {
         dram_bytes: 1 << 16,
         ..PassOptions::default()
     };
-    let mut program = Compiler::new(opts).compile_source(source).expect("compiles");
+    let mut program = Compiler::new(opts)
+        .compile_source(source)
+        .expect("compiles");
     println!(
         "compiled: {} contexts, {} links",
         program.context_count(),
@@ -46,7 +48,10 @@ fn main() {
     }
     let sim = Simulator::new(RdaConfig::default(), IdealModels::default());
     let stats = sim.run(&mut program, &[Word(n)], 10_000_000).expect("runs");
-    println!("simulated {} cycles at {} GHz", stats.cycles, stats.freq_ghz);
+    println!(
+        "simulated {} cycles at {} GHz",
+        stats.cycles, stats.freq_ghz
+    );
     let half = (1 << 16) / 2;
     for i in 0..n as usize {
         let got = u32::from_le_bytes(

@@ -33,7 +33,13 @@ fn main() {
         }
     "#;
     let strings: Vec<String> = (0..16)
-        .map(|i| "dataflow-threads!".chars().cycle().take(i * 3 % 23).collect())
+        .map(|i| {
+            "dataflow-threads!"
+                .chars()
+                .cycle()
+                .take(i * 3 % 23)
+                .collect()
+        })
         .collect();
     let mut input = Vec::new();
     let mut offsets = Vec::new();
@@ -46,7 +52,9 @@ fn main() {
         dram_bytes: 3 << 16,
         ..PassOptions::default()
     };
-    let mut program = Compiler::new(opts).compile_source(source).expect("compiles");
+    let mut program = Compiler::new(opts)
+        .compile_source(source)
+        .expect("compiles");
     let slice = (3 << 16) / 3;
     program.graph.mem.dram[..input.len()].copy_from_slice(&input);
     program.graph.mem.dram[slice..slice + offsets.len()].copy_from_slice(&offsets);
@@ -54,7 +62,11 @@ fn main() {
     let stats = sim
         .run(&mut program, &[Word(strings.len() as u32)], 50_000_000)
         .expect("runs");
-    println!("strlen over {} strings in {} cycles:", strings.len(), stats.cycles);
+    println!(
+        "strlen over {} strings in {} cycles:",
+        strings.len(),
+        stats.cycles
+    );
     for (i, s) in strings.iter().enumerate() {
         let got = u32::from_le_bytes(
             program.graph.mem.dram[2 * slice + 4 * i..2 * slice + 4 * i + 4]

@@ -31,7 +31,12 @@ fn machine_reexport_runs_a_graph() {
         vec![a],
         vec![b],
     );
-    g.add_node("reduce", Box::new(ReduceNode::new(AluOp::Add, 0u32)), vec![b], vec![d]);
+    g.add_node(
+        "reduce",
+        Box::new(ReduceNode::new(AluOp::Add, 0u32)),
+        vec![b],
+        vec![d],
+    );
     let (sink, out) = SinkNode::new();
     g.add_node("exit", Box::new(sink), vec![d], vec![]);
     g.run_untimed(10_000).unwrap();
@@ -51,7 +56,10 @@ fn lang_and_mir_reexports_agree_with_compiler() {
     "#;
     // Front-end alone lowers to MIR…
     let lowered = revet::lang::compile_to_mir(src).expect("front-end accepts source");
-    assert!(!lowered.module.funcs.is_empty(), "lowering produced no functions");
+    assert!(
+        !lowered.module.funcs.is_empty(),
+        "lowering produced no functions"
+    );
     // …and the full pipeline maps the same source onto dataflow contexts.
     let program = Compiler::new(PassOptions::default())
         .compile_source(src)
@@ -70,7 +78,9 @@ fn sim_baselines_and_apps_reexports_interoperate() {
     app.load(&mut program, &workload);
     let args: Vec<Word> = workload.args.iter().map(|&a| Word(a)).collect();
     let sim = revet::sim::Simulator::default();
-    let stats = sim.run(&mut program, &args, 100_000_000).expect("simulates");
+    let stats = sim
+        .run(&mut program, &args, 100_000_000)
+        .expect("simulates");
     assert!(stats.cycles > 0, "timed run must consume cycles");
     app.check(&program, &workload);
 }
@@ -79,7 +89,16 @@ fn sim_baselines_and_apps_reexports_interoperate() {
 fn all_eight_paper_apps_are_registered() {
     let apps = revet::apps::all_apps();
     assert_eq!(apps.len(), 8, "paper evaluates eight applications");
-    for name in ["isipv4", "search", "ip2int", "murmur3", "hash-table", "huff-dec", "huff-enc", "kD-tree"] {
+    for name in [
+        "isipv4",
+        "search",
+        "ip2int",
+        "murmur3",
+        "hash-table",
+        "huff-dec",
+        "huff-enc",
+        "kD-tree",
+    ] {
         assert!(
             apps.iter().any(|a| a.name == name),
             "{name} missing from registry"

@@ -38,7 +38,11 @@ impl Criterion {
     }
 
     /// Run a single benchmark outside any group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
         let sample_size = self.sample_size;
         run_one("", &name.into(), sample_size, f);
         self
@@ -61,7 +65,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Time `f` and print the mean iteration time.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
         run_one(&self.name, &name.into(), self.sample_size, f);
         self
     }
@@ -142,7 +150,9 @@ mod tests {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
         let mut calls = 0u64;
-        group.sample_size(3).bench_function("count", |b| b.iter(|| calls += 1));
+        group
+            .sample_size(3)
+            .bench_function("count", |b| b.iter(|| calls += 1));
         group.finish();
         // one warm-up + three timed iterations
         assert_eq!(calls, 4);

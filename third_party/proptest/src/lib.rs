@@ -125,7 +125,9 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy(Rc::new(move |runner: &mut TestRunner| self.generate(runner)))
+        BoxedStrategy(Rc::new(move |runner: &mut TestRunner| {
+            self.generate(runner)
+        }))
     }
 }
 
@@ -222,7 +224,10 @@ pub struct SizeRange {
 
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
-        SizeRange { lo: r.start, hi: r.end }
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
     }
 }
 
@@ -246,7 +251,10 @@ pub mod collection {
 
     /// Strategy for `Vec<S::Value>` with length drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// Output of [`vec`].
