@@ -55,6 +55,7 @@ pub struct Workload {
 }
 
 /// One evaluation application.
+#[derive(Clone)]
 pub struct App {
     /// Table III name.
     pub name: &'static str,
@@ -116,15 +117,49 @@ impl App {
         }
     }
 
+    /// Compile + workload + load, in one call — the app-construction
+    /// boilerplate every harness needs before it can run anything.
+    /// Returns the loaded program, the `main` arguments, and the workload
+    /// (oracle bytes, byte counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics on compile failure (harnesses treat that as a test failure).
+    pub fn prepare(
+        &self,
+        outer: u32,
+        scale: usize,
+        seed: u64,
+        opts: &PassOptions,
+    ) -> (CompiledProgram, Vec<Word>, Workload) {
+        let w = (self.workload)(scale, seed);
+        let mut program = self
+            .compile(outer, opts)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.name));
+        self.load(&mut program, &w);
+        let args = w.args.iter().map(|&a| Word(a)).collect();
+        (program, args, w)
+    }
+
     /// Checks the output symbol against the oracle bytes.
     ///
     /// # Panics
     ///
     /// Panics with a diff message on mismatch.
     pub fn check(&self, program: &CompiledProgram, w: &Workload) {
+        self.check_dram(&program.graph.mem.dram, w);
+    }
+
+    /// Like [`App::check`], but against a raw DRAM image — batch harnesses
+    /// validate each instance's private memory this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diff message on mismatch.
+    pub fn check_dram(&self, dram: &[u8], w: &Workload) {
         let slice = DRAM_BYTES / self.dram_symbols();
         let base = w.out_sym * slice;
-        let got = &program.graph.mem.dram[base..base + w.expected.len()];
+        let got = &dram[base..base + w.expected.len()];
         assert_eq!(
             got,
             &w.expected[..],
@@ -139,12 +174,7 @@ impl App {
     ///
     /// Panics on compile, execution, or validation failure.
     pub fn validate_untimed(&self, outer: u32, scale: usize, seed: u64) {
-        let w = (self.workload)(scale, seed);
-        let mut program = self
-            .compile(outer, &PassOptions::default())
-            .unwrap_or_else(|e| panic!("{}: {e}", self.name));
-        self.load(&mut program, &w);
-        let args: Vec<Word> = w.args.iter().map(|&a| Word(a)).collect();
+        let (mut program, args, w) = self.prepare(outer, scale, seed, &PassOptions::default());
         program
             .run_untimed(&args, 200_000_000)
             .unwrap_or_else(|e| panic!("{}: {e}", self.name));

@@ -21,6 +21,29 @@ fn bench_tables_and_figures(c: &mut Criterion) {
     let (_, aurochs) = revet_bench::aurochs_cmp(8);
     println!("{aurochs}");
 
+    // Timed batch aggregate: the eight apps back-to-back on one machine,
+    // folded into a single SimStats (total cycles, DRAM traffic, skip
+    // ratio) — the timed counterpart of the batch runtime's merged
+    // ExecReport.
+    let mut batch = revet_sim::SimStats::default();
+    for app in revet_apps::all_apps() {
+        let (stats, _) = revet_bench::run_timed(
+            &app,
+            2,
+            8,
+            &revet_core::PassOptions::default(),
+            revet_sim::IdealModels::default(),
+        );
+        batch.merge(&stats);
+    }
+    println!(
+        "timed batch aggregate (8 apps, scale 8): {} cycles, DRAM util {:.1}%, \
+         scheduler skip ratio {:.2}",
+        batch.cycles,
+        100.0 * batch.dram_utilization(),
+        batch.scheduler_skip_ratio(),
+    );
+
     // Criterion timings for the per-app timed-simulation kernels.
     let mut group = c.benchmark_group("timed_sim");
     group.sample_size(10);

@@ -7,29 +7,29 @@
 
 use criterion::{black_box, Criterion};
 use revet_apps::{all_apps, App};
-use revet_core::{CompiledProgram, PassOptions};
+use revet_bench::prepare_app;
+use revet_core::PassOptions;
 use revet_machine::ExecReport;
-use revet_sltf::Word;
-
-fn prepare(app: &App, scale: usize) -> (CompiledProgram, Vec<Word>) {
-    let w = (app.workload)(scale, revet_bench::SEED);
-    let mut program = app
-        .compile(revet_bench::DEFAULT_OUTER, &PassOptions::default())
-        .unwrap_or_else(|e| panic!("{}: {e}", app.name));
-    app.load(&mut program, &w);
-    let args = w.args.iter().map(|&a| Word(a)).collect();
-    (program, args)
-}
 
 fn run_ready(app: &App, scale: usize) -> (ExecReport, usize) {
-    let (mut p, args) = prepare(app, scale);
-    let nodes = p.graph.node_count();
-    (p.run_untimed(&args, 200_000_000).unwrap(), nodes)
+    let mut p = prepare_app(
+        app,
+        revet_bench::DEFAULT_OUTER,
+        scale,
+        &PassOptions::default(),
+    );
+    let nodes = p.program.graph.node_count();
+    (p.program.run_untimed(&p.args, 200_000_000).unwrap(), nodes)
 }
 
 fn run_dense(app: &App, scale: usize) -> ExecReport {
-    let (mut p, args) = prepare(app, scale);
-    p.run_untimed_dense(&args, 200_000_000).unwrap()
+    let mut p = prepare_app(
+        app,
+        revet_bench::DEFAULT_OUTER,
+        scale,
+        &PassOptions::default(),
+    );
+    p.program.run_untimed_dense(&p.args, 200_000_000).unwrap()
 }
 
 fn main() {

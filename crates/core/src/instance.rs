@@ -1,0 +1,168 @@
+//! Compile-once / run-many instantiation.
+//!
+//! A [`CompiledProgram`] is expensive to produce (the whole pass pipeline)
+//! but cheap to *instantiate*: all mutable run state — node behaviors,
+//! channel queues, [`MemoryState`] — lives in the program's [`Graph`], and
+//! [`Graph::fresh_instance`] deep-clones exactly that state while sharing
+//! the immutable [`revet_machine::TopologyIndex`] behind an `Arc`. A
+//! [`ProgramInstance`] is the resulting unit of batch work: it is `Send`,
+//! owns everything it mutates, and collects results into its own private
+//! sink buffer, so any number of instances of one compile can run
+//! concurrently (see the `revet-runtime` crate's `BatchRunner`).
+
+use crate::lower::CompiledProgram;
+use crate::CoreError;
+use revet_machine::nodes::SinkHandle;
+use revet_machine::{ChanId, ExecReport, Graph, MachineError, MemoryState, TTok};
+use revet_sltf::Word;
+
+/// One independently runnable instantiation of a [`CompiledProgram`]:
+/// private graph state (nodes, channels, memory) plus this instance's own
+/// result sink. Obtained from [`CompiledProgram::instance`].
+#[derive(Debug)]
+pub struct ProgramInstance {
+    /// The instance's private executable graph. DRAM inputs that differ
+    /// per instance can be written into `graph.mem.dram` before running.
+    pub graph: Graph,
+    entry: ChanId,
+    sink: SinkHandle,
+}
+
+// The whole point of an instance is to migrate onto a worker thread; keep
+// that guarantee from regressing silently.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<ProgramInstance>();
+};
+
+impl ProgramInstance {
+    /// Runs this instance to quiescence with the given `main` arguments,
+    /// using the event-driven untimed executor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine protocol errors and deadlock diagnoses.
+    pub fn run_untimed(
+        &mut self,
+        args: &[Word],
+        max_rounds: u64,
+    ) -> Result<ExecReport, MachineError> {
+        crate::lower::inject_args(&mut self.graph, self.entry, args);
+        self.graph.run_untimed(max_rounds)
+    }
+
+    /// Snapshot of the tokens this instance's sink collected (`main`'s
+    /// final outputs, usually empty for DRAM-writing programs).
+    pub fn sink_tokens(&self) -> Vec<TTok> {
+        self.sink.tokens()
+    }
+
+    /// The instance's memory state (DRAM image, SRAM regions, allocators).
+    pub fn memory(&self) -> &MemoryState {
+        &self.graph.mem
+    }
+
+    /// Consumes the instance, yielding its final memory state without
+    /// copying the DRAM image.
+    pub fn into_memory(self) -> MemoryState {
+        self.graph.mem
+    }
+}
+
+impl CompiledProgram {
+    /// Clones this compiled program into a fresh runnable
+    /// [`ProgramInstance`]. The compiled graph — including any DRAM images
+    /// already loaded into `self.graph.mem` — is deep-copied; the
+    /// topology index is shared. The template program itself is left
+    /// untouched, so one compile can be instantiated any number of times,
+    /// concurrently and from a shared `&CompiledProgram`.
+    pub fn instance(&self) -> ProgramInstance {
+        let graph = self.graph.fresh_instance();
+        let sink = graph
+            .nodes()
+            .iter()
+            .find_map(|slot| slot.behavior.as_ref()?.sink_handle())
+            .expect("compiled programs always end in main.sink");
+        ProgramInstance {
+            graph,
+            entry: self.entry,
+            sink,
+        }
+    }
+
+    /// Runs `self.instance()` per argument set, sequentially — the
+    /// single-threaded reference for batch execution (the `revet-runtime`
+    /// crate parallelizes the same loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first instance failure, attributed with its batch index.
+    pub fn run_batch_sequential(
+        &self,
+        argsets: &[Vec<Word>],
+        max_rounds: u64,
+    ) -> Result<Vec<(ExecReport, MemoryState, Vec<TTok>)>, CoreError> {
+        argsets
+            .iter()
+            .enumerate()
+            .map(|(i, args)| {
+                let mut inst = self.instance();
+                let report = inst
+                    .run_untimed(args, max_rounds)
+                    .map_err(|e| CoreError::new(format!("batch instance #{i}: {e}")))?;
+                let sink = inst.sink_tokens();
+                Ok((report, inst.into_memory(), sink))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Compiler, PassOptions};
+    use revet_sltf::Word;
+
+    const SQUARES: &str = r#"
+        dram<u32> output;
+        void main(u32 n) {
+            foreach (n) { u32 i =>
+                output[i] = i * i;
+            };
+        }
+    "#;
+
+    #[test]
+    fn instances_run_independently_of_the_template() {
+        let program = Compiler::new(PassOptions::default())
+            .compile_source(SQUARES)
+            .unwrap();
+        let word_at =
+            |dram: &[u8], i: usize| u32::from_le_bytes(dram[4 * i..4 * i + 4].try_into().unwrap());
+        for n in [1u32, 3, 7] {
+            let mut inst = program.instance();
+            inst.run_untimed(&[Word(n)], 1_000_000).unwrap();
+            for i in 0..n {
+                assert_eq!(word_at(&inst.memory().dram, i as usize), i * i);
+            }
+        }
+        // The template never ran: its DRAM is still all zeroes.
+        assert!(program.graph.mem.dram.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn sequential_batch_matches_individual_runs() {
+        let program = Compiler::new(PassOptions::default())
+            .compile_source(SQUARES)
+            .unwrap();
+        let argsets: Vec<Vec<Word>> = (1..=4).map(|n| vec![Word(n)]).collect();
+        let batch = program.run_batch_sequential(&argsets, 1_000_000).unwrap();
+        assert_eq!(batch.len(), 4);
+        for (args, (report, mem, sink)) in argsets.iter().zip(&batch) {
+            let mut inst = program.instance();
+            let solo = inst.run_untimed(args, 1_000_000).unwrap();
+            assert_eq!(&solo, report);
+            assert_eq!(inst.sink_tokens(), *sink);
+            assert_eq!(inst.memory(), mem);
+        }
+    }
+}

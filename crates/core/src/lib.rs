@@ -37,11 +37,13 @@
 
 #![warn(missing_docs)]
 
+mod instance;
 mod lower;
 pub mod passes;
 mod place;
 pub mod report;
 
+pub use instance::ProgramInstance;
 pub use lower::{lower_to_dataflow, Category, CompiledProgram, ContextInfo, LinkInfo};
 pub use place::{place, Placement};
 

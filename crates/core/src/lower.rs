@@ -138,9 +138,7 @@ impl CompiledProgram {
 
     /// Injects the `main` argument thread: one data tuple closed by Ω1.
     fn inject_args(&mut self, args: &[Word]) {
-        let chan = self.graph.chan_mut(self.entry);
-        chan.push(revet_sltf::Tok::Data(args.to_vec()));
-        chan.push(revet_sltf::Tok::Barrier(revet_sltf::BarrierLevel::L1));
+        inject_args(&mut self.graph, self.entry, args);
     }
 
     /// The number of contexts (Table IV's unit counts derive from this).
@@ -152,6 +150,16 @@ impl CompiledProgram {
     pub fn units(&self, unit: UnitClass) -> usize {
         self.contexts.iter().filter(|c| c.unit == unit).count()
     }
+}
+
+/// Injects the `main` argument thread into a program graph's entry
+/// channel: one data tuple closed by Ω1. The single definition of the
+/// entry-token protocol, shared by [`CompiledProgram`]'s run methods and
+/// by `ProgramInstance` (crate::instance).
+pub(crate) fn inject_args(graph: &mut Graph, entry: ChanId, args: &[Word]) {
+    let chan = graph.chan_mut(entry);
+    chan.push(revet_sltf::Tok::Data(args.to_vec()));
+    chan.push(revet_sltf::Tok::Barrier(revet_sltf::BarrierLevel::L1));
 }
 
 /// The current position in the pipeline being built.

@@ -32,6 +32,7 @@ use crate::mem::MemoryState;
 use crate::node::{ChanId, IoEvents, MachineError, Node, NodeId, NodeIo, PortBudget};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 /// What kind of physical unit a node maps to (§VI-A: CUs, MUs, AGs).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
@@ -139,14 +140,23 @@ impl TopologyIndex {
 }
 
 /// A dataflow graph: nodes, channels, and shared memory.
+///
+/// A graph is **per-instance execution state**: node behaviors, channel
+/// queues, and [`MemoryState`] all mutate as the graph runs. The one
+/// exception is the [`TopologyIndex`], which depends only on the wiring and
+/// is held behind an [`Arc`] so every instance cloned from one compiled
+/// graph ([`Graph::fresh_instance`]) shares a single copy. Graphs are
+/// `Send` (every [`Node`] is `Send + Sync`), so instances can run on
+/// worker threads.
 #[derive(Debug, Default)]
 pub struct Graph {
     nodes: Vec<NodeSlot>,
     chans: Vec<Channel>,
     /// Shared DRAM / SRAM / allocator state.
     pub mem: MemoryState,
-    /// Channel-endpoint index; `None` until finalized or after rewiring.
-    topo: Option<TopologyIndex>,
+    /// Channel-endpoint index, shared across instances of the same wiring;
+    /// `None` until finalized or after rewiring.
+    topo: Option<Arc<TopologyIndex>>,
 }
 
 /// Summary of an untimed run.
@@ -172,6 +182,14 @@ impl ExecReport {
         } else {
             self.productive_steps as f64 / self.steps as f64
         }
+    }
+
+    /// Folds another run's counters into this report — batch aggregation
+    /// across program instances (all three counters add).
+    pub fn merge(&mut self, other: &ExecReport) {
+        self.rounds += other.rounds;
+        self.productive_steps += other.productive_steps;
+        self.steps += other.steps;
     }
 }
 
@@ -253,14 +271,64 @@ impl Graph {
     /// executors call it defensively before running.
     pub fn finalize_topology(&mut self) -> &TopologyIndex {
         if self.topo.is_none() {
-            self.topo = Some(TopologyIndex::build(&self.nodes, self.chans.len()));
+            self.topo = Some(Arc::new(TopologyIndex::build(
+                &self.nodes,
+                self.chans.len(),
+            )));
         }
-        self.topo.as_ref().expect("just built")
+        self.topo.as_deref().expect("just built")
     }
 
     /// The topology index, if the current wiring has been finalized.
     pub fn topology(&self) -> Option<&TopologyIndex> {
-        self.topo.as_ref()
+        self.topo.as_deref()
+    }
+
+    /// A shared handle to the finalized topology index (building it if
+    /// needed). Instances cloned from this graph hold the same `Arc`, so
+    /// the index is computed once per compile, not once per instance.
+    pub fn topology_handle(&mut self) -> Arc<TopologyIndex> {
+        self.finalize_topology();
+        self.topo.clone().expect("just finalized")
+    }
+
+    /// Deep-clones this graph into a fresh, independently runnable
+    /// instance: node state, channel contents, and memory are copied;
+    /// result-collecting sinks get **fresh, empty** buffers (instances
+    /// never share result storage); the immutable [`TopologyIndex`] is
+    /// shared via [`Arc`] rather than rebuilt.
+    ///
+    /// This is the machine half of the compile-once/run-many split: the
+    /// compiler finishes a graph once, and the batch runtime clones it
+    /// into as many concurrent instances as it needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called re-entrantly from inside a node step (a behavior is
+    /// checked out mid-step).
+    pub fn fresh_instance(&self) -> Graph {
+        Graph {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|slot| NodeSlot {
+                    behavior: Some(
+                        slot.behavior
+                            .as_ref()
+                            .expect("fresh_instance during a node step")
+                            .clone_node(),
+                    ),
+                    ins: slot.ins.clone(),
+                    outs: slot.outs.clone(),
+                    label: slot.label.clone(),
+                    context: slot.context,
+                    unit: slot.unit,
+                })
+                .collect(),
+            chans: self.chans.clone(),
+            mem: self.mem.clone(),
+            topo: self.topo.clone(),
+        }
     }
 
     /// Steps one node once with the given port budgets. Returns whether the
@@ -389,17 +457,16 @@ impl Graph {
         self.run_with_topology(|g, topo| g.run_untimed_ready(topo, max_rounds))
     }
 
-    /// Checks the topology index out of `self` so an executor can hold it
-    /// while mutably stepping the graph, restoring it on every exit path.
+    /// Hands an executor a shared handle to the topology index so it can
+    /// hold the index while mutably stepping the graph (the `Arc` clone
+    /// keeps the graph borrowable).
     fn run_with_topology<F>(&mut self, f: F) -> Result<ExecReport, MachineError>
     where
         F: FnOnce(&mut Self, &TopologyIndex) -> Result<ExecReport, MachineError>,
     {
         self.finalize_topology();
-        let topo = self.topo.take().expect("just finalized");
-        let result = f(self, &topo);
-        self.topo = Some(topo);
-        result
+        let topo = self.topo.clone().expect("just finalized");
+        f(self, &topo)
     }
 
     fn run_untimed_ready(
@@ -721,6 +788,97 @@ mod tests {
             dense.steps
         );
         assert!(ready.productive_ratio() > dense.productive_ratio());
+    }
+
+    #[test]
+    fn graph_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Graph>();
+        assert_send_sync::<TopologyIndex>();
+        assert_send_sync::<ExecReport>();
+    }
+
+    #[test]
+    fn fresh_instance_runs_independently_with_fresh_sinks() {
+        // One finished graph, three instances: each run collects into its
+        // own sink buffer and mutates its own memory; the original graph is
+        // untouched and the topology Arc is shared, not rebuilt.
+        let mut g = Graph::new();
+        let c0 = g.add_chan(Channel::new(1));
+        let c1 = g.add_chan(Channel::new(1));
+        g.add_node(
+            "src",
+            Box::new(SourceNode::new(vec![tdata([21u32]), tbar(1)])),
+            vec![],
+            vec![c0],
+        );
+        g.add_node(
+            "double",
+            Box::new(EwNode::new(
+                1,
+                vec![EwInstr::Alu {
+                    op: AluOp::Add,
+                    a: Operand::Reg(0),
+                    b: Operand::Reg(0),
+                    dst: 1,
+                }],
+                vec![OutputSpec::plain([1])],
+            )),
+            vec![c0],
+            vec![c1],
+        );
+        let (sink, template_handle) = SinkNode::new();
+        g.add_node("sink", Box::new(sink), vec![c1], vec![]);
+        g.finalize_topology();
+
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let mut inst = g.fresh_instance();
+            assert!(
+                std::ptr::eq(g.topology().unwrap(), inst.topology().unwrap()),
+                "instances must share the topology Arc"
+            );
+            inst.run_untimed(1_000).unwrap();
+            let h = inst
+                .nodes()
+                .iter()
+                .find_map(|s| s.behavior.as_ref().unwrap().sink_handle())
+                .expect("instance has a sink");
+            handles.push(h);
+        }
+        for h in &handles {
+            assert_eq!(h.tokens(), vec![tdata([42u32]), tbar(1)]);
+        }
+        // The template graph never ran: its source still holds tokens and
+        // its sink collected nothing.
+        assert!(template_handle.is_empty());
+        assert_eq!(g.chans()[0].len(), 0);
+        let report = g.run_untimed(1_000).unwrap();
+        assert!(report.productive_steps > 0, "template still runnable");
+        assert_eq!(template_handle.tokens(), vec![tdata([42u32]), tbar(1)]);
+    }
+
+    #[test]
+    fn exec_report_merge_sums_counters() {
+        let mut a = ExecReport {
+            rounds: 2,
+            productive_steps: 5,
+            steps: 8,
+        };
+        let b = ExecReport {
+            rounds: 1,
+            productive_steps: 3,
+            steps: 4,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            ExecReport {
+                rounds: 3,
+                productive_steps: 8,
+                steps: 12
+            }
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::channel::Channel;
 use crate::mem::MemoryState;
+use crate::nodes::SinkHandle;
 use crate::tuple::TTok;
 use core::fmt;
 
@@ -257,7 +258,12 @@ impl<'a> NodeIo<'a> {
 ///    allowed),
 ///
 /// the two SLTF composability conditions.
-pub trait Node: fmt::Debug + Send {
+///
+/// Nodes are `Send + Sync` so a finished [`crate::Graph`] can be shared
+/// immutably across threads (the batch runtime instantiates one compiled
+/// program many times from a shared reference) and instances can migrate
+/// onto worker threads.
+pub trait Node: fmt::Debug + Send + Sync {
     /// Advances the node as far as budgets, inputs, and output room allow.
     /// Returns `Ok(true)` iff any token moved.
     ///
@@ -277,5 +283,21 @@ pub trait Node: fmt::Debug + Send {
     /// is invisible on the channel network.
     fn may_stall_on_alloc(&self) -> bool {
         false
+    }
+
+    /// Clones this node's behavior into a fresh boxed instance, so one
+    /// compiled graph can be instantiated many times
+    /// ([`crate::Graph::fresh_instance`]). Ordinary primitives copy their
+    /// state verbatim; result-collecting endpoints
+    /// ([`crate::nodes::SinkNode`]) allocate a fresh, empty collection
+    /// buffer instead of sharing the original's.
+    fn clone_node(&self) -> Box<dyn Node>;
+
+    /// The handle to this node's collected output, for result-collecting
+    /// endpoints ([`crate::nodes::SinkNode`]); `None` for every other
+    /// primitive. Lets an instantiated graph surface its own sink handle
+    /// without downcasting.
+    fn sink_handle(&self) -> Option<SinkHandle> {
+        None
     }
 }

@@ -126,6 +126,10 @@ impl Node for ReduceNode {
     fn kind(&self) -> &'static str {
         "reduce"
     }
+
+    fn clone_node(&self) -> Box<dyn Node> {
+        Box::new(self.clone())
+    }
 }
 
 /// Flatten node: removes one hierarchy level (Ω1 dropped, Ωn lowered). Also
@@ -178,6 +182,10 @@ impl Node for FlattenNode {
 
     fn kind(&self) -> &'static str {
         "flatten"
+    }
+
+    fn clone_node(&self) -> Box<dyn Node> {
+        Box::new(self.clone())
     }
 }
 

@@ -58,6 +58,12 @@ impl Node for SourceNode {
     fn kind(&self) -> &'static str {
         "source"
     }
+
+    fn clone_node(&self) -> Box<dyn Node> {
+        Box::new(SourceNode {
+            pending: self.pending.clone(),
+        })
+    }
 }
 
 /// Consumes and records every incoming token.
@@ -92,6 +98,19 @@ impl Node for SinkNode {
 
     fn kind(&self) -> &'static str {
         "sink"
+    }
+
+    /// A cloned sink collects into a **fresh, empty** buffer: instances of
+    /// one compiled graph must never interleave their results. The new
+    /// node's handle is reachable via [`Node::sink_handle`].
+    fn clone_node(&self) -> Box<dyn Node> {
+        Box::new(SinkNode {
+            out: SinkHandle::default(),
+        })
+    }
+
+    fn sink_handle(&self) -> Option<SinkHandle> {
+        Some(self.out.clone())
     }
 }
 

@@ -217,6 +217,10 @@ impl Node for EwNode {
         "ew"
     }
 
+    fn clone_node(&self) -> Box<dyn Node> {
+        Box::new(self.clone())
+    }
+
     fn may_stall_on_alloc(&self) -> bool {
         self.instrs.iter().any(|i| i.alloc_pop_id().is_some())
     }

@@ -157,6 +157,10 @@ impl Node for CounterNode {
     fn kind(&self) -> &'static str {
         "counter"
     }
+
+    fn clone_node(&self) -> Box<dyn Node> {
+        Box::new(self.clone())
+    }
 }
 
 /// Fork node: emits `count` copies of each thread with an index appended,
@@ -231,6 +235,10 @@ impl Node for ForkNode {
 
     fn kind(&self) -> &'static str {
         "fork"
+    }
+
+    fn clone_node(&self) -> Box<dyn Node> {
+        Box::new(self.clone())
     }
 }
 
@@ -339,6 +347,10 @@ impl Node for BroadcastNode {
 
     fn kind(&self) -> &'static str {
         "broadcast"
+    }
+
+    fn clone_node(&self) -> Box<dyn Node> {
+        Box::new(self.clone())
     }
 }
 

@@ -78,6 +78,10 @@ impl Node for FwdMergeNode {
     fn kind(&self) -> &'static str {
         "fwd-merge"
     }
+
+    fn clone_node(&self) -> Box<dyn Node> {
+        Box::new(self.clone())
+    }
 }
 
 /// The phase of a forward-backward merge.
@@ -227,6 +231,10 @@ impl Node for FbMergeNode {
 
     fn kind(&self) -> &'static str {
         "fb-merge"
+    }
+
+    fn clone_node(&self) -> Box<dyn Node> {
+        Box::new(self.clone())
     }
 }
 

@@ -8,7 +8,7 @@
 //!
 //! The crate also provides:
 //!
-//! - [`verify`]: a structural verifier run between passes,
+//! - [`verify_module`]: a structural verifier run between passes,
 //! - [`print_module`]/[`print_func`]: a textual form for debugging,
 //! - [`Interp`]: a **reference interpreter** defining sequential semantics —
 //!   the oracle against which every lowering pass and the final dataflow

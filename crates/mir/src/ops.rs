@@ -200,8 +200,8 @@ pub enum OpKind {
         /// Body region (args = forwarded values).
         after: Region,
     },
-    /// Explicitly parallel `foreach (lo..hi by step)`; body args = [index];
-    /// body terminator yields reduction operands.
+    /// Explicitly parallel `foreach (lo..hi by step)`; body args =
+    /// `[index]`; body terminator yields reduction operands.
     Foreach {
         /// Lower bound.
         lo: Value,

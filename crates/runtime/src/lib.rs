@@ -1,0 +1,315 @@
+//! # revet-runtime — parallel batch execution of compiled programs
+//!
+//! The compiler produces one [`CompiledProgram`] per source; real
+//! deployments run that program (or a mix of programs) over **many**
+//! independent inputs. This crate is the intermediate runtime layer that
+//! maps a batch of program instances onto a pool of OS threads:
+//!
+//! ```text
+//!                jobs (program ref + args)
+//!                  │
+//!                  ▼
+//!        ┌──────────────────────┐       shared, immutable
+//!        │  BatchRunner::run    │  ┌───────────────────────────┐
+//!        │  (atomic work queue) │  │ &CompiledProgram (Sync)   │
+//!        └──────┬───────┬───────┘  │  graph template + Arc'd   │
+//!               │       │          │  TopologyIndex            │
+//!          ┌────┘       └────┐     └────────────▲──────────────┘
+//!          ▼                 ▼                  │ instance()
+//!     worker 0  …        worker T-1            per job
+//!     ┌──────────┐       ┌──────────┐
+//!     │ instance │       │ instance │   each: private Graph,
+//!     │ run sink │       │ run sink │   MemoryState, sink buffer
+//!     └────┬─────┘       └────┬─────┘
+//!          └────────┬─────────┘
+//!                   ▼
+//!            BatchReport (per-instance results, merged ExecReport,
+//!                         instances/sec)
+//! ```
+//!
+//! Workers pull job indices from one shared [`AtomicUsize`] cursor —
+//! there is no static sharding, so a worker that lands long-running
+//! instances simply claims fewer of them. Instantiation
+//! ([`CompiledProgram::instance`]) happens **on the worker**, so the
+//! per-instance DRAM copy scales with the pool instead of serializing on
+//! the caller.
+//!
+//! Execution is deterministic per instance: a
+//! [`revet_core::ProgramInstance`] owns all of its mutable state, so
+//! parallel batch results are bit-identical to a
+//! sequential loop over the same jobs (`tests/batch_equiv.rs` pins this,
+//! reusing the scheduler-equivalence discipline: identical sink streams
+//! and identical [`MemoryState`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use revet_core::{Compiler, PassOptions};
+//! use revet_runtime::{BatchJob, BatchRunner};
+//! use revet_sltf::Word;
+//!
+//! let program = Compiler::new(PassOptions::default())
+//!     .compile_source(
+//!         "dram<u32> output;
+//!          void main(u32 n) {
+//!              foreach (n) { u32 i => output[i] = i + 1; };
+//!          }",
+//!     )
+//!     .unwrap();
+//! let jobs: Vec<BatchJob> = (1..=8).map(|n| BatchJob::new(&program, vec![Word(n)])).collect();
+//! let report = BatchRunner::new(4).run(&jobs);
+//! assert_eq!(report.ok_count(), 8);
+//! let first = report.results[0].as_ref().unwrap();
+//! assert_eq!(&first.mem.dram[..4], &1u32.to_le_bytes());
+//! ```
+
+#![warn(missing_docs)]
+
+use revet_core::CompiledProgram;
+use revet_machine::{ExecReport, MachineError, MemoryState, TTok};
+use revet_sltf::Word;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+// A compiled program is shared by reference across the worker pool; this
+// only holds because every part of it is immutable-while-shared (`Sync`).
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<CompiledProgram>();
+};
+
+/// Default per-instance round cap (matches the evaluation harnesses).
+pub const DEFAULT_MAX_ROUNDS: u64 = 200_000_000;
+
+/// One unit of batch work: which compiled program to instantiate and the
+/// `main` arguments to run the instance with. Jobs in one batch may
+/// reference different programs (a mixed-tenant batch).
+#[derive(Clone, Debug)]
+pub struct BatchJob<'p> {
+    /// The shared compiled program this job instantiates.
+    pub program: &'p CompiledProgram,
+    /// `main` arguments for this instance.
+    pub args: Vec<Word>,
+}
+
+impl<'p> BatchJob<'p> {
+    /// Creates a job running `program` with `args`.
+    pub fn new(program: &'p CompiledProgram, args: Vec<Word>) -> Self {
+        BatchJob { program, args }
+    }
+}
+
+/// Everything one finished instance leaves behind.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InstanceResult {
+    /// Scheduler counters from the instance's untimed run.
+    pub report: ExecReport,
+    /// Tokens the instance's private sink collected (`main`'s outputs).
+    pub sink: Vec<TTok>,
+    /// The instance's final memory state (DRAM outputs live here).
+    pub mem: MemoryState,
+}
+
+/// Aggregated outcome of one [`BatchRunner::run`] call.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-job outcomes, in job order (independent of which worker ran
+    /// what, or in what order).
+    pub results: Vec<Result<InstanceResult, MachineError>>,
+    /// Wall-clock time for the whole batch.
+    pub elapsed: Duration,
+    /// Worker threads actually used (capped at the job count).
+    pub threads: usize,
+}
+
+impl BatchReport {
+    /// Number of instances that completed successfully.
+    pub fn ok_count(&self) -> usize {
+        self.results.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// The first failure, if any instance failed.
+    pub fn first_error(&self) -> Option<&MachineError> {
+        self.results.iter().find_map(|r| r.as_ref().err())
+    }
+
+    /// Scheduler counters merged over all successful instances.
+    pub fn total(&self) -> ExecReport {
+        let mut total = ExecReport::default();
+        for r in self.results.iter().flatten() {
+            total.merge(&r.report);
+        }
+        total
+    }
+
+    /// Completed instances per wall-clock second — the batch throughput
+    /// metric reported by the `throughput_bench` binary.
+    pub fn instances_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.ok_count() as f64 / secs
+        }
+    }
+}
+
+/// A fixed-width thread pool driving a batch of program instances through
+/// the untimed executor. Stateless between calls: construction is cheap
+/// and the pool exists only for the duration of one [`BatchRunner::run`].
+#[derive(Clone, Copy, Debug)]
+pub struct BatchRunner {
+    threads: usize,
+    max_rounds: u64,
+}
+
+impl BatchRunner {
+    /// Creates a runner with `threads` workers (0 is treated as 1) and the
+    /// default round cap.
+    pub fn new(threads: usize) -> Self {
+        BatchRunner {
+            threads: threads.max(1),
+            max_rounds: DEFAULT_MAX_ROUNDS,
+        }
+    }
+
+    /// Overrides the per-instance round cap (livelock guard).
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job to quiescence, sharding instances across the worker
+    /// pool, and aggregates the outcomes in job order.
+    pub fn run(&self, jobs: &[BatchJob<'_>]) -> BatchReport {
+        let start = Instant::now();
+        let workers = self.threads.min(jobs.len()).max(1);
+        let mut slots: Vec<Option<Result<InstanceResult, MachineError>>> =
+            (0..jobs.len()).map(|_| None).collect();
+        if workers == 1 {
+            for (slot, job) in slots.iter_mut().zip(jobs) {
+                *slot = Some(run_one(job, self.max_rounds));
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let max_rounds = self.max_rounds;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let cursor = &cursor;
+                        scope.spawn(move || {
+                            let mut done = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(job) = jobs.get(i) else { break };
+                                done.push((i, run_one(job, max_rounds)));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (i, result) in handle.join().expect("batch worker panicked") {
+                        slots[i] = Some(result);
+                    }
+                }
+            });
+        }
+        BatchReport {
+            results: slots
+                .into_iter()
+                .map(|s| s.expect("every job index was claimed exactly once"))
+                .collect(),
+            elapsed: start.elapsed(),
+            threads: workers,
+        }
+    }
+
+    /// Convenience wrapper for the common homogeneous case: one program,
+    /// one instance per argument set.
+    pub fn run_same(&self, program: &CompiledProgram, argsets: &[Vec<Word>]) -> BatchReport {
+        let jobs: Vec<BatchJob<'_>> = argsets
+            .iter()
+            .map(|args| BatchJob::new(program, args.clone()))
+            .collect();
+        self.run(&jobs)
+    }
+}
+
+/// Instantiate → run → harvest, entirely on the calling worker thread.
+fn run_one(job: &BatchJob<'_>, max_rounds: u64) -> Result<InstanceResult, MachineError> {
+    let mut inst = job.program.instance();
+    let report = inst.run_untimed(&job.args, max_rounds)?;
+    let sink = inst.sink_tokens();
+    Ok(InstanceResult {
+        report,
+        sink,
+        mem: inst.into_memory(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revet_core::{Compiler, PassOptions};
+
+    fn squares_program() -> CompiledProgram {
+        Compiler::new(PassOptions {
+            dram_bytes: 1 << 12,
+            ..PassOptions::default()
+        })
+        .compile_source(
+            "dram<u32> output;
+             void main(u32 n) {
+                 foreach (n) { u32 i => output[i] = i * i; };
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_batch_covers_every_job_in_order() {
+        let program = squares_program();
+        let argsets: Vec<Vec<Word>> = (1..=13).map(|n| vec![Word(n)]).collect();
+        let report = BatchRunner::new(4).run_same(&program, &argsets);
+        assert_eq!(report.threads, 4);
+        assert_eq!(report.ok_count(), 13);
+        assert!(report.first_error().is_none());
+        for (n, result) in (1u32..=13).zip(&report.results) {
+            let mem = &result.as_ref().unwrap().mem;
+            let last = (n - 1) as usize;
+            let got = u32::from_le_bytes(mem.dram[4 * last..4 * last + 4].try_into().unwrap());
+            assert_eq!(got, (n - 1) * (n - 1), "job n={n} out of order or wrong");
+        }
+        let total = report.total();
+        assert!(total.productive_steps > 0);
+        assert!(report.instances_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn worker_count_caps_at_job_count() {
+        let program = squares_program();
+        let report = BatchRunner::new(64).run_same(&program, &[vec![Word(2)]]);
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.ok_count(), 1);
+    }
+
+    #[test]
+    fn instance_failures_are_attributed_not_fatal() {
+        let program = squares_program();
+        // Round cap of 0 forces an immediate livelock diagnosis per
+        // instance; the batch still completes and reports every failure.
+        let report = BatchRunner::new(2)
+            .with_max_rounds(0)
+            .run_same(&program, &[vec![Word(1)], vec![Word(2)]]);
+        assert_eq!(report.ok_count(), 0);
+        let err = report.first_error().expect("both instances failed");
+        assert!(err.message.contains("no quiescence"), "got: {err}");
+    }
+}

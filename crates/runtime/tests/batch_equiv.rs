@@ -1,0 +1,113 @@
+//! Batch-equivalence tests: running N program instances on a 4-thread
+//! pool must yield sink streams and [`MemoryState`]s **bit-identical** to N
+//! sequential single-threaded runs.
+//!
+//! This extends the PR 2 scheduler-equivalence discipline
+//! (`crates/machine/tests/scheduler_equiv.rs`) one layer up: there, the
+//! ready-set executor was pinned to the dense-sweep reference on one
+//! graph; here, the parallel batch runtime is pinned to the sequential
+//! instance loop on whole compiled programs. Both rest on the same Kahn
+//! argument — every instance owns all of its mutable state, so thread
+//! scheduling can change only *when* work happens, never *what* it
+//! computes.
+
+use revet_apps::app;
+use revet_core::{CompiledProgram, Compiler, PassOptions};
+use revet_machine::{MemoryState, TTok};
+use revet_runtime::{BatchJob, BatchRunner, InstanceResult};
+use revet_sltf::Word;
+
+const MAX_ROUNDS: u64 = 200_000_000;
+
+/// Sequential reference: one instance per job, run in a plain loop on the
+/// calling thread.
+fn run_sequential(jobs: &[BatchJob<'_>]) -> Vec<(Vec<TTok>, MemoryState)> {
+    jobs.iter()
+        .map(|job| {
+            let mut inst = job.program.instance();
+            inst.run_untimed(&job.args, MAX_ROUNDS)
+                .expect("reference run");
+            let sink = inst.sink_tokens();
+            (sink, inst.into_memory())
+        })
+        .collect()
+}
+
+fn assert_batch_matches_sequential(jobs: &[BatchJob<'_>], threads: usize) {
+    let reference = run_sequential(jobs);
+    let report = BatchRunner::new(threads).run(jobs);
+    assert_eq!(report.results.len(), jobs.len());
+    for (i, (result, (ref_sink, ref_mem))) in report.results.iter().zip(&reference).enumerate() {
+        let InstanceResult { sink, mem, report } = result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("instance #{i}: {e}"));
+        assert_eq!(sink, ref_sink, "instance #{i}: sink streams diverged");
+        assert_eq!(mem, ref_mem, "instance #{i}: memory state diverged");
+        assert!(report.productive_steps > 0, "instance #{i}: did nothing");
+    }
+}
+
+/// A tiny arithmetic program whose output depends on `n`, so every job in
+/// the batch computes something different.
+fn triangular_program() -> CompiledProgram {
+    Compiler::new(PassOptions {
+        dram_bytes: 1 << 12,
+        ..PassOptions::default()
+    })
+    .compile_source(
+        "dram<u32> output;
+         void main(u32 n) {
+             foreach (n) { u32 i =>
+                 u32 acc = 0;
+                 u32 j = 0;
+                 while (j <= i) {
+                     acc = acc + j;
+                     j = j + 1;
+                 };
+                 output[i] = acc;
+             };
+         }",
+    )
+    .expect("compiles")
+}
+
+#[test]
+fn batch_on_four_threads_is_bit_identical_to_sequential_runs() {
+    let program = triangular_program();
+    let jobs: Vec<BatchJob> = (1..=16u32)
+        .map(|n| BatchJob::new(&program, vec![Word(n)]))
+        .collect();
+    assert_batch_matches_sequential(&jobs, 4);
+}
+
+#[test]
+fn mixed_app_batch_is_bit_identical_to_sequential_runs() {
+    // Two real evaluation apps at two workload seeds each: four distinct
+    // compiled programs, four instances of each → a 16-job mixed batch.
+    let mut programs = Vec::new();
+    for name in ["murmur3", "ip2int"] {
+        let a = app(name).expect("registered");
+        for seed in [7u64, 1234] {
+            let (program, args, _w) = a.prepare(2, 8, seed, &PassOptions::default());
+            programs.push((program, args));
+        }
+    }
+    let jobs: Vec<BatchJob> = (0..16)
+        .map(|i| {
+            let (program, args) = &programs[i % programs.len()];
+            BatchJob::new(program, args.clone())
+        })
+        .collect();
+    assert_batch_matches_sequential(&jobs, 4);
+}
+
+#[test]
+fn oversubscribed_pool_still_matches_sequential() {
+    // More workers than jobs than cores: the cursor hand-off must not
+    // skip, duplicate, or reorder job slots.
+    let program = triangular_program();
+    let jobs: Vec<BatchJob> = (1..=5u32)
+        .map(|n| BatchJob::new(&program, vec![Word(n)]))
+        .collect();
+    assert_batch_matches_sequential(&jobs, 16);
+}

@@ -72,6 +72,32 @@ impl SimStats {
         self.skipped_idle_steps as f64 / total as f64
     }
 
+    /// Folds another run's counters into this one — aggregation across a
+    /// batch of simulated program instances. Cycle and traffic counters
+    /// add (total simulated work, as if the runs executed back-to-back on
+    /// one machine); per-node busy counters add element-wise, zero-extending
+    /// if `other` simulated a larger graph; the frequency and peak-DRAM
+    /// parameters are taken from whichever report has them set (they are
+    /// machine constants, not run counters).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles += other.cycles;
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.dram_written_bytes += other.dram_written_bytes;
+        self.skipped_idle_steps += other.skipped_idle_steps;
+        if self.freq_ghz == 0.0 {
+            self.freq_ghz = other.freq_ghz;
+        }
+        if self.peak_dram_bytes_per_cycle == 0.0 {
+            self.peak_dram_bytes_per_cycle = other.peak_dram_bytes_per_cycle;
+        }
+        if self.busy_cycles.len() < other.busy_cycles.len() {
+            self.busy_cycles.resize(other.busy_cycles.len(), 0);
+        }
+        for (mine, theirs) in self.busy_cycles.iter_mut().zip(&other.busy_cycles) {
+            *mine += theirs;
+        }
+    }
+
     /// Mean node utilization (busy cycles / total cycles).
     pub fn mean_utilization(&self) -> f64 {
         if self.cycles == 0 || self.busy_cycles.is_empty() {
@@ -106,5 +132,38 @@ mod tests {
         assert!((w - 0.125).abs() < 1e-9);
         assert!((s.mean_utilization() - 0.75).abs() < 1e-9);
         assert!((s.scheduler_skip_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_aggregates_a_batch() {
+        let mut total = SimStats::default();
+        let a = SimStats {
+            cycles: 100,
+            freq_ghz: 1.6,
+            dram_read_bytes: 640,
+            dram_written_bytes: 64,
+            peak_dram_bytes_per_cycle: 562.5,
+            busy_cycles: vec![10, 20],
+            skipped_idle_steps: 5,
+        };
+        let b = SimStats {
+            cycles: 50,
+            busy_cycles: vec![1, 2, 3],
+            skipped_idle_steps: 7,
+            ..a.clone()
+        };
+        total.merge(&a);
+        total.merge(&b);
+        assert_eq!(total.cycles, 150);
+        assert_eq!(total.dram_read_bytes, 1280);
+        assert_eq!(total.dram_written_bytes, 128);
+        assert_eq!(total.skipped_idle_steps, 12);
+        assert_eq!(total.busy_cycles, vec![11, 22, 3]);
+        // Machine constants are carried, not summed.
+        assert!((total.freq_ghz - 1.6).abs() < 1e-12);
+        assert!((total.peak_dram_bytes_per_cycle - 562.5).abs() < 1e-12);
+        // Derived metrics still make sense on the aggregate.
+        assert!(total.seconds() > 0.0);
+        assert!(total.dram_utilization() > 0.0);
     }
 }

@@ -3,6 +3,9 @@
 //! untimed dataflow machine proves functional lowering, and the timed
 //! simulator reports cycles.
 //!
+//! The same flow, with an oracle assertion, is the crate-level doctest on
+//! the `revet` facade (`src/lib.rs`), so `cargo test` exercises it.
+//!
 //! Run with: `cargo run --example quickstart`
 
 use revet::compiler::{Compiler, PassOptions};

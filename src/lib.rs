@@ -8,31 +8,111 @@
 //! - [`mir`] — the SSA mid-level IR the compiler operates on
 //! - [`lang`] — the Revet language front-end
 //! - [`compiler`] — passes, CFG→dataflow lowering, splitting, placement
+//! - [`runtime`] — parallel batch execution of compiled program instances
 //! - [`sim`] — the cycle-level vRDA simulator
 //! - [`baselines`] — GPU/CPU baseline models
 //! - [`apps`] — the eight evaluation applications
 //!
-//! ## Quickstart
+//! See `ARCHITECTURE.md` at the repository root for how the layers fit
+//! together.
+//!
+//! ## Quickstart: compile, load DRAM, simulate, check
+//!
+//! The documented happy path (the same flow as `examples/quickstart.rs`,
+//! exercised here by `cargo test`): write a threaded Revet program,
+//! compile it to a dataflow graph, put inputs into the program's DRAM
+//! image, run the cycle-level simulator, and read the outputs back.
 //!
 //! ```
 //! use revet::compiler::{Compiler, PassOptions};
+//! use revet::sim::{IdealModels, RdaConfig, Simulator};
+//! use revet::sltf::Word;
 //!
 //! let source = r#"
+//!     dram<u32> input;
 //!     dram<u32> output;
 //!     void main(u32 n) {
 //!         foreach (n) { u32 i =>
-//!             output[i] = i * i;
+//!             u32 x = input[i];
+//!             u32 steps = 0;
+//!             while (x != 1) {
+//!                 if (x & 1) {
+//!                     x = 3 * x + 1;
+//!                 } else {
+//!                     x = x / 2;
+//!                 };
+//!                 steps = steps + 1;
+//!             };
+//!             output[i] = steps;
 //!         };
 //!     }
 //! "#;
-//! let program = Compiler::new(PassOptions::default()).compile_source(source).unwrap();
+//! let opts = PassOptions { dram_bytes: 1 << 16, ..PassOptions::default() };
+//! let mut program = Compiler::new(opts).compile_source(source).unwrap();
 //! assert!(program.context_count() > 0);
+//!
+//! // DRAM symbols are laid out in equal slices: `input` at 0, `output`
+//! // at dram_bytes/2. Load the inputs…
+//! let n = 8u32;
+//! for i in 0..n {
+//!     let bytes = (i + 2).to_le_bytes();
+//!     program.graph.mem.dram[4 * i as usize..4 * i as usize + 4].copy_from_slice(&bytes);
+//! }
+//! // …run the timed simulator…
+//! let sim = Simulator::new(RdaConfig::default(), IdealModels::default());
+//! let stats = sim.run(&mut program, &[Word(n)], 10_000_000).unwrap();
+//! assert!(stats.cycles > 0);
+//!
+//! // …and check every Collatz step count against a host-side oracle.
+//! let collatz = |mut x: u32| {
+//!     let mut steps = 0;
+//!     while x != 1 {
+//!         x = if x & 1 == 1 { 3 * x + 1 } else { x / 2 };
+//!         steps += 1;
+//!     }
+//!     steps
+//! };
+//! let half = (1 << 16) / 2;
+//! for i in 0..n as usize {
+//!     let got = u32::from_le_bytes(
+//!         program.graph.mem.dram[half + 4 * i..half + 4 * i + 4].try_into().unwrap(),
+//!     );
+//!     assert_eq!(got, collatz(i as u32 + 2));
+//! }
 //! ```
+//!
+//! ## Batch execution: compile once, run many
+//!
+//! One [`compiler::CompiledProgram`] can be instantiated any number of
+//! times; the [`runtime`] layer shards instances across a thread pool and
+//! the results are bit-identical to sequential runs:
+//!
+//! ```
+//! use revet::compiler::{Compiler, PassOptions};
+//! use revet::runtime::{BatchJob, BatchRunner};
+//! use revet::sltf::Word;
+//!
+//! let program = Compiler::new(PassOptions::default())
+//!     .compile_source(
+//!         "dram<u32> output;
+//!          void main(u32 n) {
+//!              foreach (n) { u32 i => output[i] = i * i; };
+//!          }",
+//!     )
+//!     .unwrap();
+//! let jobs: Vec<BatchJob> = (1..=8).map(|n| BatchJob::new(&program, vec![Word(n)])).collect();
+//! let report = BatchRunner::new(4).run(&jobs);
+//! assert_eq!(report.ok_count(), 8);
+//! ```
+
+#![warn(missing_docs)]
+
 pub use revet_apps as apps;
 pub use revet_baselines as baselines;
 pub use revet_core as compiler;
 pub use revet_lang as lang;
 pub use revet_machine as machine;
 pub use revet_mir as mir;
+pub use revet_runtime as runtime;
 pub use revet_sim as sim;
 pub use revet_sltf as sltf;

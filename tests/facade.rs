@@ -86,6 +86,29 @@ fn sim_baselines_and_apps_reexports_interoperate() {
 }
 
 #[test]
+fn runtime_reexport_runs_a_parallel_batch() {
+    let program = Compiler::new(PassOptions {
+        dram_bytes: 1 << 12,
+        ..PassOptions::default()
+    })
+    .compile_source(
+        "dram<u32> output;
+         void main(u32 n) {
+             foreach (n) { u32 i => output[i] = i + n; };
+         }",
+    )
+    .expect("compiles");
+    let argsets: Vec<Vec<Word>> = (1..=6).map(|n| vec![Word(n)]).collect();
+    let report = revet::runtime::BatchRunner::new(3).run_same(&program, &argsets);
+    assert_eq!(report.ok_count(), 6);
+    for (n, result) in (1u32..=6).zip(&report.results) {
+        let mem = &result.as_ref().expect("instance ran").mem;
+        let got = u32::from_le_bytes(mem.dram[0..4].try_into().unwrap());
+        assert_eq!(got, n, "output[0] = 0 + n");
+    }
+}
+
+#[test]
 fn all_eight_paper_apps_are_registered() {
     let apps = revet::apps::all_apps();
     assert_eq!(apps.len(), 8, "paper evaluates eight applications");
