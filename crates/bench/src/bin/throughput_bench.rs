@@ -10,15 +10,30 @@
 //! speedup never comes at the cost of determinism.
 //!
 //! Usage: `cargo run --release -p revet-bench --bin throughput_bench
-//! [scale] [instances]` (defaults: scale 64, 32 instances).
+//! [scale] [instances] [--json [PATH]]` (defaults: scale 64, 32
+//! instances). `--json` writes a machine-readable trajectory record
+//! (default path `BENCH_throughput.json`) with one row per thread count
+//! plus batch latency percentiles.
 
 use revet_bench::{apps_under_test, PreparedApp};
 use revet_runtime::{BatchJob, BatchReport, BatchRunner};
 
 fn main() {
-    let mut argv = std::env::args().skip(1);
-    let scale: usize = argv.next().and_then(|s| s.parse().ok()).unwrap_or(64);
-    let instances: usize = argv.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let mut positional: Vec<usize> = Vec::new();
+    let mut json: Option<String> = None;
+    let mut argv = std::env::args().skip(1).peekable();
+    while let Some(arg) = argv.next() {
+        if arg == "--json" {
+            json = Some(match argv.peek() {
+                Some(v) if !v.starts_with("--") => argv.next().unwrap(),
+                _ => "BENCH_throughput.json".to_string(),
+            });
+        } else {
+            positional.push(arg.parse().unwrap_or_else(|_| panic!("bad arg {arg}")));
+        }
+    }
+    let scale: usize = positional.first().copied().unwrap_or(64);
+    let instances: usize = positional.get(1).copied().unwrap_or(32);
     assert!(instances > 0, "need at least one instance to measure");
 
     let prepared = apps_under_test(scale);
@@ -42,6 +57,7 @@ fn main() {
 
     let mut baseline: Option<f64> = None;
     let mut reference: Option<Snapshot> = None;
+    let mut json_rows: Vec<String> = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let report = BatchRunner::new(threads).run(&jobs);
         if let Some(err) = report.first_error() {
@@ -58,6 +74,16 @@ fn main() {
         }
         let ips = report.instances_per_sec();
         let base = *baseline.get_or_insert(ips);
+        let lat = report.latency_percentiles().expect("ok instances");
+        json_rows.push(format!(
+            "    {{\"threads\": {threads}, \"elapsed_ms\": {:.3}, \"instances_per_sec\": {ips:.3}, \
+             \"speedup\": {:.3}, \"latency_us\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}}}",
+            report.elapsed.as_secs_f64() * 1e3,
+            ips / base,
+            lat.p50.as_micros(),
+            lat.p95.as_micros(),
+            lat.p99.as_micros(),
+        ));
         println!(
             "{:<8} {:>12.1} {:>14.1} {:>9.2}x",
             threads,
@@ -86,6 +112,15 @@ fn main() {
         "all runs validated against app oracles; parallel results \
          bit-identical to the 1-thread reference."
     );
+    if let Some(path) = json {
+        let doc = format!(
+            "{{\n  \"bench\": \"throughput\",\n  \"scale\": {scale},\n  \
+             \"instances\": {instances},\n  \"hardware_threads\": {hw},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
 }
 
 /// Validates every instance's DRAM image against its app's oracle.

@@ -37,12 +37,14 @@
 
 #![warn(missing_docs)]
 
+mod fingerprint;
 mod instance;
 mod lower;
 pub mod passes;
 mod place;
 pub mod report;
 
+pub use fingerprint::ProgramId;
 pub use instance::ProgramInstance;
 pub use lower::{lower_to_dataflow, Category, CompiledProgram, ContextInfo, LinkInfo};
 pub use place::{place, Placement};
@@ -72,7 +74,11 @@ impl fmt::Display for CoreError {
 impl std::error::Error for CoreError {}
 
 /// Which optimizations run (the Fig. 12 ablation knobs).
-#[derive(Clone, Debug)]
+///
+/// `PassOptions` is part of a compiled program's identity: together with
+/// the source text it determines the output, so it is `Eq + Hash` and
+/// feeds the content-addressed [`ProgramId`] fingerprint.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct PassOptions {
     /// §V-B c: inline loop-free `if`s as selects + predicated memory ops.
     pub if_to_select: bool,

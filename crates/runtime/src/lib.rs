@@ -69,6 +69,7 @@ use revet_core::CompiledProgram;
 use revet_machine::{ExecReport, MachineError, MemoryState, TTok};
 use revet_sltf::Word;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 // A compiled program is shared by reference across the worker pool; this
@@ -90,12 +91,32 @@ pub struct BatchJob<'p> {
     pub program: &'p CompiledProgram,
     /// `main` arguments for this instance.
     pub args: Vec<Word>,
+    /// Per-instance DRAM overlays: `(byte offset, bytes)` written into
+    /// the fresh instance's DRAM image before it runs. This is how one
+    /// shared compile serves instances with *different inputs* — the
+    /// template's image stays untouched. Behind an `Arc` so a batch of
+    /// jobs sharing one overlay set shares the bytes instead of cloning
+    /// them per job. Out-of-range overlays fail that job (not the batch)
+    /// with a [`MachineError`].
+    pub dram_inits: Arc<[(usize, Vec<u8>)]>,
 }
 
 impl<'p> BatchJob<'p> {
-    /// Creates a job running `program` with `args`.
+    /// Creates a job running `program` with `args` (no DRAM overlays).
     pub fn new(program: &'p CompiledProgram, args: Vec<Word>) -> Self {
-        BatchJob { program, args }
+        BatchJob {
+            program,
+            args,
+            dram_inits: Vec::new().into(),
+        }
+    }
+
+    /// Adds per-instance DRAM overlays (see [`BatchJob::dram_inits`]).
+    /// Accepts a `Vec` or an already-shared `Arc` slice.
+    #[must_use]
+    pub fn with_dram_inits(mut self, dram_inits: impl Into<Arc<[(usize, Vec<u8>)]>>) -> Self {
+        self.dram_inits = dram_inits.into();
+        self
     }
 }
 
@@ -108,6 +129,44 @@ pub struct InstanceResult {
     pub sink: Vec<TTok>,
     /// The instance's final memory state (DRAM outputs live here).
     pub mem: MemoryState,
+    /// Wall-clock time for this instance alone (instantiate + run +
+    /// harvest, measured on the worker that ran it). Feeds the batch
+    /// latency percentiles a serving layer reports.
+    pub wall: Duration,
+}
+
+/// Batch latency distribution over *successful* instances, nearest-rank
+/// percentiles of per-instance wall-clock ([`InstanceResult::wall`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyPercentiles {
+    /// Median instance latency.
+    pub p50: Duration,
+    /// 95th-percentile instance latency.
+    pub p95: Duration,
+    /// 99th-percentile instance latency.
+    pub p99: Duration,
+}
+
+impl LatencyPercentiles {
+    /// Nearest-rank p50/p95/p99 over `samples`, which are sorted in
+    /// place; `None` for an empty sample. Shared by
+    /// [`BatchReport::latency_percentiles`] and the serving-layer load
+    /// generator (client-side request latencies).
+    pub fn from_samples(samples: &mut [Duration]) -> Option<LatencyPercentiles> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        // Nearest-rank: the smallest sample ≥ p percent of the
+        // distribution (p100 would be the max).
+        let n = samples.len();
+        let rank = |p: f64| samples[((p / 100.0 * n as f64).ceil() as usize).clamp(1, n) - 1];
+        Some(LatencyPercentiles {
+            p50: rank(50.0),
+            p95: rank(95.0),
+            p99: rank(99.0),
+        })
+    }
 }
 
 /// Aggregated outcome of one [`BatchRunner::run`] call.
@@ -143,14 +202,27 @@ impl BatchReport {
     }
 
     /// Completed instances per wall-clock second — the batch throughput
-    /// metric reported by the `throughput_bench` binary.
+    /// metric reported by the `throughput_bench` binary. `0.0` for a
+    /// batch with no successful instances (including the empty batch).
     pub fn instances_per_sec(&self) -> f64 {
+        let ok = self.ok_count();
         let secs = self.elapsed.as_secs_f64();
-        if secs == 0.0 {
+        if ok == 0 {
+            0.0
+        } else if secs == 0.0 {
             f64::INFINITY
         } else {
-            self.ok_count() as f64 / secs
+            ok as f64 / secs
         }
+    }
+
+    /// p50/p95/p99 of per-instance wall-clock over successful instances,
+    /// or `None` when no instance succeeded. Complements
+    /// [`BatchReport::instances_per_sec`]: throughput says how fast the
+    /// batch drained, percentiles say what any one instance paid.
+    pub fn latency_percentiles(&self) -> Option<LatencyPercentiles> {
+        let mut walls: Vec<Duration> = self.results.iter().flatten().map(|r| r.wall).collect();
+        LatencyPercentiles::from_samples(&mut walls)
     }
 }
 
@@ -164,8 +236,12 @@ pub struct BatchRunner {
 }
 
 impl BatchRunner {
-    /// Creates a runner with `threads` workers (0 is treated as 1) and the
-    /// default round cap.
+    /// Creates a runner with `threads` workers and the default round cap.
+    ///
+    /// `new(0)` clamps to one worker: a runner that can make no progress
+    /// is never what a caller wants, and admission layers that compute a
+    /// pool size (`cores - reserved`, say) should degrade to sequential
+    /// execution rather than panic or hang.
     pub fn new(threads: usize) -> Self {
         BatchRunner {
             threads: threads.max(1),
@@ -187,8 +263,21 @@ impl BatchRunner {
 
     /// Runs every job to quiescence, sharding instances across the worker
     /// pool, and aggregates the outcomes in job order.
+    ///
+    /// `run(&[])` is well-defined: it spawns nothing and returns an empty
+    /// report — no results, `threads == 0`, `ok_count() == 0`,
+    /// `instances_per_sec() == 0.0`, `latency_percentiles() == None`.
+    /// Admission queues may hand a drained runner an empty batch; that
+    /// must be a no-op, not an edge case.
     pub fn run(&self, jobs: &[BatchJob<'_>]) -> BatchReport {
         let start = Instant::now();
+        if jobs.is_empty() {
+            return BatchReport {
+                results: Vec::new(),
+                elapsed: start.elapsed(),
+                threads: 0,
+            };
+        }
         let workers = self.threads.min(jobs.len()).max(1);
         let mut slots: Vec<Option<Result<InstanceResult, MachineError>>> =
             (0..jobs.len()).map(|_| None).collect();
@@ -242,15 +331,31 @@ impl BatchRunner {
     }
 }
 
-/// Instantiate → run → harvest, entirely on the calling worker thread.
+/// Instantiate → overlay DRAM → run → harvest, entirely on the calling
+/// worker thread, timing the whole instance lifetime.
 fn run_one(job: &BatchJob<'_>, max_rounds: u64) -> Result<InstanceResult, MachineError> {
+    let start = Instant::now();
     let mut inst = job.program.instance();
+    for (base, bytes) in job.dram_inits.iter() {
+        let end = base
+            .checked_add(bytes.len())
+            .filter(|&e| e <= inst.graph.mem.dram.len());
+        let Some(end) = end else {
+            return Err(MachineError::new(format!(
+                "dram init [{base}, {base}+{}) exceeds the {}-byte DRAM image",
+                bytes.len(),
+                inst.graph.mem.dram.len()
+            )));
+        };
+        inst.graph.mem.dram[*base..end].copy_from_slice(bytes);
+    }
     let report = inst.run_untimed(&job.args, max_rounds)?;
     let sink = inst.sink_tokens();
     Ok(InstanceResult {
         report,
         sink,
         mem: inst.into_memory(),
+        wall: start.elapsed(),
     })
 }
 
@@ -298,6 +403,105 @@ mod tests {
         let report = BatchRunner::new(64).run_same(&program, &[vec![Word(2)]]);
         assert_eq!(report.threads, 1);
         assert_eq!(report.ok_count(), 1);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let runner = BatchRunner::new(0);
+        assert_eq!(runner.threads(), 1);
+        let program = squares_program();
+        let report = runner.run_same(&program, &[vec![Word(3)]]);
+        assert_eq!(report.ok_count(), 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let report = BatchRunner::new(4).run(&[]);
+        assert!(report.results.is_empty());
+        assert_eq!(report.threads, 0);
+        assert_eq!(report.ok_count(), 0);
+        assert!(report.first_error().is_none());
+        assert_eq!(report.instances_per_sec(), 0.0);
+        assert_eq!(report.latency_percentiles(), None);
+        assert_eq!(report.total(), ExecReport::default());
+    }
+
+    #[test]
+    fn latency_percentiles_cover_successes() {
+        let program = squares_program();
+        let argsets: Vec<Vec<Word>> = (1..=9).map(|n| vec![Word(n)]).collect();
+        let report = BatchRunner::new(2).run_same(&program, &argsets);
+        assert_eq!(report.ok_count(), 9);
+        let lat = report.latency_percentiles().expect("9 successes");
+        assert!(lat.p50 <= lat.p95 && lat.p95 <= lat.p99);
+        let max_wall = report
+            .results
+            .iter()
+            .flatten()
+            .map(|r| r.wall)
+            .max()
+            .unwrap();
+        assert_eq!(lat.p99, max_wall, "p99 of 9 samples is the max");
+        // A failed batch has no distribution to report.
+        let failed = BatchRunner::new(1)
+            .with_max_rounds(0)
+            .run_same(&program, &argsets[..2]);
+        assert_eq!(failed.ok_count(), 0);
+        assert_eq!(failed.latency_percentiles(), None);
+    }
+
+    #[test]
+    fn dram_inits_overlay_each_instance_privately() {
+        let program = Compiler::new(PassOptions {
+            dram_bytes: 1 << 12,
+            ..PassOptions::default()
+        })
+        .compile_source(
+            "dram<u32> input;
+             dram<u32> output;
+             void main(u32 n) {
+                 foreach (n) { u32 i => output[i] = input[i] + 1; };
+             }",
+        )
+        .unwrap();
+        let half = (1 << 12) / 2;
+        let mk = |vals: &[u32]| -> Vec<(usize, Vec<u8>)> {
+            let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+            vec![(0, bytes)]
+        };
+        let jobs = vec![
+            BatchJob::new(&program, vec![Word(2)]).with_dram_inits(mk(&[10, 20])),
+            BatchJob::new(&program, vec![Word(2)]).with_dram_inits(mk(&[7, 9])),
+        ];
+        let report = BatchRunner::new(2).run(&jobs);
+        assert_eq!(report.ok_count(), 2);
+        let out = |r: &InstanceResult, i: usize| {
+            u32::from_le_bytes(
+                r.mem.dram[half + 4 * i..half + 4 * i + 4]
+                    .try_into()
+                    .unwrap(),
+            )
+        };
+        let a = report.results[0].as_ref().unwrap();
+        let b = report.results[1].as_ref().unwrap();
+        assert_eq!((out(a, 0), out(a, 1)), (11, 21));
+        assert_eq!((out(b, 0), out(b, 1)), (8, 10));
+        // The template image was never written.
+        assert!(program.graph.mem.dram.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn out_of_range_dram_init_fails_that_job_only() {
+        let program = squares_program();
+        let jobs = vec![
+            BatchJob::new(&program, vec![Word(1)]).with_dram_inits(vec![(usize::MAX, vec![0u8])]),
+            BatchJob::new(&program, vec![Word(1)]),
+        ];
+        let report = BatchRunner::new(1).run(&jobs);
+        assert_eq!(report.ok_count(), 1);
+        let err = report.results[0].as_ref().unwrap_err();
+        assert!(err.message.contains("dram init"), "got: {err}");
+        assert!(report.results[1].is_ok());
     }
 
     #[test]

@@ -38,7 +38,9 @@ fn assert_batch_matches_sequential(jobs: &[BatchJob<'_>], threads: usize) {
     let report = BatchRunner::new(threads).run(jobs);
     assert_eq!(report.results.len(), jobs.len());
     for (i, (result, (ref_sink, ref_mem))) in report.results.iter().zip(&reference).enumerate() {
-        let InstanceResult { sink, mem, report } = result
+        let InstanceResult {
+            sink, mem, report, ..
+        } = result
             .as_ref()
             .unwrap_or_else(|e| panic!("instance #{i}: {e}"));
         assert_eq!(sink, ref_sink, "instance #{i}: sink streams diverged");

@@ -1,0 +1,177 @@
+//! A minimal blocking client for the `revet-serve` wire protocol.
+//!
+//! One request in flight per connection (the protocol is strictly
+//! request/reply per client); open more connections for concurrency —
+//! that is exactly what the `load_gen` harness does.
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, ErrorFrame, ExecuteReply,
+    ExecuteRequest, FrameError, Request, Response, StatusInfo, WireError,
+};
+use revet_core::{PassOptions, ProgramId};
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's frame failed to parse/frame.
+    Wire(String),
+    /// The server answered with a typed error frame.
+    Server(ErrorFrame),
+    /// The server answered with the wrong response kind.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response kind: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            other => ClientError::Wire(other.to_string()),
+        }
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e.to_string())
+    }
+}
+
+/// Outcome of [`ServeClient::compile`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompileOutcome {
+    /// Content-addressed id to pass to [`ServeClient::execute`].
+    pub program_id: ProgramId,
+    /// True when the server already held this program.
+    pub cached: bool,
+    /// Server-side compile wall-clock (0 on a hit).
+    pub compile_micros: u64,
+}
+
+/// A blocking connection to a `revet-serve` server.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(ServeClient { stream })
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let body = read_frame(&mut self.stream)?;
+        let resp = decode_response(&body)?;
+        if let Response::Error(e) = resp {
+            return Err(ClientError::Server(e));
+        }
+        Ok(resp)
+    }
+
+    /// Compiles (or resolves from cache) `source` under `options`.
+    ///
+    /// # Errors
+    ///
+    /// Typed server errors (e.g. `CompileFailed`), transport, or wire
+    /// failures.
+    pub fn compile(
+        &mut self,
+        source: &str,
+        options: &PassOptions,
+    ) -> Result<CompileOutcome, ClientError> {
+        match self.round_trip(&Request::Compile {
+            source: source.into(),
+            options: options.clone(),
+        })? {
+            Response::Compiled {
+                program_id,
+                cached,
+                compile_micros,
+            } => Ok(CompileOutcome {
+                program_id,
+                cached,
+                compile_micros,
+            }),
+            _ => Err(ClientError::Unexpected("wanted Compiled")),
+        }
+    }
+
+    /// Runs a batch of instances of a cached program.
+    ///
+    /// # Errors
+    ///
+    /// Typed server errors (`UnknownProgram`, `Busy`, `BadRequest`, …),
+    /// transport, or wire failures.
+    pub fn execute(&mut self, req: ExecuteRequest) -> Result<ExecuteReply, ClientError> {
+        match self.round_trip(&Request::Execute(req))? {
+            Response::Executed(reply) => Ok(reply),
+            _ => Err(ClientError::Unexpected("wanted Executed")),
+        }
+    }
+
+    /// Fetches the server's cache/queue counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport or wire failures.
+    pub fn status(&mut self) -> Result<StatusInfo, ClientError> {
+        match self.round_trip(&Request::Status)? {
+            Response::Status(info) => Ok(info),
+            _ => Err(ClientError::Unexpected("wanted Status")),
+        }
+    }
+
+    /// Asks the server to begin a graceful drain.
+    ///
+    /// # Errors
+    ///
+    /// Transport or wire failures.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            _ => Err(ClientError::Unexpected("wanted ShutdownAck")),
+        }
+    }
+
+    /// Sends a raw pre-encoded frame body and returns the raw reply body
+    /// — the hook protocol tests use to probe malformed input.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn raw_round_trip(&mut self, body: &[u8]) -> Result<Vec<u8>, ClientError> {
+        write_frame(&mut self.stream, body)?;
+        Ok(read_frame(&mut self.stream)?)
+    }
+}

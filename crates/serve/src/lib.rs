@@ -1,0 +1,70 @@
+//! # revet-serve — a compile-and-execute service over compiled dataflow
+//! programs
+//!
+//! The paper's execution model — one compiled dataflow program, many
+//! concurrent thread instances (§V) — maps directly onto a long-lived
+//! service: compile once, cache by content, execute many. This crate is
+//! that serving layer, std-only, over `std::net::TcpListener`:
+//!
+//! - [`protocol`] — a versioned, length-prefixed binary wire protocol
+//!   (`Compile` / `Execute` / `Status` / `Shutdown`), every failure a
+//!   typed error frame;
+//! - [`ProgramCache`] — content-addressed by
+//!   [`revet_core::ProgramId`] (hash of source + pass options), with
+//!   single-flight compilation dedup, LRU eviction, and hit/miss/eviction
+//!   counters;
+//! - [`Server`] — an admission queue with backpressure sharding accepted
+//!   execute jobs across a `revet-runtime` batch pool, plus graceful
+//!   shutdown that drains in-flight work;
+//! - [`ServeClient`] — a blocking client (used by the `load_gen`
+//!   harness in `revet-bench` and by the integration tests).
+//!
+//! ## Example: boot, compile, execute, drain
+//!
+//! ```
+//! use revet_core::PassOptions;
+//! use revet_serve::protocol::{ExecuteRequest, InstanceOutcome};
+//! use revet_serve::{ServeClient, ServeConfig, Server};
+//!
+//! let server = Server::spawn(ServeConfig::default()).unwrap();
+//! let mut client = ServeClient::connect(server.local_addr()).unwrap();
+//!
+//! let opts = PassOptions { dram_bytes: 1 << 12, ..PassOptions::default() };
+//! let compiled = client
+//!     .compile(
+//!         "dram<u32> output;
+//!          void main(u32 n) {
+//!              foreach (n) { u32 i => output[i] = i * i; };
+//!          }",
+//!         &opts,
+//!     )
+//!     .unwrap();
+//! assert!(!compiled.cached);
+//!
+//! // Two instances (n=2, n=3); read back the first 16 output bytes.
+//! let reply = client
+//!     .execute(ExecuteRequest {
+//!         program_id: compiled.program_id,
+//!         argsets: vec![vec![2], vec![3]],
+//!         dram_inits: vec![],
+//!         window: (0, 16),
+//!     })
+//!     .unwrap();
+//! let InstanceOutcome::Ok { dram, .. } = &reply.instances[1] else { panic!() };
+//! assert_eq!(&dram[4..8], &1u32.to_le_bytes());
+//! assert_eq!(&dram[8..12], &4u32.to_le_bytes());
+//!
+//! let stats = server.shutdown();
+//! assert_eq!(stats.executed_instances, 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod client;
+pub mod protocol;
+mod server;
+
+pub use cache::{CacheStats, ProgramCache};
+pub use client::{ClientError, CompileOutcome, ServeClient};
+pub use server::{ServeConfig, Server, ServerStats};

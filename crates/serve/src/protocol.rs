@@ -1,0 +1,800 @@
+//! The `revet-serve` wire protocol: length-prefixed, versioned binary
+//! frames over a byte stream (TCP in practice).
+//!
+//! ## Framing
+//!
+//! ```text
+//! ┌────────────┬─────────────────────────────────────────────┐
+//! │ u32 LE len │ body: [u8 version][u8 kind][payload…]       │
+//! └────────────┴─────────────────────────────────────────────┘
+//! ```
+//!
+//! `len` counts the body bytes and must be in `2..=MAX_FRAME_BYTES`; a
+//! longer declaration is rejected *before* any allocation. The version
+//! byte is checked on decode so old clients get a typed
+//! [`ErrorCode::UnsupportedVersion`] error back instead of garbled
+//! payload parses. All integers are little-endian; strings and byte blobs
+//! are `u32`-length-prefixed.
+//!
+//! Every decode failure is a [`WireError`] naming what was wrong —
+//! servers turn these into [`ErrorFrame`]s rather than dropping the
+//! connection, so a buggy client sees *why* its frame was rejected.
+
+use revet_core::{PassOptions, ProgramId};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Current protocol version, first byte of every frame body.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a frame body. Large enough for a full 4 MiB DRAM
+/// window per instance on a modest batch; small enough that a corrupt
+/// length prefix cannot make the peer allocate gigabytes.
+pub const MAX_FRAME_BYTES: u32 = 32 << 20;
+
+// Frame kind bytes. Requests are < 0x80, responses ≥ 0x80.
+const KIND_COMPILE: u8 = 0x01;
+const KIND_EXECUTE: u8 = 0x02;
+const KIND_STATUS: u8 = 0x03;
+const KIND_SHUTDOWN: u8 = 0x04;
+const KIND_COMPILED: u8 = 0x81;
+const KIND_EXECUTED: u8 = 0x82;
+const KIND_STATUS_INFO: u8 = 0x83;
+const KIND_SHUTDOWN_ACK: u8 = 0x84;
+const KIND_ERROR: u8 = 0xFF;
+
+/// What went wrong while decoding a frame body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the field being read.
+    Truncated,
+    /// The frame's version byte is not [`WIRE_VERSION`].
+    UnsupportedVersion(u8),
+    /// The kind byte names no known request/response.
+    UnknownKind(u8),
+    /// Bytes remained after the payload was fully decoded.
+    TrailingBytes(usize),
+    /// A field held an impossible value (named).
+    BadField(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported wire version {v} (expected {WIRE_VERSION})")
+            }
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            WireError::BadField(name) => write!(f, "bad field: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// What went wrong while reading a frame off the stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport failure (includes clean EOF between frames).
+    Io(io::Error),
+    /// The length prefix exceeded [`MAX_FRAME_BYTES`].
+    TooLarge(u32),
+    /// The length prefix was below the 2-byte (version + kind) minimum.
+    TooShort(u32),
+}
+
+impl FrameError {
+    /// True when the peer closed the stream cleanly *between* frames.
+    pub fn is_clean_eof(&self) -> bool {
+        matches!(self, FrameError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof)
+    }
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o: {e}"),
+            FrameError::TooLarge(n) => {
+                write!(f, "declared frame length {n} exceeds cap {MAX_FRAME_BYTES}")
+            }
+            FrameError::TooShort(n) => write!(f, "declared frame length {n} below 2-byte minimum"),
+        }
+    }
+}
+
+/// A request frame, client → server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Compile `source` under `options`; the reply names the cached
+    /// program by its content-addressed [`ProgramId`].
+    Compile {
+        /// Revet source text.
+        source: String,
+        /// Pass options (part of the program's identity).
+        options: PassOptions,
+    },
+    /// Run a batch of instances of an already-compiled program.
+    Execute(ExecuteRequest),
+    /// Snapshot the server's cache/queue counters.
+    Status,
+    /// Begin graceful shutdown: drain in-flight work, then stop.
+    Shutdown,
+}
+
+/// Payload of [`Request::Execute`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecuteRequest {
+    /// Which cached program to instantiate.
+    pub program_id: ProgramId,
+    /// One instance per argument set.
+    pub argsets: Vec<Vec<u32>>,
+    /// DRAM overlays `(byte offset, bytes)` applied to every instance
+    /// before it runs (per-request inputs for a shared compile).
+    pub dram_inits: Vec<(u64, Vec<u8>)>,
+    /// `(offset, len)` of the DRAM window to return per instance — the
+    /// program's output region. Zero-length returns no bytes.
+    pub window: (u64, u64),
+}
+
+/// A response frame, server → client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to [`Request::Compile`].
+    Compiled {
+        /// Content-addressed id of the (now cached) program.
+        program_id: ProgramId,
+        /// True when the cache already held this program.
+        cached: bool,
+        /// Wall-clock of the compile itself (0 on a cache hit).
+        compile_micros: u64,
+    },
+    /// Reply to [`Request::Execute`].
+    Executed(ExecuteReply),
+    /// Reply to [`Request::Status`].
+    Status(StatusInfo),
+    /// Reply to [`Request::Shutdown`]: the drain has begun.
+    ShutdownAck,
+    /// Typed failure (any request may produce one).
+    Error(ErrorFrame),
+}
+
+/// Scheduler counters mirrored over the wire (a flattened
+/// `revet_machine::ExecReport`, merged over the batch's successes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireReport {
+    /// Scheduler generations executed.
+    pub rounds: u64,
+    /// Node steps that moved at least one token.
+    pub productive_steps: u64,
+    /// Node steps attempted.
+    pub steps: u64,
+}
+
+/// Payload of [`Response::Executed`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecuteReply {
+    /// Counters merged over the batch's successful instances.
+    pub merged: WireReport,
+    /// Per-instance outcomes, in argset order.
+    pub instances: Vec<InstanceOutcome>,
+}
+
+/// One instance's outcome inside an [`ExecuteReply`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InstanceOutcome {
+    /// The instance ran to quiescence.
+    Ok {
+        /// Per-instance wall-clock, microseconds.
+        wall_micros: u64,
+        /// The requested DRAM window of this instance's final memory.
+        dram: Vec<u8>,
+    },
+    /// The instance failed (others in the batch may have succeeded).
+    Err {
+        /// The machine error, rendered.
+        message: String,
+    },
+}
+
+/// Payload of [`Response::Status`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatusInfo {
+    /// Programs currently resident in the cache.
+    pub programs_cached: u64,
+    /// Cache capacity (LRU evicts beyond this).
+    pub cache_capacity: u64,
+    /// Lookups served from the cache.
+    pub cache_hits: u64,
+    /// Lookups that had to compile.
+    pub cache_misses: u64,
+    /// Programs evicted by the LRU policy.
+    pub cache_evictions: u64,
+    /// Execute jobs waiting in the admission queue.
+    pub queued_jobs: u64,
+    /// Execute jobs currently running on the batch pool.
+    pub inflight_jobs: u64,
+    /// Instances completed successfully since boot.
+    pub executed_instances: u64,
+    /// Instances that failed since boot.
+    pub failed_instances: u64,
+    /// True once graceful shutdown has begun.
+    pub draining: bool,
+}
+
+/// Machine-readable failure category carried by an [`ErrorFrame`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The frame body failed to decode.
+    Malformed = 1,
+    /// The frame's version byte is unknown to this server.
+    UnsupportedVersion = 2,
+    /// The declared frame length exceeded [`MAX_FRAME_BYTES`].
+    FrameTooLarge = 3,
+    /// The compiler rejected the source.
+    CompileFailed = 4,
+    /// Execute named a [`ProgramId`] the cache does not hold.
+    UnknownProgram = 5,
+    /// The admission queue is full — back off and retry.
+    Busy = 6,
+    /// The request was well-formed but impossible (bad window, …).
+    BadRequest = 7,
+    /// The server is draining and accepts no new work.
+    ShuttingDown = 8,
+}
+
+impl ErrorCode {
+    fn from_u16(v: u16) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::UnsupportedVersion,
+            3 => ErrorCode::FrameTooLarge,
+            4 => ErrorCode::CompileFailed,
+            5 => ErrorCode::UnknownProgram,
+            6 => ErrorCode::Busy,
+            7 => ErrorCode::BadRequest,
+            8 => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed failure reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// Failure category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ErrorFrame {
+    /// Creates an error frame.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ErrorFrame {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ErrorFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+
+/// Writes one frame (length prefix + body) and flushes.
+///
+/// # Errors
+///
+/// Propagates transport errors; refuses bodies over [`MAX_FRAME_BYTES`].
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    if body.len() > MAX_FRAME_BYTES as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame body {} exceeds cap {MAX_FRAME_BYTES}", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame body off the stream, enforcing the length bounds
+/// *before* allocating.
+///
+/// # Errors
+///
+/// [`FrameError::Io`] on transport failure (clean EOF between frames
+/// reports as `UnexpectedEof`), [`FrameError::TooLarge`] /
+/// [`FrameError::TooShort`] on out-of-bounds length prefixes.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len).map_err(FrameError::Io)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(len));
+    }
+    if len < 2 {
+        return Err(FrameError::TooShort(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body).map_err(FrameError::Io)?;
+    Ok(body)
+}
+
+// ---------------------------------------------------------------------------
+// Body encode/decode
+
+/// Encodes a request into a frame body (version + kind + payload).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut w = W::new();
+    match req {
+        Request::Compile { source, options } => {
+            w.kind(KIND_COMPILE);
+            w.str(source);
+            w.options(options);
+        }
+        Request::Execute(e) => {
+            w.kind(KIND_EXECUTE);
+            w.bytes16(&e.program_id.0);
+            w.u32(e.argsets.len() as u32);
+            for args in &e.argsets {
+                w.u32(args.len() as u32);
+                for &a in args {
+                    w.u32(a);
+                }
+            }
+            w.u32(e.dram_inits.len() as u32);
+            for (off, bytes) in &e.dram_inits {
+                w.u64(*off);
+                w.blob(bytes);
+            }
+            w.u64(e.window.0);
+            w.u64(e.window.1);
+        }
+        Request::Status => w.kind(KIND_STATUS),
+        Request::Shutdown => w.kind(KIND_SHUTDOWN),
+    }
+    w.buf
+}
+
+/// Decodes a request frame body.
+///
+/// # Errors
+///
+/// Any [`WireError`]; the body is rejected, never partially applied.
+pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
+    let mut r = R::new(body)?;
+    let req = match r.kind {
+        KIND_COMPILE => Request::Compile {
+            source: r.str()?,
+            options: r.options()?,
+        },
+        KIND_EXECUTE => {
+            let program_id = ProgramId(r.bytes16()?);
+            // Minimum wire footprints: an argset is at least its u32
+            // length, an arg is a u32, a dram init is a u64 offset plus a
+            // u32 blob length.
+            let n = r.count(4)?;
+            let mut argsets = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = r.count(4)?;
+                let mut args = Vec::with_capacity(k);
+                for _ in 0..k {
+                    args.push(r.u32()?);
+                }
+                argsets.push(args);
+            }
+            let n = r.count(12)?;
+            let mut dram_inits = Vec::with_capacity(n);
+            for _ in 0..n {
+                let off = r.u64()?;
+                dram_inits.push((off, r.blob()?));
+            }
+            let window = (r.u64()?, r.u64()?);
+            Request::Execute(ExecuteRequest {
+                program_id,
+                argsets,
+                dram_inits,
+                window,
+            })
+        }
+        KIND_STATUS => Request::Status,
+        KIND_SHUTDOWN => Request::Shutdown,
+        k => return Err(WireError::UnknownKind(k)),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Encodes a response into a frame body (version + kind + payload).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut w = W::new();
+    match resp {
+        Response::Compiled {
+            program_id,
+            cached,
+            compile_micros,
+        } => {
+            w.kind(KIND_COMPILED);
+            w.bytes16(&program_id.0);
+            w.u8(*cached as u8);
+            w.u64(*compile_micros);
+        }
+        Response::Executed(e) => {
+            w.kind(KIND_EXECUTED);
+            w.u64(e.merged.rounds);
+            w.u64(e.merged.productive_steps);
+            w.u64(e.merged.steps);
+            w.u32(e.instances.len() as u32);
+            for inst in &e.instances {
+                match inst {
+                    InstanceOutcome::Ok { wall_micros, dram } => {
+                        w.u8(0);
+                        w.u64(*wall_micros);
+                        w.blob(dram);
+                    }
+                    InstanceOutcome::Err { message } => {
+                        w.u8(1);
+                        w.str(message);
+                    }
+                }
+            }
+        }
+        Response::Status(s) => {
+            w.kind(KIND_STATUS_INFO);
+            for v in [
+                s.programs_cached,
+                s.cache_capacity,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_evictions,
+                s.queued_jobs,
+                s.inflight_jobs,
+                s.executed_instances,
+                s.failed_instances,
+            ] {
+                w.u64(v);
+            }
+            w.u8(s.draining as u8);
+        }
+        Response::ShutdownAck => w.kind(KIND_SHUTDOWN_ACK),
+        Response::Error(e) => {
+            w.kind(KIND_ERROR);
+            w.u16(e.code as u16);
+            w.str(&e.message);
+        }
+    }
+    w.buf
+}
+
+/// Decodes a response frame body.
+///
+/// # Errors
+///
+/// Any [`WireError`]; the body is rejected, never partially applied.
+pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
+    let mut r = R::new(body)?;
+    let resp = match r.kind {
+        KIND_COMPILED => {
+            let program_id = ProgramId(r.bytes16()?);
+            let cached = r.bool()?;
+            let compile_micros = r.u64()?;
+            Response::Compiled {
+                program_id,
+                cached,
+                compile_micros,
+            }
+        }
+        KIND_EXECUTED => {
+            let merged = WireReport {
+                rounds: r.u64()?,
+                productive_steps: r.u64()?,
+                steps: r.u64()?,
+            };
+            // An instance outcome is at least a tag byte plus a u32
+            // length (the error-message arm).
+            let n = r.count(5)?;
+            let mut instances = Vec::with_capacity(n);
+            for _ in 0..n {
+                instances.push(match r.u8()? {
+                    0 => InstanceOutcome::Ok {
+                        wall_micros: r.u64()?,
+                        dram: r.blob()?,
+                    },
+                    1 => InstanceOutcome::Err { message: r.str()? },
+                    _ => return Err(WireError::BadField("instance outcome tag")),
+                });
+            }
+            Response::Executed(ExecuteReply { merged, instances })
+        }
+        KIND_STATUS_INFO => Response::Status(StatusInfo {
+            programs_cached: r.u64()?,
+            cache_capacity: r.u64()?,
+            cache_hits: r.u64()?,
+            cache_misses: r.u64()?,
+            cache_evictions: r.u64()?,
+            queued_jobs: r.u64()?,
+            inflight_jobs: r.u64()?,
+            executed_instances: r.u64()?,
+            failed_instances: r.u64()?,
+            draining: r.bool()?,
+        }),
+        KIND_SHUTDOWN_ACK => Response::ShutdownAck,
+        KIND_ERROR => {
+            let code = r.u16()?;
+            let code = ErrorCode::from_u16(code).ok_or(WireError::BadField("error code"))?;
+            Response::Error(ErrorFrame {
+                code,
+                message: r.str()?,
+            })
+        }
+        k => return Err(WireError::UnknownKind(k)),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian body writer/reader
+
+struct W {
+    buf: Vec<u8>,
+}
+
+impl W {
+    fn new() -> Self {
+        W {
+            buf: vec![WIRE_VERSION],
+        }
+    }
+    fn kind(&mut self, k: u8) {
+        self.buf.push(k);
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes16(&mut self, v: &[u8; 16]) {
+        self.buf.extend_from_slice(v);
+    }
+    fn blob(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+    fn str(&mut self, v: &str) {
+        self.blob(v.as_bytes());
+    }
+    fn options(&mut self, o: &PassOptions) {
+        let flags = (o.if_to_select as u8)
+            | (o.fuse_allocators as u8) << 1
+            | (o.hoist_allocators as u8) << 2
+            | (o.bufferize_replicate as u8) << 3
+            | (o.pack_subwords as u8) << 4
+            | (o.eliminate_hierarchy as u8) << 5;
+        self.u8(flags);
+        self.u8(o.threads.is_some() as u8);
+        self.u32(o.threads.unwrap_or(0));
+        self.u64(o.dram_bytes as u64);
+    }
+}
+
+struct R<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    kind: u8,
+}
+
+impl<'a> R<'a> {
+    /// Validates version and splits off the kind byte.
+    fn new(body: &'a [u8]) -> Result<Self, WireError> {
+        if body.len() < 2 {
+            return Err(WireError::Truncated);
+        }
+        if body[0] != WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion(body[0]));
+        }
+        Ok(R {
+            buf: body,
+            pos: 2,
+            kind: body[1],
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::BadField("bool")),
+        }
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn bytes16(&mut self) -> Result<[u8; 16], WireError> {
+        Ok(self.take(16)?.try_into().unwrap())
+    }
+
+    /// A collection count whose elements each occupy at least
+    /// `min_elem_bytes` on the wire, sanity-bounded by the bytes that
+    /// remain. The bound caps `Vec::with_capacity` pre-allocation at the
+    /// frame size — a corrupt count cannot amplify a small frame into a
+    /// huge allocation.
+    fn count(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n.checked_mul(min_elem_bytes.max(1))
+            .is_none_or(|bytes| bytes > remaining)
+        {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn blob(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.count(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let bytes = self.blob()?;
+        String::from_utf8(bytes).map_err(|_| WireError::BadField("utf-8 string"))
+    }
+
+    fn options(&mut self) -> Result<PassOptions, WireError> {
+        let flags = self.u8()?;
+        if flags & !0x3F != 0 {
+            return Err(WireError::BadField("pass option flags"));
+        }
+        let has_threads = self.bool()?;
+        let threads = self.u32()?;
+        let dram_bytes = self.u64()?;
+        Ok(PassOptions {
+            if_to_select: flags & 1 != 0,
+            fuse_allocators: flags & 2 != 0,
+            hoist_allocators: flags & 4 != 0,
+            bufferize_replicate: flags & 8 != 0,
+            pack_subwords: flags & 16 != 0,
+            eliminate_hierarchy: flags & 32 != 0,
+            threads: has_threads.then_some(threads),
+            dram_bytes: dram_bytes as usize,
+        })
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        let rest = self.buf.len() - self.pos;
+        if rest != 0 {
+            return Err(WireError::TrailingBytes(rest));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_requests_round_trip() {
+        for req in [
+            Request::Status,
+            Request::Shutdown,
+            Request::Compile {
+                source: "void main() {}".into(),
+                options: PassOptions::none(),
+            },
+            Request::Execute(ExecuteRequest {
+                program_id: ProgramId([7; 16]),
+                argsets: vec![vec![1, 2], vec![], vec![3]],
+                dram_inits: vec![(0, vec![1, 2, 3]), (64, vec![])],
+                window: (128, 16),
+            }),
+        ] {
+            let body = encode_request(&req);
+            assert_eq!(decode_request(&body).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_responses_round_trip() {
+        for resp in [
+            Response::ShutdownAck,
+            Response::Compiled {
+                program_id: ProgramId([3; 16]),
+                cached: true,
+                compile_micros: 1234,
+            },
+            Response::Executed(ExecuteReply {
+                merged: WireReport {
+                    rounds: 1,
+                    productive_steps: 2,
+                    steps: 3,
+                },
+                instances: vec![
+                    InstanceOutcome::Ok {
+                        wall_micros: 55,
+                        dram: vec![9, 8, 7],
+                    },
+                    InstanceOutcome::Err {
+                        message: "deadlock".into(),
+                    },
+                ],
+            }),
+            Response::Status(StatusInfo {
+                programs_cached: 4,
+                cache_capacity: 32,
+                cache_hits: 10,
+                cache_misses: 5,
+                cache_evictions: 1,
+                queued_jobs: 0,
+                inflight_jobs: 2,
+                executed_instances: 99,
+                failed_instances: 1,
+                draining: false,
+            }),
+            Response::Error(ErrorFrame::new(ErrorCode::Busy, "queue full")),
+        ] {
+            let body = encode_response(&resp);
+            assert_eq!(decode_response(&body).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn frame_io_round_trips_over_a_buffer() {
+        let body = encode_request(&Request::Status);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap(), body);
+        // The stream is exactly drained: the next read is a clean EOF.
+        assert!(read_frame(&mut cursor).unwrap_err().is_clean_eof());
+    }
+
+    #[test]
+    fn corrupt_collection_count_is_rejected_without_allocation() {
+        let mut body = encode_request(&Request::Execute(ExecuteRequest {
+            program_id: ProgramId([0; 16]),
+            argsets: vec![],
+            dram_inits: vec![],
+            window: (0, 0),
+        }));
+        // Stamp an absurd argset count into the fixed-offset count field
+        // (version + kind + 16-byte id = offset 18).
+        body[18..22].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_request(&body), Err(WireError::Truncated));
+    }
+}

@@ -1,0 +1,608 @@
+//! The service: a TCP listener, a connection thread per client, a
+//! bounded admission queue, and a pool of executor threads driving
+//! batches through `revet-runtime`.
+//!
+//! ```text
+//!        clients (length-prefixed frames, protocol.rs)
+//!           │ Compile / Execute / Status / Shutdown
+//!           ▼
+//!   accept loop ──► connection threads (decode, validate, reply)
+//!                     │ Compile → ProgramCache (single-flight, LRU)
+//!                     │ Execute → AdmissionQueue::try_submit
+//!                     │            │  Full → Busy error (backpressure)
+//!                     ▼            ▼
+//!                  typed error  executor threads × E
+//!                  frames         └─ BatchRunner::run over the job's
+//!                                    argsets (worker pool × B)
+//! ```
+//!
+//! **Backpressure** is explicit: the admission queue is bounded, and a
+//! full queue answers `Busy` immediately instead of accepting unbounded
+//! work. **Graceful shutdown** flips one flag: the acceptor stops, new
+//! submissions are refused with `ShuttingDown`, queued and running jobs
+//! drain to completion, and every connection finishes writing its
+//! in-flight replies before closing.
+
+use crate::cache::ProgramCache;
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, ErrorCode, ErrorFrame, ExecuteReply,
+    ExecuteRequest, FrameError, InstanceOutcome, Request, Response, StatusInfo, WireError,
+    WireReport, MAX_FRAME_BYTES,
+};
+use revet_core::{CompiledProgram, Compiler, PassOptions, ProgramId};
+use revet_runtime::{BatchJob, BatchRunner};
+use revet_sltf::Word;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked accept/read loops re-check the draining flag.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+/// Patience for the *rest* of a frame once its first byte has arrived.
+const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Programs the content-addressed cache keeps resident.
+    pub cache_capacity: usize,
+    /// Execute jobs the admission queue holds before answering `Busy`.
+    pub queue_capacity: usize,
+    /// Executor threads pulling jobs off the admission queue.
+    pub executor_threads: usize,
+    /// Worker threads each executor's [`BatchRunner`] uses per job.
+    pub batch_threads: usize,
+    /// Per-instance round cap (livelock guard).
+    pub max_rounds: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            cache_capacity: 32,
+            queue_capacity: 64,
+            executor_threads: 2.min(hw),
+            batch_threads: hw,
+            max_rounds: revet_runtime::DEFAULT_MAX_ROUNDS,
+        }
+    }
+}
+
+/// Final counters returned by [`Server::shutdown`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Instances completed successfully over the server's lifetime.
+    pub executed_instances: u64,
+    /// Instances that failed.
+    pub failed_instances: u64,
+    /// Cache hits over the lifetime.
+    pub cache_hits: u64,
+    /// Cache misses over the lifetime.
+    pub cache_misses: u64,
+    /// Cache evictions over the lifetime.
+    pub cache_evictions: u64,
+}
+
+/// One accepted execute job: the resolved program, the request, and the
+/// channel its connection thread is blocked on.
+struct ExecJob {
+    program: Arc<CompiledProgram>,
+    req: ExecuteRequest,
+    reply: mpsc::Sender<ExecuteReply>,
+}
+
+/// Refusals from [`AdmissionQueue::try_submit`].
+enum SubmitError {
+    /// Queue at capacity — the caller should answer `Busy`.
+    Full,
+    /// Drain has begun — the caller should answer `ShuttingDown`.
+    Closed,
+}
+
+/// Bounded MPMC job queue with an explicit closed state.
+struct AdmissionQueue {
+    capacity: usize,
+    inner: Mutex<QueueInner>,
+    available: Condvar,
+}
+
+struct QueueInner {
+    jobs: VecDeque<ExecJob>,
+    closed: bool,
+}
+
+impl AdmissionQueue {
+    fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Admission control: accepts the job or refuses *now* — it never
+    /// blocks the connection thread behind other clients' work.
+    fn try_submit(&self, job: ExecJob) -> Result<(), SubmitError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(SubmitError::Closed);
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(SubmitError::Full);
+        }
+        inner.jobs.push_back(job);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once closed *and* drained — the
+    /// executor's signal to exit. Jobs queued before the close are still
+    /// handed out (drain, don't drop).
+    fn pop(&self) -> Option<ExecJob> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().unwrap().jobs.len()
+    }
+}
+
+/// State shared by the acceptor, connection threads, and executors.
+struct Shared {
+    cfg: ServeConfig,
+    cache: ProgramCache,
+    queue: AdmissionQueue,
+    draining: AtomicBool,
+    inflight_jobs: AtomicU64,
+    executed_instances: AtomicU64,
+    failed_instances: AtomicU64,
+    connections: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Idempotent: flips the drain flag and closes the queue. Everything
+    /// else (acceptor exit, executor exit, connection exit) follows from
+    /// those two.
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    fn status(&self) -> StatusInfo {
+        let cache = self.cache.stats();
+        StatusInfo {
+            programs_cached: cache.resident,
+            cache_capacity: self.cache.capacity() as u64,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            queued_jobs: self.queue.len() as u64,
+            inflight_jobs: self.inflight_jobs.load(Ordering::SeqCst),
+            executed_instances: self.executed_instances.load(Ordering::SeqCst),
+            failed_instances: self.failed_instances.load(Ordering::SeqCst),
+            draining: self.draining(),
+        }
+    }
+}
+
+/// A running compile-and-execute service. Dropping the handle does *not*
+/// stop the server; call [`Server::shutdown`] for a graceful drain.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<SharedOpaque>,
+    local_addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+/// Newtype so `Server`'s Debug doesn't try to render the whole state.
+struct SharedOpaque(Shared);
+
+impl std::fmt::Debug for SharedOpaque {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `cfg.addr`, spawns the acceptor and executor pool, and
+    /// returns a handle. The server is accepting requests on return.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let executor_threads = cfg.executor_threads.max(1);
+        let shared = Arc::new(SharedOpaque(Shared {
+            cache: ProgramCache::new(cfg.cache_capacity),
+            queue: AdmissionQueue::new(cfg.queue_capacity),
+            draining: AtomicBool::new(false),
+            inflight_jobs: AtomicU64::new(0),
+            executed_instances: AtomicU64::new(0),
+            failed_instances: AtomicU64::new(0),
+            connections: Mutex::new(Vec::new()),
+            cfg,
+        }));
+        let executors = (0..executor_threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || executor_loop(&shared.0))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, &shared))
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor,
+            executors,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the live counters (same data as the `Status` request).
+    pub fn status(&self) -> StatusInfo {
+        self.shared.0.status()
+    }
+
+    /// Graceful shutdown: stop accepting, refuse new work, drain queued
+    /// and in-flight jobs, deliver every outstanding reply, then join all
+    /// threads. Idempotent with a wire-level `Shutdown` request — either
+    /// side may initiate; this call always completes the join.
+    pub fn shutdown(self) -> ServerStats {
+        let shared = &self.shared.0;
+        shared.begin_drain();
+        // Acceptor first (no new connections), then executors (drain the
+        // queue, delivering replies connection threads are blocked on),
+        // then the connections themselves.
+        let _ = self.acceptor.join();
+        for h in self.executors {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *shared.connections.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        let cache = shared.cache.stats();
+        ServerStats {
+            executed_instances: shared.executed_instances.load(Ordering::SeqCst),
+            failed_instances: shared.failed_instances.load(Ordering::SeqCst),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+        }
+    }
+}
+
+/// Accepts until drain; one thread per connection.
+fn accept_loop(listener: TcpListener, shared: &Arc<SharedOpaque>) {
+    while !shared.0.draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let per_conn = Arc::clone(shared);
+                let handle = std::thread::spawn(move || {
+                    // Connection failures affect that client only.
+                    let _ = handle_connection(stream, &per_conn.0);
+                });
+                let mut connections = shared.0.connections.lock().unwrap();
+                // Reap finished connections so a long-lived server doesn't
+                // accumulate one JoinHandle per connection ever served
+                // (joining a finished thread does not block).
+                for done in connections.extract_if(.., |h| h.is_finished()) {
+                    let _ = done.join();
+                }
+                connections.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(IDLE_POLL);
+            }
+            Err(_) => std::thread::sleep(IDLE_POLL),
+        }
+    }
+}
+
+/// Waits for a frame, polling the drain flag while idle. `None` means
+/// "close this connection" (peer EOF, or drain while idle).
+fn next_frame(stream: &mut TcpStream, shared: &Shared) -> Option<Result<Vec<u8>, FrameError>> {
+    loop {
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return None,
+            Ok(_) => {
+                // First byte is here; allow the peer FRAME_TIMEOUT to
+                // deliver the rest so a short idle-poll window can't
+                // split a frame mid-read (which would desync framing).
+                let _ = stream.set_read_timeout(Some(FRAME_TIMEOUT));
+                let frame = read_frame(stream);
+                let _ = stream.set_read_timeout(Some(IDLE_POLL));
+                return Some(frame);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.draining() {
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Some(Err(FrameError::Io(e))),
+        }
+    }
+}
+
+fn send(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    write_frame(stream, &encode_response(resp))
+}
+
+fn send_error(
+    stream: &mut TcpStream,
+    code: ErrorCode,
+    message: impl Into<String>,
+) -> io::Result<()> {
+    send(stream, &Response::Error(ErrorFrame::new(code, message)))
+}
+
+/// Serves one client until EOF, fatal transport error, or idle drain.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    // On some platforms (Windows) accepted sockets inherit the listener's
+    // nonblocking mode; this loop is written against blocking reads with
+    // timeouts, so force that explicitly.
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(IDLE_POLL))?;
+    while let Some(frame) = next_frame(&mut stream, shared) {
+        let body = match frame {
+            Ok(body) => body,
+            Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+            Err(e @ FrameError::TooLarge(_)) | Err(e @ FrameError::TooShort(_)) => {
+                // The typed reply still goes out, but the stream position
+                // is no longer frame-aligned, so this connection is done.
+                let code = match e {
+                    FrameError::TooLarge(_) => ErrorCode::FrameTooLarge,
+                    _ => ErrorCode::Malformed,
+                };
+                send_error(&mut stream, code, e.to_string())?;
+                break;
+            }
+            Err(FrameError::Io(e)) => return Err(e),
+        };
+        // Body-level failures are recoverable: framing is intact, so
+        // reply with a typed error and keep serving this client.
+        let request = match decode_request(&body) {
+            Ok(request) => request,
+            Err(e @ WireError::UnsupportedVersion(_)) => {
+                send_error(&mut stream, ErrorCode::UnsupportedVersion, e.to_string())?;
+                continue;
+            }
+            Err(e) => {
+                send_error(&mut stream, ErrorCode::Malformed, e.to_string())?;
+                continue;
+            }
+        };
+        match request {
+            Request::Status => send(&mut stream, &Response::Status(shared.status()))?,
+            Request::Shutdown => {
+                send(&mut stream, &Response::ShutdownAck)?;
+                shared.begin_drain();
+            }
+            Request::Compile { source, options } => {
+                handle_compile(&mut stream, shared, &source, options)?
+            }
+            Request::Execute(req) => handle_execute(&mut stream, shared, req)?,
+        }
+    }
+    Ok(())
+}
+
+fn handle_compile(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    source: &str,
+    options: PassOptions,
+) -> io::Result<()> {
+    if shared.draining() {
+        return send_error(stream, ErrorCode::ShuttingDown, "server is draining");
+    }
+    let id = ProgramId::of(source, &options);
+    let start = Instant::now();
+    let compiler = Compiler::new(options);
+    match shared
+        .cache
+        .get_or_compile(id, || compiler.compile_source(source))
+    {
+        Ok((_, cached)) => send(
+            stream,
+            &Response::Compiled {
+                program_id: id,
+                cached,
+                compile_micros: if cached {
+                    0
+                } else {
+                    start.elapsed().as_micros() as u64
+                },
+            },
+        ),
+        Err(e) => send_error(stream, ErrorCode::CompileFailed, e.to_string()),
+    }
+}
+
+fn handle_execute(stream: &mut TcpStream, shared: &Shared, req: ExecuteRequest) -> io::Result<()> {
+    if shared.draining() {
+        return send_error(stream, ErrorCode::ShuttingDown, "server is draining");
+    }
+    let Some(program) = shared.cache.get(req.program_id) else {
+        return send_error(
+            stream,
+            ErrorCode::UnknownProgram,
+            format!("no cached program {} — compile it first", req.program_id),
+        );
+    };
+    // Validate against the program's actual memory shape up front so the
+    // executor only ever sees runnable jobs.
+    let dram_len = program.graph.mem.dram.len() as u64;
+    let (w_off, w_len) = req.window;
+    if w_off.checked_add(w_len).is_none_or(|end| end > dram_len) {
+        return send_error(
+            stream,
+            ErrorCode::BadRequest,
+            format!("window [{w_off}, {w_off}+{w_len}) exceeds the {dram_len}-byte DRAM image"),
+        );
+    }
+    for (off, bytes) in &req.dram_inits {
+        if off
+            .checked_add(bytes.len() as u64)
+            .is_none_or(|end| end > dram_len)
+        {
+            return send_error(
+                stream,
+                ErrorCode::BadRequest,
+                format!(
+                    "dram init [{off}, {off}+{}) exceeds the {dram_len}-byte DRAM image",
+                    bytes.len()
+                ),
+            );
+        }
+    }
+    // The reply must fit one frame; refuse rather than fail mid-write.
+    let reply_bound = 64 + req.argsets.len() as u64 * (32 + w_len);
+    if reply_bound > MAX_FRAME_BYTES as u64 {
+        return send_error(
+            stream,
+            ErrorCode::BadRequest,
+            format!(
+                "reply would be ~{reply_bound} bytes ({} instances × {w_len}-byte window), \
+                 over the {MAX_FRAME_BYTES}-byte frame cap",
+                req.argsets.len()
+            ),
+        );
+    }
+    let (tx, rx) = mpsc::channel();
+    match shared.queue.try_submit(ExecJob {
+        program,
+        req,
+        reply: tx,
+    }) {
+        Ok(()) => {}
+        Err(SubmitError::Full) => {
+            return send_error(
+                stream,
+                ErrorCode::Busy,
+                format!("admission queue full ({} jobs)", shared.cfg.queue_capacity),
+            )
+        }
+        Err(SubmitError::Closed) => {
+            return send_error(stream, ErrorCode::ShuttingDown, "server is draining")
+        }
+    }
+    match rx.recv() {
+        Ok(reply) => send(stream, &Response::Executed(reply)),
+        // Executor dropped the sender without replying — only possible if
+        // an executor thread died; surface it instead of hanging.
+        Err(_) => send_error(stream, ErrorCode::ShuttingDown, "executor unavailable"),
+    }
+}
+
+/// One executor: pull a job, run its batch, deliver the reply. Exits when
+/// the queue is closed and drained.
+fn executor_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        shared.inflight_jobs.fetch_add(1, Ordering::SeqCst);
+        let reply = run_job(shared, &job);
+        shared.inflight_jobs.fetch_sub(1, Ordering::SeqCst);
+        // A vanished client is not an executor error.
+        let _ = job.reply.send(reply);
+    }
+}
+
+fn run_job(shared: &Shared, job: &ExecJob) -> ExecuteReply {
+    let program: &CompiledProgram = &job.program;
+    // One shared overlay set for the whole batch: every instance applies
+    // the same request inputs, so the bytes are materialized exactly once.
+    let dram_inits: Arc<[(usize, Vec<u8>)]> = job
+        .req
+        .dram_inits
+        .iter()
+        .map(|(off, bytes)| (*off as usize, bytes.clone()))
+        .collect::<Vec<_>>()
+        .into();
+    let jobs: Vec<BatchJob<'_>> = job
+        .req
+        .argsets
+        .iter()
+        .map(|args| {
+            BatchJob::new(program, args.iter().map(|&a| Word(a)).collect())
+                .with_dram_inits(Arc::clone(&dram_inits))
+        })
+        .collect();
+    let report = BatchRunner::new(shared.cfg.batch_threads)
+        .with_max_rounds(shared.cfg.max_rounds)
+        .run(&jobs);
+    let (w_off, w_len) = (job.req.window.0 as usize, job.req.window.1 as usize);
+    let merged = report.total();
+    let instances: Vec<InstanceOutcome> = report
+        .results
+        .iter()
+        .map(|r| match r {
+            Ok(inst) => InstanceOutcome::Ok {
+                wall_micros: inst.wall.as_micros() as u64,
+                dram: inst.mem.dram[w_off..w_off + w_len].to_vec(),
+            },
+            Err(e) => InstanceOutcome::Err {
+                message: e.to_string(),
+            },
+        })
+        .collect();
+    let ok = report.ok_count() as u64;
+    shared.executed_instances.fetch_add(ok, Ordering::SeqCst);
+    shared
+        .failed_instances
+        .fetch_add(instances.len() as u64 - ok, Ordering::SeqCst);
+    ExecuteReply {
+        merged: WireReport {
+            rounds: merged.rounds,
+            productive_steps: merged.productive_steps,
+            steps: merged.steps,
+        },
+        instances,
+    }
+}

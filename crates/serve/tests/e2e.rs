@@ -1,0 +1,314 @@
+//! End-to-end service tests: one server process, concurrent clients,
+//! mixed compile+execute over real evaluation apps, results pinned
+//! bit-identical to the direct `run_batch_sequential` oracle, and a
+//! graceful shutdown that drains in-flight work.
+
+use revet_apps::{app, App, DRAM_BYTES};
+use revet_core::{PassOptions, ProgramId};
+use revet_serve::protocol::{ErrorCode, ExecuteRequest, InstanceOutcome};
+use revet_serve::{ClientError, ServeClient, ServeConfig, Server};
+use revet_sltf::Word;
+use std::time::{Duration, Instant};
+
+const OUTER: u32 = 2;
+const SCALE: usize = 8;
+const SEED: u64 = 0xE2E;
+
+/// The apps the mixed workload covers (≥ 3 of the eight).
+const APP_NAMES: [&str; 3] = ["murmur3", "ip2int", "isipv4"];
+
+/// Everything a client needs to compile+execute one app remotely, plus
+/// the local oracle for bit-identity checking.
+struct RemoteApp {
+    source: String,
+    options: PassOptions,
+    argsets: Vec<Vec<u32>>,
+    dram_inits: Vec<(u64, Vec<u8>)>,
+    window: (u64, u64),
+    /// Per-instance oracle: the window bytes a sequential local run of
+    /// the same compile produces.
+    oracle_window: Vec<u8>,
+}
+
+fn remote_app(name: &str, instances: usize) -> RemoteApp {
+    let a: App = app(name).expect("registered app");
+    let options = PassOptions {
+        dram_bytes: DRAM_BYTES,
+        ..PassOptions::default()
+    };
+    let source = (a.source)(OUTER);
+    let w = (a.workload)(SCALE, SEED);
+    let slice = DRAM_BYTES / a.dram_symbols();
+    let dram_inits: Vec<(u64, Vec<u8>)> = w
+        .inits
+        .iter()
+        .map(|(sym, bytes)| ((sym * slice) as u64, bytes.clone()))
+        .collect();
+    let window = ((w.out_sym * slice) as u64, w.expected.len() as u64);
+    let argsets: Vec<Vec<u32>> = (0..instances).map(|_| w.args.clone()).collect();
+
+    // Oracle: the same compile driven directly through the library's
+    // sequential batch path, with the workload loaded the classic way.
+    let mut program = a.compile(OUTER, &options).expect("oracle compile");
+    a.load(&mut program, &w);
+    let args: Vec<Word> = w.args.iter().map(|&x| Word(x)).collect();
+    let batch = program
+        .run_batch_sequential(&[args], 200_000_000)
+        .expect("oracle run");
+    let (w_off, w_len) = (window.0 as usize, window.1 as usize);
+    let oracle_window = batch[0].1.dram[w_off..w_off + w_len].to_vec();
+    // The oracle must itself be right before we pin the server to it.
+    assert_eq!(oracle_window, w.expected, "{name}: oracle diverges");
+
+    RemoteApp {
+        source,
+        options,
+        argsets,
+        dram_inits,
+        window,
+        oracle_window,
+    }
+}
+
+/// One client's session: compile all apps, execute each, validate every
+/// instance bit-identical to the oracle. Returns how many compiles were
+/// served from cache.
+fn client_session(addr: std::net::SocketAddr, apps: &[RemoteApp]) -> u64 {
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let mut cache_hits = 0;
+    for ra in apps {
+        let compiled = client.compile(&ra.source, &ra.options).expect("compile");
+        assert_eq!(
+            compiled.program_id,
+            ProgramId::of(&ra.source, &ra.options),
+            "server and client must agree on the content address"
+        );
+        if compiled.cached {
+            cache_hits += 1;
+        }
+        let reply = client
+            .execute(ExecuteRequest {
+                program_id: compiled.program_id,
+                argsets: ra.argsets.clone(),
+                dram_inits: ra.dram_inits.clone(),
+                window: ra.window,
+            })
+            .expect("execute");
+        assert_eq!(reply.instances.len(), ra.argsets.len());
+        assert!(reply.merged.productive_steps > 0);
+        for (i, inst) in reply.instances.iter().enumerate() {
+            match inst {
+                InstanceOutcome::Ok {
+                    dram,
+                    wall_micros: _,
+                } => {
+                    assert_eq!(
+                        dram, &ra.oracle_window,
+                        "instance {i}: served result differs from run_batch_sequential oracle"
+                    );
+                }
+                InstanceOutcome::Err { message } => panic!("instance {i} failed: {message}"),
+            }
+        }
+    }
+    cache_hits
+}
+
+#[test]
+fn concurrent_clients_mixed_apps_cache_hits_and_oracle_identity() {
+    let apps: Vec<RemoteApp> = APP_NAMES.iter().map(|n| remote_app(n, 2)).collect();
+    let server = Server::spawn(ServeConfig::default()).expect("spawn");
+    let addr = server.local_addr();
+
+    // Two concurrent clients compile and execute the same mixed workload:
+    // between them every source is requested twice, so single-flight +
+    // content addressing must produce cache hits.
+    let total_hits: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| s.spawn(|| client_session(addr, &apps)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client")).sum()
+    });
+
+    let status = ServeClient::connect(addr)
+        .expect("connect")
+        .status()
+        .expect("status");
+    assert!(
+        status.cache_hits > 0,
+        "repeated sources must hit the cache (status: {status:?})"
+    );
+    // Each app is compiled by both clients; single-flight + content
+    // addressing means exactly one of the two observes a cached compile.
+    assert_eq!(total_hits, APP_NAMES.len() as u64);
+    // The server-side hit counter additionally counts the execute-path
+    // program lookups (2 clients × 3 apps), all of which must have hit.
+    assert_eq!(status.cache_hits, total_hits + 6);
+    assert_eq!(status.cache_misses, APP_NAMES.len() as u64);
+    assert_eq!(status.programs_cached, APP_NAMES.len() as u64);
+    assert_eq!(status.failed_instances, 0);
+    // 2 clients × 3 apps × 2 instances.
+    assert_eq!(status.executed_instances, 12);
+    assert!(!status.draining);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.executed_instances, 12);
+    assert_eq!(stats.failed_instances, 0);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work_without_error_frames() {
+    // Single executor, so the second job is guaranteed to still be
+    // *queued* (not just running) when the drain begins.
+    let server = Server::spawn(ServeConfig {
+        executor_threads: 1,
+        batch_threads: 1,
+        ..ServeConfig::default()
+    })
+    .expect("spawn");
+    let addr = server.local_addr();
+
+    // A deliberately slow program: per instance, n nested-loop iterations.
+    let source = "dram<u32> output;
+         void main(u32 n) {
+             foreach (n) { u32 i =>
+                 u32 acc = 0;
+                 u32 j = 0;
+                 while (j <= i) { acc = acc + j; j = j + 1; };
+                 output[i] = acc;
+             };
+         }";
+    let options = PassOptions {
+        dram_bytes: 1 << 16,
+        ..PassOptions::default()
+    };
+    let program_id = ServeClient::connect(addr)
+        .expect("connect")
+        .compile(source, &options)
+        .expect("compile")
+        .program_id;
+
+    // Two clients each submit a multi-instance batch, then the server is
+    // shut down while that work is in flight. Both must still receive
+    // complete, successful replies — drained, not dropped.
+    let clients: Vec<std::thread::JoinHandle<()>> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let reply = client
+                    .execute(ExecuteRequest {
+                        program_id,
+                        argsets: (0..4).map(|_| vec![96u32]).collect(),
+                        dram_inits: vec![],
+                        window: (0, 16),
+                    })
+                    .expect("in-flight execute must be drained, not refused");
+                assert_eq!(reply.instances.len(), 4);
+                for inst in &reply.instances {
+                    let InstanceOutcome::Ok { dram, .. } = inst else {
+                        panic!("drained instance must succeed, got {inst:?}");
+                    };
+                    // output[3] = 0+1+2+3.
+                    assert_eq!(&dram[12..16], &6u32.to_le_bytes());
+                }
+            })
+        })
+        .collect();
+
+    // Wait until the work is genuinely in flight, then pull the plug.
+    let mut status_client = ServeClient::connect(addr).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let status = status_client.status().expect("status");
+        if status.inflight_jobs + status.queued_jobs > 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "execute jobs never showed up as in flight"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let stats = server.shutdown();
+
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    assert_eq!(stats.executed_instances, 8, "all 8 instances drained");
+    assert_eq!(stats.failed_instances, 0);
+}
+
+#[test]
+fn typed_errors_for_bad_compile_unknown_program_and_malformed_frames() {
+    let server = Server::spawn(ServeConfig::default()).expect("spawn");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    let options = PassOptions {
+        dram_bytes: 1 << 12,
+        ..PassOptions::default()
+    };
+
+    // Failing compile → CompileFailed, connection survives.
+    let err = client.compile("void main( {", &options).unwrap_err();
+    let ClientError::Server(frame) = err else {
+        panic!("wanted a typed server error, got {err}")
+    };
+    assert_eq!(frame.code, ErrorCode::CompileFailed);
+
+    // Unknown program id → UnknownProgram, connection survives.
+    let err = client
+        .execute(ExecuteRequest {
+            program_id: ProgramId([0xAB; 16]),
+            argsets: vec![vec![1]],
+            dram_inits: vec![],
+            window: (0, 0),
+        })
+        .unwrap_err();
+    let ClientError::Server(frame) = err else {
+        panic!("wanted a typed server error, got {err}")
+    };
+    assert_eq!(frame.code, ErrorCode::UnknownProgram);
+
+    // Malformed body (unknown kind byte) → Malformed, connection survives.
+    let reply = client.raw_round_trip(&[1u8, 0x55]).expect("reply");
+    let resp = revet_serve::protocol::decode_response(&reply).expect("decodable");
+    let revet_serve::protocol::Response::Error(frame) = resp else {
+        panic!("wanted an error frame, got {resp:?}")
+    };
+    assert_eq!(frame.code, ErrorCode::Malformed);
+
+    // Wrong version byte → UnsupportedVersion, connection survives.
+    let reply = client.raw_round_trip(&[9u8, 0x03]).expect("reply");
+    let resp = revet_serve::protocol::decode_response(&reply).expect("decodable");
+    let revet_serve::protocol::Response::Error(frame) = resp else {
+        panic!("wanted an error frame, got {resp:?}")
+    };
+    assert_eq!(frame.code, ErrorCode::UnsupportedVersion);
+
+    // The same connection still does real work afterwards: nothing was
+    // poisoned by the failures above.
+    let compiled = client
+        .compile(
+            "dram<u32> output; void main(u32 n) { foreach (n) { u32 i => output[i] = i; }; }",
+            &options,
+        )
+        .expect("healthy compile after errors");
+    let reply = client
+        .execute(ExecuteRequest {
+            program_id: compiled.program_id,
+            argsets: vec![vec![3]],
+            dram_inits: vec![],
+            window: (0, 12),
+        })
+        .expect("healthy execute after errors");
+    let InstanceOutcome::Ok { dram, .. } = &reply.instances[0] else {
+        panic!("instance failed")
+    };
+    assert_eq!(&dram[8..12], &2u32.to_le_bytes());
+
+    // Backpressure surfaces as Busy, not as a hang: a zero-capacity-ish
+    // queue is not constructible (min 1), so just check Status round-trips
+    // and the server shuts down cleanly with accurate counters.
+    let status = client.status().expect("status");
+    assert_eq!(status.executed_instances, 1);
+    server.shutdown();
+}

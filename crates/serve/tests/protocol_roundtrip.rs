@@ -1,0 +1,257 @@
+//! Wire-protocol property tests: every encodable frame decodes back to
+//! itself, and every malformed frame is rejected with a typed error —
+//! truncation at *any* byte, oversized length prefixes, wrong version
+//! bytes, trailing garbage.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRunner;
+use revet_core::{PassOptions, ProgramId};
+use revet_serve::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    ErrorCode, ErrorFrame, ExecuteReply, ExecuteRequest, FrameError, InstanceOutcome, Request,
+    Response, StatusInfo, WireError, WireReport, MAX_FRAME_BYTES, WIRE_VERSION,
+};
+
+// ---------------------------------------------------------------------------
+// Strategies (manual composites over the stand-in's primitives)
+
+fn gen_options(r: &mut TestRunner) -> PassOptions {
+    let flag = |r: &mut TestRunner| (0u8..2).generate(r) == 1;
+    PassOptions {
+        if_to_select: flag(r),
+        fuse_allocators: flag(r),
+        hoist_allocators: flag(r),
+        bufferize_replicate: flag(r),
+        pack_subwords: flag(r),
+        eliminate_hierarchy: flag(r),
+        threads: flag(r).then(|| (1u32..256).generate(r)),
+        dram_bytes: (64usize..(1 << 24)).generate(r),
+    }
+}
+
+fn gen_id(r: &mut TestRunner) -> ProgramId {
+    let mut bytes = [0u8; 16];
+    for b in &mut bytes {
+        *b = (0u8..=255).generate(r);
+    }
+    ProgramId(bytes)
+}
+
+fn gen_blob(r: &mut TestRunner, max: usize) -> Vec<u8> {
+    prop::collection::vec(0u8..=255, 0..max).generate(r)
+}
+
+fn gen_string(r: &mut TestRunner, max: usize) -> String {
+    // Printable ASCII keeps this a valid utf-8 wire string.
+    prop::collection::vec(0x20u8..0x7F, 0..max)
+        .generate(r)
+        .into_iter()
+        .map(char::from)
+        .collect()
+}
+
+/// Full-domain random requests.
+struct ArbRequest;
+
+impl Strategy for ArbRequest {
+    type Value = Request;
+    fn generate(&self, r: &mut TestRunner) -> Request {
+        match (0u8..4).generate(r) {
+            0 => Request::Compile {
+                source: gen_string(r, 200),
+                options: gen_options(r),
+            },
+            1 => Request::Execute(ExecuteRequest {
+                program_id: gen_id(r),
+                argsets: prop::collection::vec(
+                    prop::collection::vec(any::<u32>(), 0..5).boxed(),
+                    0..6,
+                )
+                .generate(r),
+                dram_inits: (0..(0usize..4).generate(r))
+                    .map(|_| ((0u64..1 << 32).generate(r), gen_blob(r, 64)))
+                    .collect(),
+                window: ((0u64..1 << 32).generate(r), (0u64..1 << 20).generate(r)),
+            }),
+            2 => Request::Status,
+            _ => Request::Shutdown,
+        }
+    }
+}
+
+/// Full-domain random responses.
+struct ArbResponse;
+
+impl Strategy for ArbResponse {
+    type Value = Response;
+    fn generate(&self, r: &mut TestRunner) -> Response {
+        match (0u8..5).generate(r) {
+            0 => Response::Compiled {
+                program_id: gen_id(r),
+                cached: (0u8..2).generate(r) == 1,
+                compile_micros: any::<u64>().generate(r),
+            },
+            1 => Response::Executed(ExecuteReply {
+                merged: WireReport {
+                    rounds: any::<u64>().generate(r),
+                    productive_steps: any::<u64>().generate(r),
+                    steps: any::<u64>().generate(r),
+                },
+                instances: (0..(0usize..5).generate(r))
+                    .map(|_| {
+                        if (0u8..2).generate(r) == 0 {
+                            InstanceOutcome::Ok {
+                                wall_micros: any::<u64>().generate(r),
+                                dram: gen_blob(r, 128),
+                            }
+                        } else {
+                            InstanceOutcome::Err {
+                                message: gen_string(r, 80),
+                            }
+                        }
+                    })
+                    .collect(),
+            }),
+            2 => Response::Status(StatusInfo {
+                programs_cached: any::<u64>().generate(r),
+                cache_capacity: any::<u64>().generate(r),
+                cache_hits: any::<u64>().generate(r),
+                cache_misses: any::<u64>().generate(r),
+                cache_evictions: any::<u64>().generate(r),
+                queued_jobs: any::<u64>().generate(r),
+                inflight_jobs: any::<u64>().generate(r),
+                executed_instances: any::<u64>().generate(r),
+                failed_instances: any::<u64>().generate(r),
+                draining: (0u8..2).generate(r) == 1,
+            }),
+            3 => Response::Error(ErrorFrame::new(
+                match (0u8..8).generate(r) {
+                    0 => ErrorCode::Malformed,
+                    1 => ErrorCode::UnsupportedVersion,
+                    2 => ErrorCode::FrameTooLarge,
+                    3 => ErrorCode::CompileFailed,
+                    4 => ErrorCode::UnknownProgram,
+                    5 => ErrorCode::Busy,
+                    6 => ErrorCode::BadRequest,
+                    _ => ErrorCode::ShuttingDown,
+                },
+                gen_string(r, 80),
+            )),
+            _ => Response::ShutdownAck,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip properties
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn request_encode_decode_round_trips(req in ArbRequest) {
+        let body = encode_request(&req);
+        prop_assert_eq!(decode_request(&body).unwrap(), req);
+    }
+
+    #[test]
+    fn response_encode_decode_round_trips(resp in ArbResponse) {
+        let body = encode_response(&resp);
+        prop_assert_eq!(decode_response(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn any_truncation_of_a_request_is_rejected(req in ArbRequest) {
+        let body = encode_request(&req);
+        for cut in 0..body.len() {
+            let res = decode_request(&body[..cut]);
+            prop_assert!(
+                res.is_err(),
+                "decoding the first {} of {} bytes should fail, got {:?}",
+                cut, body.len(), res
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(req in ArbRequest, extra in 1usize..5) {
+        let mut body = encode_request(&req);
+        body.extend(std::iter::repeat_n(0xAAu8, extra));
+        prop_assert_eq!(decode_request(&body), Err(WireError::TrailingBytes(extra)));
+    }
+
+    #[test]
+    fn frame_io_round_trips(req in ArbRequest) {
+        let body = encode_request(&req);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).unwrap();
+        let mut cursor = std::io::Cursor::new(&wire);
+        prop_assert_eq!(read_frame(&mut cursor).unwrap(), body);
+        // Cutting the stream anywhere mid-frame is an io error, never a
+        // bogus successful frame.
+        for cut in 0..wire.len() {
+            let mut cursor = std::io::Cursor::new(&wire[..cut]);
+            prop_assert!(matches!(
+                read_frame(&mut cursor),
+                Err(FrameError::Io(_)) | Err(FrameError::TooShort(_))
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed rejection cases
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    for len in [MAX_FRAME_BYTES + 1, u32::MAX] {
+        let mut wire = len.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 16]);
+        match read_frame(&mut std::io::Cursor::new(wire)) {
+            Err(FrameError::TooLarge(got)) => assert_eq!(got, len),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn undersized_length_prefix_is_rejected() {
+    for len in [0u32, 1] {
+        let wire = len.to_le_bytes().to_vec();
+        match read_frame(&mut std::io::Cursor::new(wire)) {
+            Err(FrameError::TooShort(got)) => assert_eq!(got, len),
+            other => panic!("expected TooShort, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn wrong_version_byte_is_rejected_with_the_version() {
+    let mut body = encode_request(&Request::Status);
+    for bad in [0u8, WIRE_VERSION + 1, 0xFF] {
+        body[0] = bad;
+        assert_eq!(
+            decode_request(&body),
+            Err(WireError::UnsupportedVersion(bad))
+        );
+        assert_eq!(
+            decode_response(&body),
+            Err(WireError::UnsupportedVersion(bad))
+        );
+    }
+}
+
+#[test]
+fn unknown_kind_bytes_are_rejected() {
+    let body = vec![WIRE_VERSION, 0x60];
+    assert_eq!(decode_request(&body), Err(WireError::UnknownKind(0x60)));
+    assert_eq!(decode_response(&body), Err(WireError::UnknownKind(0x60)));
+}
+
+#[test]
+fn oversized_body_refused_at_write_time() {
+    let body = vec![0u8; MAX_FRAME_BYTES as usize + 1];
+    let mut wire = Vec::new();
+    assert!(write_frame(&mut wire, &body).is_err());
+    assert!(wire.is_empty(), "nothing may reach the stream");
+}

@@ -9,6 +9,8 @@
 //! - [`lang`] — the Revet language front-end
 //! - [`compiler`] — passes, CFG→dataflow lowering, splitting, placement
 //! - [`runtime`] — parallel batch execution of compiled program instances
+//! - [`serve`] — the compile-and-execute service (wire protocol, program
+//!   cache, admission queue)
 //! - [`sim`] — the cycle-level vRDA simulator
 //! - [`baselines`] — GPU/CPU baseline models
 //! - [`apps`] — the eight evaluation applications
@@ -104,6 +106,45 @@
 //! let report = BatchRunner::new(4).run(&jobs);
 //! assert_eq!(report.ok_count(), 8);
 //! ```
+//!
+//! ## Serving: compile-once / execute-many over the network
+//!
+//! The [`serve`] layer runs the same compile-and-batch flow as a
+//! long-lived TCP service with a content-addressed program cache —
+//! repeated sources hit the cache instead of recompiling, and every
+//! failure comes back as a typed error frame:
+//!
+//! ```
+//! use revet::compiler::PassOptions;
+//! use revet::serve::protocol::{ExecuteRequest, InstanceOutcome};
+//! use revet::serve::{ServeClient, ServeConfig, Server};
+//!
+//! let server = Server::spawn(ServeConfig::default()).unwrap();
+//! let mut client = ServeClient::connect(server.local_addr()).unwrap();
+//!
+//! let opts = PassOptions { dram_bytes: 1 << 12, ..PassOptions::default() };
+//! let source = "dram<u32> output;
+//!               void main(u32 n) {
+//!                   foreach (n) { u32 i => output[i] = i * i; };
+//!               }";
+//! let first = client.compile(source, &opts).unwrap();
+//! assert!(!first.cached);
+//! // Byte-identical source + options → same ProgramId, served from cache.
+//! assert!(client.compile(source, &opts).unwrap().cached);
+//!
+//! let reply = client
+//!     .execute(ExecuteRequest {
+//!         program_id: first.program_id,
+//!         argsets: vec![vec![4]],
+//!         dram_inits: vec![],
+//!         window: (0, 16),
+//!     })
+//!     .unwrap();
+//! let InstanceOutcome::Ok { dram, .. } = &reply.instances[0] else { panic!() };
+//! assert_eq!(&dram[12..16], &9u32.to_le_bytes());
+//! let stats = server.shutdown();
+//! assert_eq!(stats.executed_instances, 1);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -114,5 +155,6 @@ pub use revet_lang as lang;
 pub use revet_machine as machine;
 pub use revet_mir as mir;
 pub use revet_runtime as runtime;
+pub use revet_serve as serve;
 pub use revet_sim as sim;
 pub use revet_sltf as sltf;
