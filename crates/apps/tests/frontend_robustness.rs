@@ -1,0 +1,71 @@
+//! Front-end robustness: random truncations of the eight known-good
+//! application sources must never panic the lexer/parser/lowerer, and
+//! every failure must be a *spanned* structured diagnostic whose span
+//! stays inside the (truncated) source. This is the fuzz-shaped guarantee
+//! behind serving untrusted sources through `revet-serve`.
+
+use proptest::prelude::*;
+use revet_apps::all_apps;
+
+/// Compiles a truncated source and checks the diagnostic contract.
+fn check_truncation(full: &str, cut: usize) {
+    let mut cut = cut.min(full.len());
+    while !full.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    let src = &full[..cut];
+    match revet_lang::compile_to_mir(src) {
+        // Truncating at a whole-item boundary can still be a valid
+        // (possibly empty) program — that is fine.
+        Ok(_) => {}
+        Err(diags) => {
+            assert!(
+                diags.error_count() >= 1,
+                "failed compile must carry ≥1 error"
+            );
+            assert!(
+                diags.iter().any(|d| d.span.is_some()),
+                "≥1 diagnostic must be spanned: {diags}"
+            );
+            for d in diags.iter() {
+                if let Some(s) = d.span {
+                    assert!(
+                        s.start <= s.end && s.end as usize <= src.len(),
+                        "span {s} escapes the {}-byte source ({})",
+                        src.len(),
+                        d
+                    );
+                }
+                assert!(d.code.starts_with('E'), "code {:?} not E-prefixed", d.code);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random cut points across every app's source.
+    #[test]
+    fn truncated_app_sources_never_panic(app_idx in 0usize..8, frac in 0u32..=1000) {
+        let apps = all_apps();
+        let app = &apps[app_idx % apps.len()];
+        let full = (app.source)(2);
+        let cut = (full.len() as u64 * frac as u64 / 1000) as usize;
+        check_truncation(&full, cut);
+    }
+}
+
+/// Exhaustive sweep on the smallest app source: every byte position.
+#[test]
+fn exhaustive_truncation_of_one_app() {
+    let apps = all_apps();
+    let app = apps
+        .iter()
+        .min_by_key(|a| (a.source)(1).len())
+        .expect("eight apps");
+    let full = (app.source)(1);
+    for cut in 0..=full.len() {
+        check_truncation(&full, cut);
+    }
+}

@@ -217,6 +217,28 @@ fn main() {
         }
     );
 
+    // Pre-flight: the structured CompileFailed path must be live before
+    // load starts — a known-bad source comes back as machine-readable
+    // diagnostics (code + line/col), not a flattened string.
+    {
+        let mut probe = ServeClient::connect(addr).expect("probe connect");
+        let err = probe
+            .compile("void main() {\n  u32 a = ;\n}", &PassOptions::default())
+            .expect_err("bad source must be refused");
+        let details = err
+            .compile_diagnostics()
+            .expect("CompileFailed must carry structured diagnostics");
+        assert!(
+            details.iter().any(|d| d.code == "E0103" && d.line == 2),
+            "diagnostic code/line missing from {details:?}"
+        );
+        println!(
+            "compile-failure probe: {} structured diagnostic(s), first: {}",
+            details.len(),
+            details[0]
+        );
+    }
+
     let wall = Instant::now();
     let outcomes: Vec<ClientOutcome> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..args.clients)

@@ -1,0 +1,138 @@
+//! `revetc` — the human entry point for the staged `Session` compile API.
+//!
+//! ```text
+//! revetc FILE [--emit ast|mir|dataflow|report] [--color|--no-color] [-O0]
+//! ```
+//!
+//! Compiles one Revet source file and prints the requested artifact to
+//! stdout. On compile failure, prints every diagnostic as a rustc-style
+//! caret snippet to stderr and exits with code 1 (code 2 for usage /
+//! I/O problems). `--emit`:
+//!
+//! - `ast` — the parsed AST (debug form)
+//! - `mir` — the optimized MIR module (after high-level lowering +
+//!   passes), in `revet_mir::print` textual form
+//! - `dataflow` — the placed dataflow graph's contexts and links
+//! - `report` — the Table IV-style resource report (default)
+
+use revet_core::report::ResourceReport;
+use revet_core::{PassOptions, Session};
+use std::io::IsTerminal;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: revetc FILE [--emit ast|mir|dataflow|report] [--color|--no-color] [-O0]
+       (stderr gets rustc-style diagnostics; exit 1 = compile error, 2 = usage/i/o)";
+
+enum Emit {
+    Ast,
+    Mir,
+    Dataflow,
+    Report,
+}
+
+fn main() -> ExitCode {
+    let mut file: Option<String> = None;
+    let mut emit = Emit::Report;
+    let mut color: Option<bool> = None;
+    let mut opts = PassOptions::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--emit" => {
+                let Some(what) = args.next() else {
+                    eprintln!("--emit needs a value\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                emit = match what.as_str() {
+                    "ast" => Emit::Ast,
+                    "mir" => Emit::Mir,
+                    "dataflow" => Emit::Dataflow,
+                    "report" => Emit::Report,
+                    other => {
+                        eprintln!("unknown --emit '{other}'\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--color" => color = Some(true),
+            "--no-color" => color = Some(false),
+            "-O0" => {
+                opts = PassOptions {
+                    dram_bytes: opts.dram_bytes,
+                    ..PassOptions::none()
+                };
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if file.is_none() && !other.starts_with('-') => file = Some(a),
+            other => {
+                eprintln!("unexpected argument '{other}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("revetc: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let color = color.unwrap_or_else(|| std::io::stderr().is_terminal());
+
+    let mut session = Session::new(source, opts).with_source_name(&file);
+    let failed = match emit {
+        Emit::Ast => session.parse().map(|ast| println!("{ast:#?}")).is_err(),
+        Emit::Mir => {
+            // The optimized module is the interesting MIR artifact; the
+            // pre-pass form is reachable through the library API.
+            session
+                .run_passes()
+                .map(|m| print!("{}", revet_mir::print_module(m)))
+                .is_err()
+        }
+        Emit::Dataflow => session
+            .to_dataflow()
+            .map(|p| {
+                println!("contexts: {}", p.contexts.len());
+                for c in &p.contexts {
+                    println!(
+                        "  #{:<4} {:<10} unit={:<8} depth={} instrs={:<3} regs={:<3} {}",
+                        c.id,
+                        c.kind,
+                        format!("{:?}", c.unit),
+                        c.depth,
+                        c.instrs,
+                        c.regs,
+                        c.label
+                    );
+                }
+                println!("links: {}", p.links.len());
+                for l in &p.links {
+                    println!(
+                        "  ch{:<4} arity={} class={:?} depth={}",
+                        l.id, l.arity, l.class, l.depth
+                    );
+                }
+            })
+            .is_err(),
+        Emit::Report => session
+            .to_dataflow()
+            .map(|p| println!("{}", ResourceReport::for_program(&file, &p).summary()))
+            .is_err(),
+    };
+    if failed {
+        eprint!("{}", session.render_diagnostics(color));
+        let n = session.diagnostics().error_count();
+        eprintln!("error: compilation failed with {n} error(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -43,31 +43,77 @@ mod lower;
 pub mod passes;
 mod place;
 pub mod report;
+mod session;
 
 pub use fingerprint::ProgramId;
 pub use instance::ProgramInstance;
 pub use lower::{lower_to_dataflow, Category, CompiledProgram, ContextInfo, LinkInfo};
 pub use place::{place, Placement};
+pub use session::{Session, Stage};
 
+use revet_diag::{codes, Diagnostic, SourceMap};
 use revet_mir::{DramLayout, Module};
 use std::fmt;
 
-/// A compiler error.
+/// A compiler error: one or more structured, span-carrying diagnostics.
+///
+/// Every stage failure — lexing, parsing (possibly several errors thanks
+/// to recovery), semantic lowering, MIR verification, dataflow lowering —
+/// arrives here as [`Diagnostic`]s rather than a flattened string, so
+/// callers (the `revetc` CLI, the serve layer's `CompileFailed` frame)
+/// can render snippets or ship codes + line/col over the wire.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CoreError {
-    /// Description.
-    pub message: String,
+    /// The diagnostics, in source order (at least one).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl CoreError {
+    /// A single span-less dataflow-lowering diagnostic (the internal
+    /// passes' escape hatch; front-end errors arrive already spanned).
     pub(crate) fn new(m: impl Into<String>) -> Self {
-        CoreError { message: m.into() }
+        CoreError {
+            diagnostics: vec![Diagnostic::error(codes::DATAFLOW_LOWER, m)],
+        }
+    }
+
+    /// Wraps already-structured diagnostics.
+    pub fn from_diagnostics(diagnostics: Vec<Diagnostic>) -> Self {
+        assert!(!diagnostics.is_empty(), "an error needs ≥1 diagnostic");
+        CoreError { diagnostics }
+    }
+
+    pub(crate) fn from_verify(e: revet_mir::VerifyError) -> Self {
+        let d = Diagnostic::error(
+            codes::MIR_VERIFY,
+            format!("post-pass verification failed: {e}"),
+        );
+        CoreError {
+            diagnostics: vec![match e.span {
+                Some(s) => d.with_span(s),
+                None => d,
+            }],
+        }
+    }
+
+    /// Renders every diagnostic as a rustc-style caret snippet against
+    /// `source` (the text the failed compile was given).
+    pub fn render(&self, source: &str, color: bool) -> String {
+        let diags: revet_diag::Diagnostics = self.diagnostics.iter().cloned().collect();
+        diags.render(&SourceMap::new(source), color)
     }
 }
 
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "compile error: {}", self.message)
+        write!(f, "compile error: ")?;
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
     }
 }
 
@@ -146,19 +192,16 @@ impl Compiler {
     /// symbols are laid out back-to-back in equal slices of
     /// `opts.dram_bytes`.
     ///
+    /// This is a one-shot shim over the staged [`Session`] API — use a
+    /// `Session` directly to inspect per-stage artifacts (AST, MIR text)
+    /// or the accumulated diagnostics.
+    ///
     /// # Errors
     ///
-    /// Returns parse, semantic, or lowering errors.
+    /// Returns parse, semantic, or lowering diagnostics (possibly several:
+    /// parser recovery reports every syntax error in one run).
     pub fn compile_source(&self, src: &str) -> Result<CompiledProgram, CoreError> {
-        let lowered = revet_lang::compile_to_mir(src).map_err(CoreError::new)?;
-        let threads = self.opts.threads.or(lowered.thread_count_hint);
-        let mut module = lowered.module;
-        let n = module.drams.len().max(1);
-        let slice = (self.opts.dram_bytes / n) as u32;
-        let layout = DramLayout {
-            base: (0..module.drams.len() as u32).map(|i| i * slice).collect(),
-        };
-        self.compile_module(&mut module, &layout, threads)
+        Session::new(src, self.opts.clone()).to_dataflow()
     }
 
     /// Compiles a module with an explicit DRAM layout.
@@ -183,8 +226,7 @@ impl Compiler {
         if opts.if_to_select {
             passes::if_to_select(module);
         }
-        revet_mir::verify_module(module)
-            .map_err(|e| CoreError::new(format!("post-pass verification failed: {e}")))?;
+        revet_mir::verify_module(module).map_err(CoreError::from_verify)?;
         lower_to_dataflow(module, layout, &opts, opts.dram_bytes)
     }
 

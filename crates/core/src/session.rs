@@ -1,0 +1,346 @@
+//! The staged compile driver.
+//!
+//! The paper's pipeline (§V, Fig. 8) is explicitly staged — parse → typed
+//! MIR → high-level lowering / optimization → CFG→dataflow — and
+//! [`Session`] exposes exactly those stages. Each stage method is
+//! idempotent (it memoizes its artifact and re-running is free), runs its
+//! predecessors on demand, and accumulates every finding in a
+//! [`Diagnostics`] sink that survives the whole session:
+//!
+//! ```
+//! use revet_core::{PassOptions, Session};
+//!
+//! let mut s = Session::new(
+//!     "dram<u32> output;
+//!      void main(u32 n) { foreach (n) { u32 i => output[i] = i * i; }; }",
+//!     PassOptions::default(),
+//! );
+//! let ast = s.parse().unwrap();
+//! assert_eq!(ast.funcs[0].name, "main");
+//! let mir_text = s.mir_text().unwrap();         // after lower_mir()
+//! assert!(mir_text.contains("func @main"));
+//! let program = s.to_dataflow().unwrap();
+//! assert!(program.context_count() > 0);
+//! assert!(s.diagnostics().is_empty());
+//! ```
+//!
+//! On failure the diagnostics stay on the session for rendering:
+//!
+//! ```
+//! use revet_core::{PassOptions, Session};
+//!
+//! let mut s = Session::new("void main() {\n  u32 a = ;\n  b = +;\n}", PassOptions::default());
+//! assert!(s.to_dataflow().is_err());
+//! assert_eq!(s.diagnostics().error_count(), 2); // recovery found both
+//! let text = s.render_diagnostics(false);
+//! assert!(text.contains("-->"));
+//! ```
+
+use crate::lower::CompiledProgram;
+use crate::{lower_to_dataflow, passes, CoreError, PassOptions};
+use revet_diag::{Diagnostics, SourceMap};
+use revet_lang::ast::Program;
+use revet_mir::{DramLayout, Module};
+
+/// The pipeline stages a [`Session`] moves through, in order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Stage {
+    /// Nothing run yet.
+    Start,
+    /// `parse()` succeeded: the AST is available.
+    Parsed,
+    /// `lower_mir()` succeeded: the typed MIR module is available.
+    Lowered,
+    /// `run_passes()` succeeded: the optimized, verified module is
+    /// available.
+    Optimized,
+    /// A stage failed; the session's diagnostics say why.
+    Failed,
+}
+
+/// A staged compile: source in, per-stage artifacts out, diagnostics
+/// accumulated throughout. See the module-level docs for the flow.
+#[derive(Clone, Debug)]
+pub struct Session {
+    source: String,
+    opts: PassOptions,
+    map: SourceMap,
+    diags: Diagnostics,
+    stage: Stage,
+    ast: Option<Program>,
+    mir: Option<Module>,
+    optimized: bool,
+    threads: Option<u32>,
+}
+
+impl Session {
+    /// Starts a session over `source` with the given pass options.
+    pub fn new(source: impl Into<String>, opts: PassOptions) -> Session {
+        let source = source.into();
+        Session {
+            map: SourceMap::new(&source),
+            source,
+            opts,
+            diags: Diagnostics::new(),
+            stage: Stage::Start,
+            ast: None,
+            mir: None,
+            optimized: false,
+            threads: None,
+        }
+    }
+
+    /// Names the source's origin (a file path, usually) in rendered
+    /// diagnostics.
+    pub fn with_source_name(mut self, name: impl Into<String>) -> Session {
+        self.map = SourceMap::with_name(&self.source, name);
+        self
+    }
+
+    // ---- stages ----
+
+    /// Stage 1: lex + parse (with recovery — every syntax error in the
+    /// source is reported in one run).
+    ///
+    /// # Errors
+    ///
+    /// All lex/parse diagnostics, which also remain on
+    /// [`Session::diagnostics`].
+    pub fn parse(&mut self) -> Result<&Program, CoreError> {
+        if self.stage == Stage::Failed {
+            return Err(self.failure());
+        }
+        if self.ast.is_none() {
+            match revet_lang::parse_program(&self.source) {
+                Ok(p) => {
+                    self.ast = Some(p);
+                    self.stage = self.stage.max(Stage::Parsed);
+                }
+                Err(diags) => return Err(self.fail(diags)),
+            }
+        }
+        Ok(self.ast.as_ref().expect("just parsed"))
+    }
+
+    /// Stage 2: AST → typed MIR (symbol resolution, type checking, SSA
+    /// conversion), verified.
+    ///
+    /// # Errors
+    ///
+    /// Parse diagnostics, or the first semantic diagnostic.
+    pub fn lower_mir(&mut self) -> Result<&Module, CoreError> {
+        self.parse()?;
+        if self.mir.is_none() {
+            let ast = self.ast.as_ref().expect("parsed");
+            match revet_lang::lower_program(ast) {
+                Ok(lowered) => {
+                    self.threads = self.opts.threads.or(lowered.thread_count_hint);
+                    self.mir = Some(lowered.module);
+                    self.stage = self.stage.max(Stage::Lowered);
+                }
+                Err(diags) => return Err(self.fail(diags)),
+            }
+        }
+        Ok(self.mir.as_ref().expect("just lowered"))
+    }
+
+    /// Stage 3: high-level lowering + optimization (§V-A/B, gated by the
+    /// session's [`PassOptions`]), then MIR re-verification.
+    ///
+    /// # Errors
+    ///
+    /// Earlier-stage diagnostics, or a post-pass verification failure
+    /// (which indicates a compiler bug, code `E0301`).
+    pub fn run_passes(&mut self) -> Result<&Module, CoreError> {
+        self.lower_mir()?;
+        if !self.optimized {
+            let threads = self.threads;
+            let opts = self.opts.clone();
+            let module = self.mir.as_mut().expect("lowered");
+            if opts.eliminate_hierarchy {
+                passes::eliminate_hierarchy(module, threads);
+            }
+            passes::lower_views(module, threads, opts.fuse_allocators);
+            passes::lower_bulk(module);
+            if opts.if_to_select {
+                passes::if_to_select(module);
+            }
+            if let Err(e) = revet_mir::verify_module(module) {
+                let err = CoreError::from_verify(e);
+                return Err(self.fail(err.diagnostics.into_iter().collect()));
+            }
+            self.optimized = true;
+            self.stage = self.stage.max(Stage::Optimized);
+        }
+        Ok(self.mir.as_ref().expect("optimized"))
+    }
+
+    /// Stage 4: CFG→dataflow conversion, link assignment, context
+    /// splitting, and placement. DRAM symbols are laid out back-to-back in
+    /// equal slices of `opts.dram_bytes`.
+    ///
+    /// Callable repeatedly: each call materializes a fresh
+    /// [`CompiledProgram`] from the memoized optimized module.
+    ///
+    /// # Errors
+    ///
+    /// Earlier-stage diagnostics, or dataflow-lowering diagnostics
+    /// (code `E0401`).
+    pub fn to_dataflow(&mut self) -> Result<CompiledProgram, CoreError> {
+        self.run_passes()?;
+        let mut opts = self.opts.clone();
+        opts.threads = self.threads;
+        // Dataflow lowering consumes/mutates the module; clone so the
+        // session's optimized artifact stays inspectable and re-runnable.
+        let mut module = self.mir.clone().expect("optimized");
+        let n = module.drams.len().max(1);
+        let slice = (opts.dram_bytes / n) as u32;
+        let layout = DramLayout {
+            base: (0..module.drams.len() as u32).map(|i| i * slice).collect(),
+        };
+        match lower_to_dataflow(&mut module, &layout, &opts, opts.dram_bytes) {
+            Ok(p) => Ok(p),
+            Err(e) => Err(self.fail(e.diagnostics.into_iter().collect())),
+        }
+    }
+
+    // ---- artifacts & reporting ----
+
+    /// The parsed AST, if `parse()` has succeeded.
+    pub fn ast(&self) -> Option<&Program> {
+        self.ast.as_ref()
+    }
+
+    /// The current MIR module: typed MIR after `lower_mir()`, the
+    /// optimized module after `run_passes()`.
+    pub fn mir(&self) -> Option<&Module> {
+        self.mir.as_ref()
+    }
+
+    /// The current MIR module printed as text (runs `lower_mir()` on
+    /// demand; `None` if the front end failed).
+    pub fn mir_text(&mut self) -> Option<String> {
+        self.lower_mir().ok()?;
+        Some(revet_mir::print_module(self.mir.as_ref()?))
+    }
+
+    /// How far the session has progressed.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    /// Everything reported so far.
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.diags
+    }
+
+    /// The session's source map (byte offsets → line/col).
+    pub fn source_map(&self) -> &SourceMap {
+        &self.map
+    }
+
+    /// The source text being compiled.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The pass options in use.
+    pub fn options(&self) -> &PassOptions {
+        &self.opts
+    }
+
+    /// The resolved thread-count hint (`PassOptions::threads` wins over
+    /// `pragma(threads, N)`), once `lower_mir()` has run.
+    pub fn thread_count(&self) -> Option<u32> {
+        self.threads
+    }
+
+    /// Renders every accumulated diagnostic as a rustc-style snippet.
+    pub fn render_diagnostics(&self, color: bool) -> String {
+        self.diags.render(&self.map, color)
+    }
+
+    fn fail(&mut self, diags: Diagnostics) -> CoreError {
+        self.stage = Stage::Failed;
+        self.diags.extend(diags);
+        self.failure()
+    }
+
+    fn failure(&self) -> CoreError {
+        CoreError::from_diagnostics(self.diags.as_slice().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revet_diag::codes;
+
+    const GOOD: &str = "dram<u32> output;
+        void main(u32 n) { foreach (n) { u32 i => output[i] = i * i; }; }";
+
+    #[test]
+    fn stages_progress_and_memoize() {
+        let mut s = Session::new(GOOD, PassOptions::default());
+        assert_eq!(s.stage(), Stage::Start);
+        s.parse().unwrap();
+        assert_eq!(s.stage(), Stage::Parsed);
+        s.lower_mir().unwrap();
+        assert_eq!(s.stage(), Stage::Lowered);
+        let before = s.mir_text().unwrap();
+        assert!(before.contains("main"));
+        s.run_passes().unwrap();
+        assert_eq!(s.stage(), Stage::Optimized);
+        assert!(revet_mir::print_module(s.mir().unwrap()).contains("main"));
+        // Two dataflow materializations from one optimized module.
+        let p1 = s.to_dataflow().unwrap();
+        let p2 = s.to_dataflow().unwrap();
+        assert_eq!(p1.context_count(), p2.context_count());
+        assert!(s.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn parse_failure_sticks_and_reports_every_error() {
+        let mut s = Session::new(
+            "void main() {\n  u32 a = ;\n  u32 ok = 1;\n  ok = @ 3;\n}",
+            PassOptions::default(),
+        );
+        let e = s.to_dataflow().unwrap_err();
+        assert_eq!(e.diagnostics.len(), 2, "{e}");
+        assert!(e.diagnostics.iter().all(|d| d.span.is_some()));
+        assert_eq!(s.stage(), Stage::Failed);
+        // Later stage calls return the same failure, not a panic.
+        let e2 = s.lower_mir().unwrap_err();
+        assert_eq!(e.diagnostics, e2.diagnostics);
+        assert!(s.mir_text().is_none());
+    }
+
+    #[test]
+    fn semantic_failure_is_coded_and_spanned() {
+        let mut s = Session::new(
+            "void main(u32 n) {\n  output[n] = 1;\n}",
+            PassOptions::default(),
+        );
+        let e = s.run_passes().unwrap_err();
+        assert_eq!(e.diagnostics.len(), 1);
+        assert_eq!(e.diagnostics[0].code, codes::SEM_UNKNOWN_NAME);
+        let lc = s
+            .source_map()
+            .line_col(e.diagnostics[0].span.expect("spanned").start);
+        assert_eq!(lc.line, 2);
+        // parse() still succeeded — the AST artifact survives the failure.
+        assert!(s.ast().is_some());
+    }
+
+    #[test]
+    fn compile_source_is_a_session_shim() {
+        let direct = crate::Compiler::new(PassOptions::default())
+            .compile_source(GOOD)
+            .unwrap();
+        let via_session = Session::new(GOOD, PassOptions::default())
+            .to_dataflow()
+            .unwrap();
+        assert_eq!(direct.context_count(), via_session.context_count());
+        assert_eq!(direct.links.len(), via_session.links.len());
+    }
+}

@@ -1,0 +1,148 @@
+//! Rustc-style diagnostic rendering: source line + caret underline.
+
+use crate::span::{SourceMap, Span};
+use crate::{Diagnostic, Severity};
+use std::fmt::Write as _;
+
+/// ANSI escape helpers, compiled away when color is off.
+struct Paint {
+    on: bool,
+}
+
+impl Paint {
+    fn wrap(&self, code: &str, s: &str) -> String {
+        if self.on {
+            format!("\x1b[{code}m{s}\x1b[0m")
+        } else {
+            s.to_string()
+        }
+    }
+    fn severity(&self, sev: Severity, s: &str) -> String {
+        match sev {
+            Severity::Error => self.wrap("1;31", s),
+            Severity::Warning => self.wrap("1;33", s),
+            Severity::Note => self.wrap("1;36", s),
+        }
+    }
+    fn bold(&self, s: &str) -> String {
+        self.wrap("1", s)
+    }
+    fn frame(&self, s: &str) -> String {
+        self.wrap("1;34", s)
+    }
+}
+
+/// Renders one diagnostic as a rustc-style snippet block:
+///
+/// ```text
+/// error[E0101]: expected ';', found '}'
+///  --> <input>:3:17
+///   |
+/// 3 |         u32 x = ;
+///   |                 ^ expected expression
+///   = note: statements end with ';'
+/// ```
+///
+/// Diagnostics without a span render the header and notes only. `color`
+/// switches ANSI escapes on (severity-tinted, like rustc's).
+pub fn render_diagnostic(d: &Diagnostic, map: &SourceMap, color: bool) -> String {
+    let p = Paint { on: color };
+    let mut out = String::new();
+    let header = format!("{}[{}]", d.severity, d.code);
+    let _ = writeln!(
+        out,
+        "{}{} {}",
+        p.severity(d.severity, &header),
+        p.bold(":"),
+        p.bold(&d.message)
+    );
+
+    if let Some(primary) = d.span {
+        let lc = map.line_col(primary.start);
+        let _ = writeln!(
+            out,
+            "{} {}:{}:{}",
+            p.frame(" -->"),
+            map.name(),
+            lc.line,
+            lc.col
+        );
+
+        // Primary snippet, then every secondary label in order.
+        let mut snippets: Vec<(Span, &str, char)> = Vec::new();
+        let primary_label = d
+            .labels
+            .iter()
+            .find(|(s, _)| *s == primary)
+            .map_or("", |(_, m)| m.as_str());
+        snippets.push((primary, primary_label, '^'));
+        for (s, m) in &d.labels {
+            if *s != primary {
+                snippets.push((*s, m, '-'));
+            }
+        }
+        let gutter = snippets
+            .iter()
+            .map(|(s, _, _)| digits(map.line_col(s.start).line))
+            .max()
+            .unwrap_or(1);
+        let bar = p.frame(&format!("{:>gutter$} |", ""));
+        let _ = writeln!(out, "{bar}");
+        for (span, label, mark) in snippets {
+            let lc = map.line_col(span.start);
+            let text = map.line_text(lc.line);
+            let lineno = p.frame(&format!("{:>gutter$} |", lc.line));
+            let _ = writeln!(out, "{lineno} {}", expand_tabs(text));
+            // Underline within this line only (spans never render across
+            // lines; a multi-line span gets carets to the line's end).
+            // Positions are measured in *display* columns — tabs expand to
+            // TAB_WIDTH, multibyte chars count once — so the carets line
+            // up with the text as printed, not with its byte offsets.
+            let start = floor_boundary(text, lc.col as usize - 1);
+            let end = floor_boundary(text, start + span.len() as usize);
+            let pad = display_width(&text[..start]);
+            let width = display_width(&text[start..end.max(start)]).max(1);
+            let marks: String = std::iter::repeat_n(mark, width).collect();
+            let underline = format!("{}{}", " ".repeat(pad), marks);
+            let underline = p.severity(d.severity, &underline);
+            if label.is_empty() {
+                let _ = writeln!(out, "{bar} {underline}");
+            } else {
+                let _ = writeln!(out, "{bar} {underline} {label}");
+            }
+        }
+    }
+    for note in &d.notes {
+        let _ = writeln!(out, "  {} {note}", p.frame("= note:"));
+    }
+    out
+}
+
+/// Tab stop used when normalizing source lines for display.
+const TAB_WIDTH: usize = 4;
+
+fn expand_tabs(s: &str) -> String {
+    s.replace('\t', &" ".repeat(TAB_WIDTH))
+}
+
+/// Columns `s` occupies as printed by [`expand_tabs`]: tabs are
+/// TAB_WIDTH wide, every other char one column (East-Asian double-width
+/// is approximated as 1 — good enough without a unicode-width table).
+fn display_width(s: &str) -> usize {
+    s.chars()
+        .map(|c| if c == '\t' { TAB_WIDTH } else { 1 })
+        .sum()
+}
+
+/// Largest char boundary ≤ `i`.
+fn floor_boundary(s: &str, i: usize) -> usize {
+    let mut i = i.min(s.len());
+    while !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+fn digits(n: u32) -> usize {
+    (n.checked_ilog10().unwrap_or(0) + 1) as usize
+}

@@ -1,4 +1,10 @@
 //! The Revet abstract syntax tree.
+//!
+//! Statements, function signatures, and DRAM declarations carry byte
+//! [`Span`]s into the source text; semantic diagnostics from lowering
+//! attribute themselves at statement granularity through them.
+
+use revet_diag::Span;
 
 /// Surface integer types (signedness is a front-end property; MIR keeps only
 /// storage width).
@@ -186,9 +192,25 @@ pub enum ItKindName {
     ManualWrite,
 }
 
-/// A statement.
+/// A statement: what it does plus where it sits in the source.
 #[derive(Clone, PartialEq, Debug)]
-pub enum Stmt {
+pub struct Stmt {
+    /// The statement proper.
+    pub kind: StmtKind,
+    /// Byte range of the whole statement (keyword through trailing `;`).
+    pub span: Span,
+}
+
+impl Stmt {
+    /// A statement with its span.
+    pub fn new(kind: StmtKind, span: Span) -> Stmt {
+        Stmt { kind, span }
+    }
+}
+
+/// The statement kinds.
+#[derive(Clone, PartialEq, Debug)]
+pub enum StmtKind {
     /// `ty name = expr;` (or `ty name;`, zero-initialized).
     Decl {
         /// Declared type.
@@ -318,6 +340,8 @@ pub struct DramDeclAst {
     pub name: String,
     /// Element type.
     pub ty: TyName,
+    /// Byte range of the declaration.
+    pub span: Span,
 }
 
 /// A function definition.
@@ -331,6 +355,8 @@ pub struct FuncAst {
     pub params: Vec<(TyName, String)>,
     /// Body.
     pub body: Vec<Stmt>,
+    /// Byte range of the signature (return type through `)`).
+    pub span: Span,
 }
 
 /// A parsed program.

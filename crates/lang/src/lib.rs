@@ -9,6 +9,12 @@
 //! resolution, type checking, SSA conversion) → verified [`revet_mir`]
 //! module.
 //!
+//! Every stage reports through [`revet_diag`]: tokens and AST statements
+//! carry byte [`Span`](revet_diag::Span)s, the parser *recovers* at `;` /
+//! `}` boundaries so one run reports every syntax error, and failures come
+//! back as a [`Diagnostics`] sink of structured, span-carrying
+//! [`Diagnostic`](revet_diag::Diagnostic)s rather than strings.
+//!
 //! ## Example
 //!
 //! ```
@@ -24,6 +30,15 @@
 //! let lowered = revet_lang::lower_program(&prog).unwrap();
 //! assert!(lowered.module.func("main").is_some());
 //! ```
+//!
+//! Malformed source yields one spanned diagnostic per problem:
+//!
+//! ```
+//! let diags = revet_lang::compile_to_mir("void main() {\n  u32 a = ;\n  b = 1 +;\n}")
+//!     .unwrap_err();
+//! assert_eq!(diags.error_count(), 2);
+//! assert!(diags.iter().all(|d| d.span.is_some()));
+//! ```
 
 #![warn(missing_docs)]
 
@@ -32,16 +47,19 @@ mod lower;
 mod parser;
 mod token;
 
-pub use lower::{lower_program, LowerError, Lowered};
-pub use parser::{parse_program, ParseError};
-pub use token::{lex, LexError, Spanned, Tok};
+pub use lower::{lower_program, Lowered};
+pub use parser::parse_program;
+pub use token::{lex, Spanned, Tok};
+
+use revet_diag::Diagnostics;
 
 /// Parses and lowers source in one step.
 ///
 /// # Errors
 ///
-/// Returns a formatted parse or semantic error.
-pub fn compile_to_mir(src: &str) -> Result<Lowered, String> {
-    let prog = parse_program(src).map_err(|e| e.to_string())?;
-    lower_program(&prog).map_err(|e| e.to_string())
+/// Returns the accumulated [`Diagnostics`]: every lex/parse error found by
+/// recovery, or the first semantic error, each with a source span.
+pub fn compile_to_mir(src: &str) -> Result<Lowered, Diagnostics> {
+    let prog = parse_program(src)?;
+    lower_program(&prog)
 }

@@ -10,34 +10,51 @@
 //! results).
 
 use crate::ast::{
-    BinOp, Expr, ItKindName, MemDecl, Program, ReduceOp, Stmt, TyName, UnOp, ViewKindName,
+    BinOp, Expr, ItKindName, MemDecl, Program, ReduceOp, Stmt, StmtKind, TyName, UnOp, ViewKindName,
 };
+use revet_diag::{codes, Diagnostic, Diagnostics, Span};
 use revet_mir::{
     AluOp, ForeachFlags, Func, ItKind, Module, OpKind, RegionBuilder, Ty, Value, ViewKind,
 };
 use std::collections::{HashMap, HashSet};
-use std::fmt;
 
-/// A lowering (semantic) error.
+/// A lowering (semantic) error: internal carrier, converted to a
+/// [`Diagnostic`] at the `lower_program` boundary. Errors raised deep in
+/// expression lowering start span-less; the statement-walking loop
+/// attributes them to the enclosing statement's span.
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub struct LowerError {
-    /// Description.
-    pub message: String,
+struct LowerError {
+    code: &'static str,
+    message: String,
+    span: Option<Span>,
 }
 
 impl LowerError {
     fn new(m: impl Into<String>) -> Self {
-        LowerError { message: m.into() }
+        LowerError::code(codes::SEM_GENERAL, m)
+    }
+
+    fn code(code: &'static str, m: impl Into<String>) -> Self {
+        LowerError {
+            code,
+            message: m.into(),
+            span: None,
+        }
+    }
+
+    fn or_span(mut self, span: Span) -> Self {
+        self.span.get_or_insert(span);
+        self
+    }
+
+    fn into_diagnostic(self) -> Diagnostic {
+        let d = Diagnostic::error(self.code, self.message);
+        match self.span {
+            Some(s) => d.with_span(s),
+            None => d,
+        }
     }
 }
-
-impl fmt::Display for LowerError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "semantic error: {}", self.message)
-    }
-}
-
-impl std::error::Error for LowerError {}
 
 /// Lowering output: the module plus module-level attributes gathered from
 /// pragmas.
@@ -53,9 +70,15 @@ pub struct Lowered {
 ///
 /// # Errors
 ///
-/// Returns [`LowerError`] for unknown names, type mismatches, writes to
-/// read-only parent variables inside `foreach`, and malformed yields.
-pub fn lower_program(prog: &Program) -> Result<Lowered, LowerError> {
+/// Returns spanned [`Diagnostics`] for unknown names, type mismatches,
+/// writes to read-only parent variables inside `foreach`, and malformed
+/// yields. Lowering stops at the first semantic error (multi-error
+/// reporting is the parser's recovery job).
+pub fn lower_program(prog: &Program) -> Result<Lowered, Diagnostics> {
+    lower_program_inner(prog).map_err(|e| Diagnostics::from(e.into_diagnostic()))
+}
+
+fn lower_program_inner(prog: &Program) -> Result<Lowered, LowerError> {
     let mut module = Module::default();
     let mut dram_map = HashMap::new();
     let mut dram_tys = HashMap::new();
@@ -87,24 +110,32 @@ pub fn lower_program(prog: &Program) -> Result<Lowered, LowerError> {
                 .insert(name.clone(), Binding::Var(VarInfo { val, ty: *ty }));
         }
         let mut b = RegionBuilder::new();
-        lw.lower_block(&fast.body, &mut b)?;
+        lw.lower_block(&fast.body, &mut b)
+            .map_err(|e| e.or_span(fast.span))?;
         // Ensure a return terminator.
         if !matches!(
             b_last_kind(&b),
             Some(OpKind::Return(_)) | Some(OpKind::Exit)
         ) {
             if fast.ret != TyName::Void {
-                return Err(LowerError::new(format!(
-                    "function '{}' must end with return of a value",
-                    fast.name
-                )));
+                return Err(LowerError::code(
+                    codes::SEM_BAD_YIELD_RETURN,
+                    format!("function '{}' must end with return of a value", fast.name),
+                )
+                .or_span(fast.span));
             }
             b.emit0(OpKind::Return(vec![]));
         }
         func.body = b.build();
         module.funcs.push(func);
     }
-    revet_mir::verify_module(&module).map_err(|e| LowerError::new(e.to_string()))?;
+    revet_mir::verify_module(&module).map_err(|e| {
+        let le = LowerError::code(codes::MIR_VERIFY, e.to_string());
+        match e.span {
+            Some(s) => le.or_span(s),
+            None => le,
+        }
+    })?;
     Ok(Lowered {
         module,
         thread_count_hint,
@@ -192,10 +223,13 @@ impl Lowerer<'_> {
         for (i, s) in self.scopes.iter().enumerate().rev() {
             if let Some(Binding::Var(v)) = s.bindings.get(name) {
                 if crossed_boundary {
-                    return Err(LowerError::new(format!(
-                        "cannot assign '{name}': foreach threads have a read-only view of \
-                         parent variables (allocate memory to communicate)"
-                    )));
+                    return Err(LowerError::code(
+                        codes::SEM_READONLY_ASSIGN,
+                        format!(
+                            "cannot assign '{name}': foreach threads have a read-only view \
+                             of parent variables (allocate memory to communicate)"
+                        ),
+                    ));
                 }
                 let _ = i;
                 return Ok((self.scopes.len() - 1, v.clone()));
@@ -204,9 +238,10 @@ impl Lowerer<'_> {
                 crossed_boundary = true;
             }
         }
-        Err(LowerError::new(format!(
-            "assignment to unknown variable '{name}'"
-        )))
+        Err(LowerError::code(
+            codes::SEM_UNKNOWN_NAME,
+            format!("assignment to unknown variable '{name}'"),
+        ))
     }
 
     fn set_var(&mut self, scope_idx: usize, name: &str, val: Value, ty: TyName) {
@@ -238,10 +273,14 @@ impl Lowerer<'_> {
             }
             Expr::Var(name) => match self.lookup(name) {
                 Some(Binding::Var(v)) => Ok((v.val, v.ty)),
-                Some(Binding::Handle { .. }) => Err(LowerError::new(format!(
-                    "'{name}' is a memory object, not a scalar value"
-                ))),
-                None => Err(LowerError::new(format!("unknown variable '{name}'"))),
+                Some(Binding::Handle { .. }) => Err(LowerError::code(
+                    codes::SEM_KIND_MISUSE,
+                    format!("'{name}' is a memory object, not a scalar value"),
+                )),
+                None => Err(LowerError::code(
+                    codes::SEM_UNKNOWN_NAME,
+                    format!("unknown variable '{name}'"),
+                )),
             },
             Expr::Bin(op, l, r) => {
                 let (lv, lt) = self.lower_expr(l, b)?;
@@ -304,14 +343,19 @@ impl Lowerer<'_> {
                             );
                             Ok((self.extend(raw, elem, b), promote(elem)))
                         }
-                        HandleKind::It(_) => Err(LowerError::new(format!(
-                            "iterator '{base}' cannot be indexed; use *{base}"
-                        ))),
+                        HandleKind::It(_) => Err(LowerError::code(
+                            codes::SEM_KIND_MISUSE,
+                            format!("iterator '{base}' cannot be indexed; use *{base}"),
+                        )),
                     },
-                    Some(Binding::Var(_)) => Err(LowerError::new(format!(
-                        "'{base}' is a scalar and cannot be indexed"
-                    ))),
-                    None => Err(LowerError::new(format!("unknown memory object '{base}'"))),
+                    Some(Binding::Var(_)) => Err(LowerError::code(
+                        codes::SEM_KIND_MISUSE,
+                        format!("'{base}' is a scalar and cannot be indexed"),
+                    )),
+                    None => Err(LowerError::code(
+                        codes::SEM_UNKNOWN_NAME,
+                        format!("unknown memory object '{base}'"),
+                    )),
                 }
             }
             Expr::Deref(name) => {
@@ -371,7 +415,10 @@ impl Lowerer<'_> {
                 let (stmts, yielded) = split_trailing_yield(body)?;
                 self.lower_block(stmts, &mut body_b)?;
                 let yielded = yielded.ok_or_else(|| {
-                    LowerError::new("reducing foreach body must end with 'yield expr;'")
+                    LowerError::code(
+                        codes::SEM_BAD_YIELD_RETURN,
+                        "reducing foreach body must end with 'yield expr;'",
+                    )
                 })?;
                 let (yv, _) = self.lower_expr(yielded, &mut body_b)?;
                 body_b.emit0(OpKind::Yield(vec![yv]));
@@ -420,12 +467,16 @@ impl Lowerer<'_> {
                 if allowed.contains(k) {
                     Ok((*val, *elem))
                 } else {
-                    Err(LowerError::new(format!(
-                        "iterator '{name}' of kind {k:?} does not support this operation"
-                    )))
+                    Err(LowerError::code(
+                        codes::SEM_KIND_MISUSE,
+                        format!("iterator '{name}' of kind {k:?} does not support this operation"),
+                    ))
                 }
             }
-            _ => Err(LowerError::new(format!("'{name}' is not an iterator"))),
+            _ => Err(LowerError::code(
+                codes::SEM_KIND_MISUSE,
+                format!("'{name}' is not an iterator"),
+            )),
         }
     }
 
@@ -450,9 +501,18 @@ impl Lowerer<'_> {
 
     fn lower_block(&mut self, stmts: &[Stmt], b: &mut RegionBuilder) -> Result<(), LowerError> {
         for (i, s) in stmts.iter().enumerate() {
-            let terminated = self.lower_stmt(s, b)?;
+            // Every value created while lowering this statement inherits
+            // its span (unless an inner statement pinned a finer one) —
+            // this is what lets MIR verification and dataflow lowering
+            // point back at source lines long after the AST is gone.
+            let first_new = self.func.value_count() as u32;
+            let terminated = self.lower_stmt(s, b).map_err(|e| e.or_span(s.span))?;
+            for v in first_new..self.func.value_count() as u32 {
+                self.func.spans.set_if_absent(Value(v), s.span);
+            }
             if terminated && i + 1 < stmts.len() {
-                return Err(LowerError::new("unreachable statements after exit/return"));
+                return Err(LowerError::new("unreachable statements after exit/return")
+                    .or_span(stmts[i + 1].span));
             }
         }
         Ok(())
@@ -461,8 +521,8 @@ impl Lowerer<'_> {
     /// Lowers one statement; returns true if it terminated the region.
     #[allow(clippy::too_many_lines)]
     fn lower_stmt(&mut self, s: &Stmt, b: &mut RegionBuilder) -> Result<bool, LowerError> {
-        match s {
-            Stmt::Decl { ty, name, init } => {
+        match &s.kind {
+            StmtKind::Decl { ty, name, init } => {
                 let (v, _) = match init {
                     Some(e) => self.lower_expr(e, b)?,
                     None => (b.const_i32(self.func, 0), TyName::U32),
@@ -472,7 +532,7 @@ impl Lowerer<'_> {
                 self.set_var(idx, name, v, *ty);
                 Ok(false)
             }
-            Stmt::Mem { name, decl } => {
+            StmtKind::Mem { name, decl } => {
                 let (kind, handle_kind, elem) = match decl {
                     MemDecl::Sram { ty, size } => (
                         OpKind::ViewNew {
@@ -490,10 +550,12 @@ impl Lowerer<'_> {
                         dram,
                         base,
                     } => {
-                        let d = *self
-                            .drams
-                            .get(dram)
-                            .ok_or_else(|| LowerError::new(format!("unknown dram '{dram}'")))?;
+                        let d = *self.drams.get(dram).ok_or_else(|| {
+                            LowerError::code(
+                                codes::SEM_UNKNOWN_NAME,
+                                format!("unknown dram '{dram}'"),
+                            )
+                        })?;
                         let ety = self.dram_tys[dram];
                         let (bv, _) = self.lower_expr(base, b)?;
                         (
@@ -517,10 +579,12 @@ impl Lowerer<'_> {
                         dram,
                         seek,
                     } => {
-                        let d = *self
-                            .drams
-                            .get(dram)
-                            .ok_or_else(|| LowerError::new(format!("unknown dram '{dram}'")))?;
+                        let d = *self.drams.get(dram).ok_or_else(|| {
+                            LowerError::code(
+                                codes::SEM_UNKNOWN_NAME,
+                                format!("unknown dram '{dram}'"),
+                            )
+                        })?;
                         let ety = self.dram_tys[dram];
                         let (sv, _) = self.lower_expr(seek, b)?;
                         (
@@ -552,14 +616,14 @@ impl Lowerer<'_> {
                 );
                 Ok(false)
             }
-            Stmt::Assign { name, value } => {
+            StmtKind::Assign { name, value } => {
                 let (v, _) = self.lower_expr(value, b)?;
                 let (idx, info) = self.lookup_var_for_assign(name)?;
                 let v = self.narrow_to(v, info.ty, b);
                 self.set_var(idx, name, v, info.ty);
                 Ok(false)
             }
-            Stmt::Store { base, idx, value } => {
+            StmtKind::Store { base, idx, value } => {
                 let (iv, _) = self.lower_expr(idx, b)?;
                 let (vv, _) = self.lower_expr(value, b)?;
                 if let Some(&dram) = self.drams.get(base) {
@@ -581,23 +645,28 @@ impl Lowerer<'_> {
                             });
                             Ok(false)
                         }
-                        HandleKind::View(ViewKindName::Read) => Err(LowerError::new(format!(
-                            "cannot write through read view '{base}'"
-                        ))),
-                        HandleKind::It(_) => Err(LowerError::new(format!(
-                            "cannot index-store through iterator '{base}'"
-                        ))),
+                        HandleKind::View(ViewKindName::Read) => Err(LowerError::code(
+                            codes::SEM_KIND_MISUSE,
+                            format!("cannot write through read view '{base}'"),
+                        )),
+                        HandleKind::It(_) => Err(LowerError::code(
+                            codes::SEM_KIND_MISUSE,
+                            format!("cannot index-store through iterator '{base}'"),
+                        )),
                     },
-                    _ => Err(LowerError::new(format!("unknown store target '{base}'"))),
+                    _ => Err(LowerError::code(
+                        codes::SEM_UNKNOWN_NAME,
+                        format!("unknown store target '{base}'"),
+                    )),
                 }
             }
-            Stmt::DerefStore { it, value } => {
+            StmtKind::DerefStore { it, value } => {
                 let (vv, _) = self.lower_expr(value, b)?;
                 let (val, _) = self.it_handle(it, &[ItKindName::Write, ItKindName::ManualWrite])?;
                 b.emit0(OpKind::ItWrite { it: val, val: vv });
                 Ok(false)
             }
-            Stmt::Inc { it, last } => {
+            StmtKind::Inc { it, last } => {
                 let lv = match last {
                     Some(e) => Some(self.lower_expr(e, b)?.0),
                     None => None,
@@ -614,7 +683,7 @@ impl Lowerer<'_> {
                 b.emit0(OpKind::ItInc { it: val, last: lv });
                 Ok(false)
             }
-            Stmt::If { cond, then, els } => {
+            StmtKind::If { cond, then, els } => {
                 let (cv, _) = self.lower_expr(cond, b)?;
                 let assigned = self.assigned_outer_vars(then.iter().chain(els.iter()));
                 // Lower both branches in child scopes.
@@ -667,7 +736,7 @@ impl Lowerer<'_> {
                 }
                 Ok(false)
             }
-            Stmt::While { cond, body } => {
+            StmtKind::While { cond, body } => {
                 let assigned = self.assigned_outer_vars(body.iter());
                 let inits: Vec<Value> = assigned
                     .iter()
@@ -732,7 +801,7 @@ impl Lowerer<'_> {
                 }
                 Ok(false)
             }
-            Stmt::Foreach {
+            StmtKind::Foreach {
                 count,
                 step,
                 ity,
@@ -769,7 +838,7 @@ impl Lowerer<'_> {
                 );
                 Ok(false)
             }
-            Stmt::Replicate { ways, body } => {
+            StmtKind::Replicate { ways, body } => {
                 let (body_stmts, _) = strip_pragmas(body, self.thread_count_hint);
                 let assigned = self.assigned_outer_vars(body_stmts.iter());
                 self.scopes.push(Scope::new(false));
@@ -804,7 +873,7 @@ impl Lowerer<'_> {
                 }
                 Ok(false)
             }
-            Stmt::Fork {
+            StmtKind::Fork {
                 count,
                 ity,
                 ivar,
@@ -846,24 +915,31 @@ impl Lowerer<'_> {
                 }
                 Ok(false)
             }
-            Stmt::Exit => {
+            StmtKind::Exit => {
                 b.emit0(OpKind::Exit);
                 Ok(true)
             }
-            Stmt::Yield(_) => Err(LowerError::new(
+            StmtKind::Yield(_) => Err(LowerError::code(
+                codes::SEM_BAD_YIELD_RETURN,
                 "'yield' is only allowed as the final statement of a reducing foreach",
             )),
-            Stmt::Return(e) => {
+            StmtKind::Return(e) => {
                 let vals = match e {
                     Some(e) => {
                         if self.ret == TyName::Void {
-                            return Err(LowerError::new("void function returns a value"));
+                            return Err(LowerError::code(
+                                codes::SEM_BAD_YIELD_RETURN,
+                                "void function returns a value",
+                            ));
                         }
                         vec![self.lower_expr(e, b)?.0]
                     }
                     None => {
                         if self.ret != TyName::Void {
-                            return Err(LowerError::new("non-void function returns nothing"));
+                            return Err(LowerError::code(
+                                codes::SEM_BAD_YIELD_RETURN,
+                                "non-void function returns nothing",
+                            ));
                         }
                         vec![]
                     }
@@ -871,7 +947,7 @@ impl Lowerer<'_> {
                 b.emit0(OpKind::Return(vals));
                 Ok(true)
             }
-            Stmt::Pragma { name, value } => {
+            StmtKind::Pragma { name, value } => {
                 if name == "threads" {
                     *self.thread_count_hint = value.map(|v| v as u32);
                     Ok(false)
@@ -881,17 +957,16 @@ impl Lowerer<'_> {
                     )))
                 }
             }
-            Stmt::Bulk {
+            StmtKind::Bulk {
                 sram,
                 load,
                 dram,
                 base,
                 len,
             } => {
-                let d = *self
-                    .drams
-                    .get(dram)
-                    .ok_or_else(|| LowerError::new(format!("unknown dram '{dram}'")))?;
+                let d = *self.drams.get(dram).ok_or_else(|| {
+                    LowerError::code(codes::SEM_UNKNOWN_NAME, format!("unknown dram '{dram}'"))
+                })?;
                 let (bv, _) = self.lower_expr(base, b)?;
                 let (lv, _) = self.lower_expr(len, b)?;
                 match self.lookup(sram).cloned() {
@@ -953,7 +1028,10 @@ impl Lowerer<'_> {
                         );
                         Ok(false)
                     }
-                    _ => Err(LowerError::new(format!("'{sram}' is not a raw SRAM"))),
+                    _ => Err(LowerError::code(
+                        codes::SEM_KIND_MISUSE,
+                        format!("'{sram}' is not a raw SRAM"),
+                    )),
                 }
             }
         }
@@ -978,12 +1056,12 @@ fn collect_assigned(s: &Stmt, declared: &mut HashSet<String>, out: &mut Vec<Stri
             out.push(n.clone());
         }
     };
-    match s {
-        Stmt::Decl { name, .. } | Stmt::Mem { name, .. } => {
+    match &s.kind {
+        StmtKind::Decl { name, .. } | StmtKind::Mem { name, .. } => {
             declared.insert(name.clone());
         }
-        Stmt::Assign { name, .. } => add(name, declared, out),
-        Stmt::If { then, els, .. } => {
+        StmtKind::Assign { name, .. } => add(name, declared, out),
+        StmtKind::If { then, els, .. } => {
             // Each branch has its own declaration scope.
             let mut d1 = declared.clone();
             for t in then {
@@ -994,13 +1072,13 @@ fn collect_assigned(s: &Stmt, declared: &mut HashSet<String>, out: &mut Vec<Stri
                 collect_assigned(t, &mut d2, out);
             }
         }
-        Stmt::While { body, .. } | Stmt::Replicate { body, .. } => {
+        StmtKind::While { body, .. } | StmtKind::Replicate { body, .. } => {
             let mut d = declared.clone();
             for t in body {
                 collect_assigned(t, &mut d, out);
             }
         }
-        Stmt::Fork { body, ivar, .. } => {
+        StmtKind::Fork { body, ivar, .. } => {
             let mut d = declared.clone();
             d.insert(ivar.clone());
             for t in body {
@@ -1008,15 +1086,15 @@ fn collect_assigned(s: &Stmt, declared: &mut HashSet<String>, out: &mut Vec<Stri
             }
         }
         // foreach bodies cannot assign parent variables (checked later).
-        Stmt::Foreach { .. } => {}
+        StmtKind::Foreach { .. } => {}
         _ => {}
     }
 }
 
 /// Splits a trailing `yield e;` from a statement list.
 fn split_trailing_yield(stmts: &[Stmt]) -> Result<(&[Stmt], Option<&Expr>), LowerError> {
-    match stmts.last() {
-        Some(Stmt::Yield(e)) => Ok((&stmts[..stmts.len() - 1], Some(e))),
+    match stmts.last().map(|s| &s.kind) {
+        Some(StmtKind::Yield(e)) => Ok((&stmts[..stmts.len() - 1], Some(e))),
         _ => Ok((stmts, None)),
     }
 }
@@ -1029,7 +1107,7 @@ fn strip_pragmas<'s>(
     let mut flags = ForeachFlags::default();
     let mut rest: Vec<Stmt> = Vec::with_capacity(stmts.len());
     for s in stmts {
-        if let Stmt::Pragma { name, value } = s {
+        if let StmtKind::Pragma { name, value } = &s.kind {
             match name.as_str() {
                 "eliminate_hierarchy" => {
                     flags.eliminate_hierarchy = true;

@@ -1,56 +1,65 @@
-//! Recursive-descent parser for the Revet language.
+//! Recursive-descent parser for the Revet language, with error recovery.
+//!
+//! The parser accumulates every syntax error into a
+//! [`Diagnostics`] sink instead of stopping at the first: a failed
+//! statement resynchronizes at the next `;` or the enclosing `}` (nested
+//! braces are skipped as a unit), a failed top-level item resynchronizes
+//! at the next plausible item start. One run therefore reports *all*
+//! independent syntax errors, each with a byte [`Span`] pointing at the
+//! offending token.
 
 use crate::ast::*;
-use crate::token::{lex, LexError, Spanned, Tok};
-use std::fmt;
+use crate::token::{lex, Spanned, Tok};
+use revet_diag::{codes, Diagnostic, Diagnostics, Span};
 
-/// A parse error with position info.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct ParseError {
-    /// Description.
-    pub message: String,
-    /// 1-based line.
-    pub line: u32,
-    /// 1-based column.
-    pub col: u32,
+/// Hard error budget: after this many diagnostics the parse is abandoned
+/// (prevents error avalanches on pathological input).
+const MAX_ERRORS: usize = 20;
+
+/// An internal parse failure; becomes a [`Diagnostic`] at the recovery
+/// boundary.
+#[derive(Clone, Debug)]
+struct ParseError {
+    code: &'static str,
+    message: String,
+    span: Span,
 }
 
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "parse error at {}:{}: {}",
-            self.line, self.col, self.message
-        )
+impl ParseError {
+    fn into_diagnostic(self) -> Diagnostic {
+        Diagnostic::error(self.code, self.message).with_span(self.span)
     }
 }
 
-impl std::error::Error for ParseError {}
-
-impl From<LexError> for ParseError {
-    fn from(e: LexError) -> Self {
-        ParseError {
-            message: e.message,
-            line: e.line,
-            col: e.col,
-        }
-    }
-}
+type PResult<T> = Result<T, ParseError>;
 
 /// Parses a complete program.
 ///
 /// # Errors
 ///
-/// Returns the first lex or parse error.
-pub fn parse_program(src: &str) -> Result<Program, ParseError> {
-    let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
-    p.program()
+/// Returns **all** lex and parse diagnostics found in one pass (parser
+/// recovery resynchronizes at `;` / `}` boundaries), each carrying a span.
+pub fn parse_program(src: &str) -> Result<Program, Diagnostics> {
+    let (toks, lex_diags) = lex(src);
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        diags: lex_diags.into_iter().collect(),
+    };
+    let prog = p.program();
+    if p.diags.has_errors() {
+        // Lexer and parser diagnostics interleave; report in source order.
+        p.diags.sort_by_span();
+        Err(p.diags)
+    } else {
+        Ok(prog)
+    }
 }
 
 struct Parser {
     toks: Vec<Spanned>,
     pos: usize,
+    diags: Diagnostics,
 }
 
 impl Parser {
@@ -62,6 +71,16 @@ impl Parser {
         &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
     }
 
+    /// Span of the token about to be consumed.
+    fn cur_span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    /// Span of the last consumed token (statement-end attribution).
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1)].span
+    }
+
     fn bump(&mut self) -> Tok {
         let t = self.toks[self.pos].tok.clone();
         if self.pos + 1 < self.toks.len() {
@@ -70,16 +89,36 @@ impl Parser {
         t
     }
 
-    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        let s = &self.toks[self.pos];
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        self.err_code(codes::PARSE_EXPECTED, msg)
+    }
+
+    fn err_code<T>(&self, code: &'static str, msg: impl Into<String>) -> PResult<T> {
         Err(ParseError {
+            code,
             message: msg.into(),
-            line: s.line,
-            col: s.col,
+            span: self.cur_span(),
         })
     }
 
-    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+    fn over_budget(&self) -> bool {
+        self.diags.len() >= MAX_ERRORS
+    }
+
+    fn report(&mut self, e: ParseError) {
+        self.diags.push(e.into_diagnostic());
+        if self.diags.len() == MAX_ERRORS {
+            self.diags.push(
+                Diagnostic::error(
+                    codes::PARSE_TOO_MANY_ERRORS,
+                    format!("too many errors ({MAX_ERRORS}); abandoning the parse"),
+                )
+                .with_span(self.cur_span()),
+            );
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> PResult<()> {
         match self.peek() {
             Tok::Punct(q) if *q == p => {
                 self.bump();
@@ -101,7 +140,7 @@ impl Parser {
         }
     }
 
-    fn expect_ident(&mut self) -> Result<String, ParseError> {
+    fn expect_ident(&mut self) -> PResult<String> {
         match self.peek().clone() {
             Tok::Ident(s) => {
                 self.bump();
@@ -111,7 +150,7 @@ impl Parser {
         }
     }
 
-    fn expect_int(&mut self) -> Result<i64, ParseError> {
+    fn expect_int(&mut self) -> PResult<i64> {
         match self.peek().clone() {
             Tok::Int(v) => {
                 self.bump();
@@ -134,45 +173,151 @@ impl Parser {
         }
     }
 
-    fn program(&mut self) -> Result<Program, ParseError> {
-        let mut prog = Program::default();
+    // ---- recovery ----
+
+    /// After a failed statement: skip to just past the next `;` at this
+    /// nesting depth, or stop before the enclosing `}` / end of input.
+    /// Nested `{ … }` groups are skipped whole.
+    fn recover_stmt(&mut self) {
+        let mut depth = 0usize;
         loop {
             match self.peek() {
-                Tok::Eof => break,
-                Tok::Ident(s) if s == "dram" => {
+                Tok::Eof => return,
+                Tok::Punct(";") if depth == 0 => {
                     self.bump();
-                    self.expect_punct("<")?;
-                    let tname = self.expect_ident()?;
-                    let ty = TyName::parse(&tname)
-                        .ok_or(())
-                        .or_else(|()| self.err(format!("unknown type '{tname}'")))?;
-                    self.expect_punct(">")?;
-                    let name = self.expect_ident()?;
-                    self.expect_punct(";")?;
-                    prog.drams.push(DramDeclAst { name, ty });
+                    return;
                 }
-                Tok::Ident(s) if TyName::parse(s).is_some() => {
-                    prog.funcs.push(self.func()?);
+                Tok::Punct("{") => {
+                    depth += 1;
+                    self.bump();
                 }
-                other => {
-                    let other = other.clone();
-                    return self.err(format!(
-                        "expected 'dram' declaration or function, found {other}"
-                    ));
+                Tok::Punct("}") => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
                 }
             }
         }
-        Ok(prog)
     }
 
-    fn ty(&mut self) -> Result<TyName, ParseError> {
+    /// After a failed top-level item: skip to the next plausible item
+    /// start (`dram`, a type name, or end of input), consuming any
+    /// intervening brace groups whole.
+    fn recover_item(&mut self) {
+        // Always make progress, even if the current token looks like an
+        // item start (it was part of the failed item).
+        if !matches!(self.peek(), Tok::Eof) {
+            if self.eat_punct("{") {
+                self.skip_brace_group();
+            } else {
+                self.bump();
+            }
+        }
+        loop {
+            match self.peek() {
+                Tok::Eof => return,
+                Tok::Ident(s) if s == "dram" || TyName::parse(s).is_some() => return,
+                Tok::Punct("{") => {
+                    self.bump();
+                    self.skip_brace_group();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Consumes tokens up to and including the `}` matching an already
+    /// consumed `{`.
+    fn skip_brace_group(&mut self) {
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.peek() {
+                Tok::Eof => return,
+                Tok::Punct("{") => depth += 1,
+                Tok::Punct("}") => depth -= 1,
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    // ---- items ----
+
+    fn program(&mut self) -> Program {
+        let mut prog = Program::default();
+        loop {
+            if self.over_budget() {
+                break;
+            }
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Ident(s) if s == "dram" => match self.dram_decl() {
+                    Ok(d) => prog.drams.push(d),
+                    Err(e) => {
+                        self.report(e);
+                        self.recover_item();
+                    }
+                },
+                Tok::Ident(s) if TyName::parse(s).is_some() => match self.func() {
+                    Ok(f) => prog.funcs.push(f),
+                    Err(e) => {
+                        self.report(e);
+                        self.recover_item();
+                    }
+                },
+                other => {
+                    let other = other.clone();
+                    let e = self
+                        .err_code::<()>(
+                            codes::PARSE_BAD_ITEM,
+                            format!("expected 'dram' declaration or function, found {other}"),
+                        )
+                        .unwrap_err();
+                    self.report(e);
+                    self.recover_item();
+                }
+            }
+        }
+        prog
+    }
+
+    fn dram_decl(&mut self) -> PResult<DramDeclAst> {
+        let start = self.cur_span().start;
+        self.bump(); // dram
+        self.expect_punct("<")?;
+        let ty = self.ty()?;
+        self.expect_punct(">")?;
         let name = self.expect_ident()?;
-        TyName::parse(&name)
-            .ok_or(())
-            .or_else(|()| self.err(format!("unknown type '{name}'")))
+        self.expect_punct(";")?;
+        Ok(DramDeclAst {
+            name,
+            ty,
+            span: Span::new(start, self.prev_span().end),
+        })
     }
 
-    fn func(&mut self) -> Result<FuncAst, ParseError> {
+    fn ty(&mut self) -> PResult<TyName> {
+        match self.peek().clone() {
+            Tok::Ident(name) => match TyName::parse(&name) {
+                Some(t) => {
+                    self.bump();
+                    Ok(t)
+                }
+                None => self.err_code(codes::PARSE_UNKNOWN_TYPE, format!("unknown type '{name}'")),
+            },
+            other => self.err(format!("expected type name, found {other}")),
+        }
+    }
+
+    fn func(&mut self) -> PResult<FuncAst> {
+        let start = self.cur_span().start;
         let ret = self.ty()?;
         let name = self.expect_ident()?;
         self.expect_punct("(")?;
@@ -188,33 +333,64 @@ impl Parser {
                 self.expect_punct(",")?;
             }
         }
+        let span = Span::new(start, self.prev_span().end);
         let body = self.block()?;
         Ok(FuncAst {
             name,
             ret,
             params,
             body,
+            span,
         })
     }
 
-    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+    // ---- statements ----
+
+    fn block(&mut self) -> PResult<Vec<Stmt>> {
         self.expect_punct("{")?;
-        let mut stmts = Vec::new();
-        while !self.eat_punct("}") {
-            stmts.push(self.stmt()?);
-        }
-        Ok(stmts)
+        self.stmt_seq()
     }
 
     /// A block followed by an optional semicolon (the paper writes `};`).
-    fn block_semi(&mut self) -> Result<Vec<Stmt>, ParseError> {
+    fn block_semi(&mut self) -> PResult<Vec<Stmt>> {
         let b = self.block()?;
         self.eat_punct(";");
         Ok(b)
     }
 
+    /// Parses statements until the closing `}` (consumed), recovering from
+    /// individual statement failures so every statement-level error in the
+    /// block is reported.
+    fn stmt_seq(&mut self) -> PResult<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        loop {
+            if self.eat_punct("}") {
+                return Ok(stmts);
+            }
+            if matches!(self.peek(), Tok::Eof) {
+                return self.err("expected '}', found end of input");
+            }
+            if self.over_budget() {
+                return Ok(stmts);
+            }
+            match self.stmt() {
+                Ok(s) => stmts.push(s),
+                Err(e) => {
+                    self.report(e);
+                    self.recover_stmt();
+                }
+            }
+        }
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let start = self.cur_span().start;
+        let kind = self.stmt_kind()?;
+        Ok(Stmt::new(kind, Span::new(start, self.prev_span().end)))
+    }
+
     #[allow(clippy::too_many_lines)]
-    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+    fn stmt_kind(&mut self) -> PResult<StmtKind> {
         // Control-flow keywords.
         if self.eat_kw("if") {
             self.expect_punct("(")?;
@@ -227,18 +403,18 @@ impl Parser {
                 self.eat_punct(";");
                 Vec::new()
             };
-            return Ok(Stmt::If { cond, then, els });
+            return Ok(StmtKind::If { cond, then, els });
         }
         if self.eat_kw("while") {
             self.expect_punct("(")?;
             let cond = self.expr()?;
             self.expect_punct(")")?;
             let body = self.block_semi()?;
-            return Ok(Stmt::While { cond, body });
+            return Ok(StmtKind::While { cond, body });
         }
         if self.eat_kw("foreach") {
             let (count, step, ity, ivar, body) = self.foreach_tail()?;
-            return Ok(Stmt::Foreach {
+            return Ok(StmtKind::Foreach {
                 count,
                 step,
                 ity,
@@ -251,7 +427,7 @@ impl Parser {
             let ways = self.expect_int()?;
             self.expect_punct(")")?;
             let body = self.block_semi()?;
-            return Ok(Stmt::Replicate {
+            return Ok(StmtKind::Replicate {
                 ways: ways as u32,
                 body,
             });
@@ -264,12 +440,9 @@ impl Parser {
             let ity = self.ty()?;
             let ivar = self.expect_ident()?;
             self.expect_punct("=>")?;
-            let mut body = Vec::new();
-            while !self.eat_punct("}") {
-                body.push(self.stmt()?);
-            }
+            let body = self.stmt_seq()?;
             self.eat_punct(";");
-            return Ok(Stmt::Fork {
+            return Ok(StmtKind::Fork {
                 count,
                 ity,
                 ivar,
@@ -278,20 +451,20 @@ impl Parser {
         }
         if self.eat_kw("exit") {
             self.expect_punct(";")?;
-            return Ok(Stmt::Exit);
+            return Ok(StmtKind::Exit);
         }
         if self.eat_kw("yield") {
             let e = self.expr()?;
             self.expect_punct(";")?;
-            return Ok(Stmt::Yield(e));
+            return Ok(StmtKind::Yield(e));
         }
         if self.eat_kw("return") {
             if self.eat_punct(";") {
-                return Ok(Stmt::Return(None));
+                return Ok(StmtKind::Return(None));
             }
             let e = self.expr()?;
             self.expect_punct(";")?;
-            return Ok(Stmt::Return(Some(e)));
+            return Ok(StmtKind::Return(Some(e)));
         }
         if self.eat_kw("pragma") {
             self.expect_punct("(")?;
@@ -303,7 +476,7 @@ impl Parser {
             };
             self.expect_punct(")")?;
             self.expect_punct(";")?;
-            return Ok(Stmt::Pragma { name, value });
+            return Ok(StmtKind::Pragma { name, value });
         }
         // Memory declarations.
         if self.is_kw("sram") {
@@ -315,7 +488,7 @@ impl Parser {
             self.expect_punct(">")?;
             let name = self.expect_ident()?;
             self.expect_punct(";")?;
-            return Ok(Stmt::Mem {
+            return Ok(StmtKind::Mem {
                 name,
                 decl: MemDecl::Sram { ty, size },
             });
@@ -337,7 +510,7 @@ impl Parser {
                 let base = self.expr()?;
                 self.expect_punct(")")?;
                 self.expect_punct(";")?;
-                return Ok(Stmt::Mem {
+                return Ok(StmtKind::Mem {
                     name,
                     decl: MemDecl::View {
                         kind,
@@ -366,7 +539,7 @@ impl Parser {
                 let seek = self.expr()?;
                 self.expect_punct(")")?;
                 self.expect_punct(";")?;
-                return Ok(Stmt::Mem {
+                return Ok(StmtKind::Mem {
                     name,
                     decl: MemDecl::It {
                         kind,
@@ -383,7 +556,7 @@ impl Parser {
             self.expect_punct("=")?;
             let value = self.expr()?;
             self.expect_punct(";")?;
-            return Ok(Stmt::DerefStore { it, value });
+            return Ok(StmtKind::DerefStore { it, value });
         }
         // Typed declaration: `ty name [= init];` (possibly foreach-reduce).
         if let Tok::Ident(s) = self.peek() {
@@ -396,7 +569,7 @@ impl Parser {
                     None
                 };
                 self.expect_punct(";")?;
-                return Ok(Stmt::Decl { ty, name, init });
+                return Ok(StmtKind::Decl { ty, name, init });
             }
         }
         // Assignment / compound assignment / store / increment.
@@ -415,7 +588,7 @@ impl Parser {
                     let len = self.expr()?;
                     self.expect_punct(")")?;
                     self.expect_punct(";")?;
-                    return Ok(Stmt::Bulk {
+                    return Ok(StmtKind::Bulk {
                         sram: name,
                         load: method == "load",
                         dram,
@@ -428,7 +601,7 @@ impl Parser {
                     let last = self.expr()?;
                     self.expect_punct(")")?;
                     self.expect_punct(";")?;
-                    return Ok(Stmt::Inc {
+                    return Ok(StmtKind::Inc {
                         it: name,
                         last: Some(last),
                     });
@@ -438,7 +611,7 @@ impl Parser {
         }
         if self.eat_punct("++") {
             self.expect_punct(";")?;
-            return Ok(Stmt::Inc {
+            return Ok(StmtKind::Inc {
                 it: name,
                 last: None,
             });
@@ -461,7 +634,7 @@ impl Parser {
                     let rhs = self.expr()?;
                     self.expect_punct(";")?;
                     let cur = Expr::Index(name.clone(), Box::new(idx.clone()));
-                    return Ok(Stmt::Store {
+                    return Ok(StmtKind::Store {
                         base: name,
                         idx,
                         value: Expr::Bin(op, Box::new(cur), Box::new(rhs)),
@@ -471,7 +644,7 @@ impl Parser {
             self.expect_punct("=")?;
             let value = self.expr()?;
             self.expect_punct(";")?;
-            return Ok(Stmt::Store {
+            return Ok(StmtKind::Store {
                 base: name,
                 idx,
                 value,
@@ -492,7 +665,7 @@ impl Parser {
             if self.eat_punct(tok) {
                 let rhs = self.expr()?;
                 self.expect_punct(";")?;
-                return Ok(Stmt::Assign {
+                return Ok(StmtKind::Assign {
                     name: name.clone(),
                     value: Expr::Bin(op, Box::new(Expr::Var(name)), Box::new(rhs)),
                 });
@@ -501,11 +674,11 @@ impl Parser {
         self.expect_punct("=")?;
         let value = self.expr()?;
         self.expect_punct(";")?;
-        Ok(Stmt::Assign { name, value })
+        Ok(StmtKind::Assign { name, value })
     }
 
     /// Initializer expression: ordinary expression or foreach-reduce.
-    fn init_expr(&mut self) -> Result<Expr, ParseError> {
+    fn init_expr(&mut self) -> PResult<Expr> {
         if self.eat_kw("foreach") {
             let (count, step, op, ity, ivar, body) = self.foreach_reduce_tail()?;
             return Ok(Expr::ForeachReduce {
@@ -521,9 +694,7 @@ impl Parser {
     }
 
     /// After `foreach`: `(count [by step]) { ty i => stmts }`.
-    fn foreach_tail(
-        &mut self,
-    ) -> Result<(Expr, Option<Expr>, TyName, String, Vec<Stmt>), ParseError> {
+    fn foreach_tail(&mut self) -> PResult<(Expr, Option<Expr>, TyName, String, Vec<Stmt>)> {
         self.expect_punct("(")?;
         let count = self.expr()?;
         let step = if self.eat_kw("by") {
@@ -536,10 +707,7 @@ impl Parser {
         let ity = self.ty()?;
         let ivar = self.expect_ident()?;
         self.expect_punct("=>")?;
-        let mut body = Vec::new();
-        while !self.eat_punct("}") {
-            body.push(self.stmt()?);
-        }
+        let body = self.stmt_seq()?;
         self.eat_punct(";");
         Ok((count, step, ity, ivar, body))
     }
@@ -548,7 +716,7 @@ impl Parser {
     /// `(count [by step]) reduce(op) { ty i => stmts }`.
     fn foreach_reduce_tail(
         &mut self,
-    ) -> Result<(Expr, Option<Expr>, ReduceOp, TyName, String, Vec<Stmt>), ParseError> {
+    ) -> PResult<(Expr, Option<Expr>, ReduceOp, TyName, String, Vec<Stmt>)> {
         self.expect_punct("(")?;
         let count = self.expr()?;
         let step = if self.eat_kw("by") {
@@ -561,7 +729,7 @@ impl Parser {
             return self.err("foreach in expression position needs 'reduce(op)'");
         }
         self.expect_punct("(")?;
-        let op = match self.bump() {
+        let op = match self.peek().clone() {
             Tok::Punct("+") => ReduceOp::Add,
             Tok::Punct("*") => ReduceOp::Mul,
             Tok::Punct("&") => ReduceOp::And,
@@ -571,25 +739,23 @@ impl Parser {
             Tok::Ident(s) if s == "max" => ReduceOp::Max,
             other => return self.err(format!("unknown reduction operator {other}")),
         };
+        self.bump();
         self.expect_punct(")")?;
         self.expect_punct("{")?;
         let ity = self.ty()?;
         let ivar = self.expect_ident()?;
         self.expect_punct("=>")?;
-        let mut body = Vec::new();
-        while !self.eat_punct("}") {
-            body.push(self.stmt()?);
-        }
+        let body = self.stmt_seq()?;
         Ok((count, step, op, ity, ivar, body))
     }
 
     // ---- expressions (precedence climbing) ----
 
-    fn expr(&mut self) -> Result<Expr, ParseError> {
+    fn expr(&mut self) -> PResult<Expr> {
         self.lor()
     }
 
-    fn lor(&mut self) -> Result<Expr, ParseError> {
+    fn lor(&mut self) -> PResult<Expr> {
         let mut e = self.land()?;
         while self.eat_punct("||") {
             let r = self.land()?;
@@ -598,7 +764,7 @@ impl Parser {
         Ok(e)
     }
 
-    fn land(&mut self) -> Result<Expr, ParseError> {
+    fn land(&mut self) -> PResult<Expr> {
         let mut e = self.bitor()?;
         while self.eat_punct("&&") {
             let r = self.bitor()?;
@@ -607,7 +773,7 @@ impl Parser {
         Ok(e)
     }
 
-    fn bitor(&mut self) -> Result<Expr, ParseError> {
+    fn bitor(&mut self) -> PResult<Expr> {
         let mut e = self.bitxor()?;
         while self.eat_punct("|") {
             let r = self.bitxor()?;
@@ -616,7 +782,7 @@ impl Parser {
         Ok(e)
     }
 
-    fn bitxor(&mut self) -> Result<Expr, ParseError> {
+    fn bitxor(&mut self) -> PResult<Expr> {
         let mut e = self.bitand()?;
         while self.eat_punct("^") {
             let r = self.bitand()?;
@@ -625,7 +791,7 @@ impl Parser {
         Ok(e)
     }
 
-    fn bitand(&mut self) -> Result<Expr, ParseError> {
+    fn bitand(&mut self) -> PResult<Expr> {
         let mut e = self.equality()?;
         while self.eat_punct("&") {
             let r = self.equality()?;
@@ -634,7 +800,7 @@ impl Parser {
         Ok(e)
     }
 
-    fn equality(&mut self) -> Result<Expr, ParseError> {
+    fn equality(&mut self) -> PResult<Expr> {
         let mut e = self.relational()?;
         loop {
             if self.eat_punct("==") {
@@ -649,7 +815,7 @@ impl Parser {
         }
     }
 
-    fn relational(&mut self) -> Result<Expr, ParseError> {
+    fn relational(&mut self) -> PResult<Expr> {
         let mut e = self.shift()?;
         loop {
             let op = if self.eat_punct("<=") {
@@ -668,7 +834,7 @@ impl Parser {
         }
     }
 
-    fn shift(&mut self) -> Result<Expr, ParseError> {
+    fn shift(&mut self) -> PResult<Expr> {
         let mut e = self.additive()?;
         loop {
             if self.eat_punct("<<") {
@@ -683,7 +849,7 @@ impl Parser {
         }
     }
 
-    fn additive(&mut self) -> Result<Expr, ParseError> {
+    fn additive(&mut self) -> PResult<Expr> {
         let mut e = self.multiplicative()?;
         loop {
             if self.eat_punct("+") {
@@ -698,7 +864,7 @@ impl Parser {
         }
     }
 
-    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+    fn multiplicative(&mut self) -> PResult<Expr> {
         let mut e = self.unary()?;
         loop {
             if self.eat_punct("*") {
@@ -716,7 +882,7 @@ impl Parser {
         }
     }
 
-    fn unary(&mut self) -> Result<Expr, ParseError> {
+    fn unary(&mut self) -> PResult<Expr> {
         if self.eat_punct("-") {
             let e = self.unary()?;
             return Ok(Expr::Un(UnOp::Neg, Box::new(e)));
@@ -753,7 +919,7 @@ impl Parser {
         self.postfix()
     }
 
-    fn postfix(&mut self) -> Result<Expr, ParseError> {
+    fn postfix(&mut self) -> PResult<Expr> {
         if self.eat_punct("(") {
             let e = self.expr()?;
             self.expect_punct(")")?;
@@ -785,7 +951,10 @@ impl Parser {
                 }
                 Ok(Expr::Var(name))
             }
-            other => self.err(format!("expected expression, found {other}")),
+            other => self.err_code(
+                codes::PARSE_EXPECTED_EXPR,
+                format!("expected expression, found {other}"),
+            ),
         }
     }
 }
@@ -793,6 +962,7 @@ impl Parser {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use revet_diag::SourceMap;
 
     #[test]
     fn parses_minimal_program() {
@@ -803,7 +973,7 @@ mod tests {
         assert_eq!(p.drams.len(), 1);
         assert_eq!(p.funcs.len(), 1);
         assert_eq!(p.funcs[0].name, "main");
-        assert!(matches!(p.funcs[0].body[0], Stmt::Foreach { .. }));
+        assert!(matches!(p.funcs[0].body[0].kind, StmtKind::Foreach { .. }));
     }
 
     #[test]
@@ -834,17 +1004,17 @@ mod tests {
         let p = parse_program(src).unwrap();
         assert_eq!(p.drams.len(), 3);
         let f = &p.funcs[0];
-        let Stmt::Foreach { body, step, .. } = &f.body[0] else {
+        let StmtKind::Foreach { body, step, .. } = &f.body[0].kind else {
             panic!("expected foreach");
         };
         assert!(step.is_some());
-        assert!(matches!(body[0], Stmt::Mem { .. }));
+        assert!(matches!(body[0].kind, StmtKind::Mem { .. }));
     }
 
     #[test]
     fn precedence() {
         let p = parse_program("void main() { u32 x = 1 + 2 * 3 == 7; }").unwrap();
-        let Stmt::Decl { init: Some(e), .. } = &p.funcs[0].body[0] else {
+        let StmtKind::Decl { init: Some(e), .. } = &p.funcs[0].body[0].kind else {
             panic!()
         };
         // (1 + (2*3)) == 7
@@ -857,7 +1027,7 @@ mod tests {
             "void main() { u32 m = foreach (15) reduce(&) { u32 lane => yield lane; }; }",
         )
         .unwrap();
-        let Stmt::Decl { init: Some(e), .. } = &p.funcs[0].body[0] else {
+        let StmtKind::Decl { init: Some(e), .. } = &p.funcs[0].body[0].kind else {
             panic!()
         };
         assert!(matches!(
@@ -875,10 +1045,10 @@ mod tests {
             "void main() { fork (3) { u32 i => if (i) { exit; }; }; pragma(threads, 64); }",
         )
         .unwrap();
-        assert!(matches!(p.funcs[0].body[0], Stmt::Fork { .. }));
+        assert!(matches!(p.funcs[0].body[0].kind, StmtKind::Fork { .. }));
         assert!(matches!(
-            p.funcs[0].body[1],
-            Stmt::Pragma {
+            p.funcs[0].body[1].kind,
+            StmtKind::Pragma {
                 value: Some(64),
                 ..
             }
@@ -899,11 +1069,11 @@ mod tests {
         )
         .unwrap();
         let b = &p.funcs[0].body;
-        assert!(matches!(b[1], Stmt::DerefStore { .. }));
-        assert!(matches!(b[2], Stmt::Inc { last: Some(_), .. }));
+        assert!(matches!(b[1].kind, StmtKind::DerefStore { .. }));
+        assert!(matches!(b[2].kind, StmtKind::Inc { last: Some(_), .. }));
         assert!(matches!(
-            b[4],
-            Stmt::Decl {
+            b[4].kind,
+            StmtKind::Decl {
                 init: Some(Expr::Peek(..)),
                 ..
             }
@@ -913,7 +1083,7 @@ mod tests {
     #[test]
     fn compound_assignment_desugars() {
         let p = parse_program("void main() { u32 x = 0; x += 2; }").unwrap();
-        let Stmt::Assign { value, .. } = &p.funcs[0].body[1] else {
+        let StmtKind::Assign { value, .. } = &p.funcs[0].body[1].kind else {
             panic!()
         };
         assert!(matches!(value, Expr::Bin(BinOp::Add, ..)));
@@ -925,21 +1095,83 @@ mod tests {
             "dram<u32> d; void main() { sram<u32, 16> buf; buf.load(d, 0, 16); buf.store(d, 0, 16); }",
         )
         .unwrap();
-        assert!(matches!(p.funcs[0].body[1], Stmt::Bulk { load: true, .. }));
-        assert!(matches!(p.funcs[0].body[2], Stmt::Bulk { load: false, .. }));
+        assert!(matches!(
+            p.funcs[0].body[1].kind,
+            StmtKind::Bulk { load: true, .. }
+        ));
+        assert!(matches!(
+            p.funcs[0].body[2].kind,
+            StmtKind::Bulk { load: false, .. }
+        ));
     }
 
     #[test]
-    fn errors_have_positions() {
-        let e = parse_program("void main() {\n  u32 x = ;\n}").unwrap_err();
-        assert_eq!(e.line, 2);
-        assert!(!e.message.is_empty());
+    fn errors_have_spans() {
+        let src = "void main() {\n  u32 x = ;\n}";
+        let diags = parse_program(src).unwrap_err();
+        assert_eq!(diags.error_count(), 1);
+        let d = &diags.as_slice()[0];
+        assert_eq!(d.code, codes::PARSE_EXPECTED_EXPR);
+        let lc = SourceMap::new(src).line_col(d.span.expect("spanned").start);
+        assert_eq!((lc.line, lc.col), (2, 11));
+    }
+
+    #[test]
+    fn recovery_reports_multiple_statement_errors() {
+        // Two independent bad statements; the good one between them parses.
+        let src = "void main() {\n  u32 x = ;\n  u32 y = 1;\n  y = @ 2;\n}";
+        let diags = parse_program(src).unwrap_err();
+        assert_eq!(diags.error_count(), 2, "{diags}");
+        let map = SourceMap::new(src);
+        let lines: Vec<u32> = diags
+            .iter()
+            .map(|d| map.line_col(d.span.expect("spanned").start).line)
+            .collect();
+        assert_eq!(lines, vec![2, 4]);
+    }
+
+    #[test]
+    fn recovery_crosses_functions() {
+        // A broken function does not hide errors in the next one.
+        let src = "void f() { u32 a = ; }\nvoid g() { return 3 }";
+        let diags = parse_program(src).unwrap_err();
+        assert_eq!(diags.error_count(), 2, "{diags}");
+    }
+
+    #[test]
+    fn statement_spans_cover_the_text() {
+        let src = "void main() { u32 x = 1 + 2; }";
+        let p = parse_program(src).unwrap();
+        let s = &p.funcs[0].body[0];
+        assert_eq!(
+            &src[s.span.start as usize..s.span.end as usize],
+            "u32 x = 1 + 2;"
+        );
+        assert_eq!(
+            &src[p.funcs[0].span.start as usize..p.funcs[0].span.end as usize],
+            "void main()"
+        );
+    }
+
+    #[test]
+    fn error_budget_caps_the_avalanche() {
+        let bad = "void main() { ".to_string() + &"u32 x = ;\n".repeat(100) + "}";
+        let diags = parse_program(&bad).unwrap_err();
+        assert!(diags.len() <= MAX_ERRORS + 1, "{}", diags.len());
+        assert!(diags.iter().any(|d| d.code == codes::PARSE_TOO_MANY_ERRORS));
+    }
+
+    #[test]
+    fn unclosed_block_is_a_single_clean_error() {
+        let diags = parse_program("void main() { u32 x = 1;").unwrap_err();
+        assert_eq!(diags.error_count(), 1, "{diags}");
+        assert!(diags.as_slice()[0].message.contains("end of input"));
     }
 
     #[test]
     fn cast_expression() {
         let p = parse_program("void main() { u32 x = (u8) 300; }").unwrap();
-        let Stmt::Decl { init: Some(e), .. } = &p.funcs[0].body[0] else {
+        let StmtKind::Decl { init: Some(e), .. } = &p.funcs[0].body[0].kind else {
             panic!()
         };
         assert!(matches!(e, Expr::Cast(TyName::U8, _)));

@@ -3,7 +3,13 @@
 //! The surface language is a small C-like imperative language (§IV) with
 //! explicit parallel constructs (`foreach`, `replicate`, `fork`, `exit`) and
 //! access-pattern-optimized memory declarations (Table I).
+//!
+//! Tokens carry **byte spans** into the source; line/column pairs are
+//! resolved lazily through a [`revet_diag::SourceMap`] at render time. The
+//! lexer *recovers* from bad input — it reports a [`Diagnostic`] per
+//! problem and keeps scanning, so one run surfaces every lexical error.
 
+use revet_diag::{codes, Diagnostic, Span};
 use std::fmt;
 
 /// A lexical token.
@@ -30,35 +36,14 @@ impl fmt::Display for Tok {
     }
 }
 
-/// A token with its source position.
+/// A token with its source span.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Spanned {
     /// The token.
     pub tok: Tok,
-    /// 1-based line.
-    pub line: u32,
-    /// 1-based column.
-    pub col: u32,
+    /// Byte range in the source.
+    pub span: Span,
 }
-
-/// A lexing error.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct LexError {
-    /// Description.
-    pub message: String,
-    /// 1-based line.
-    pub line: u32,
-    /// 1-based column.
-    pub col: u32,
-}
-
-impl fmt::Display for LexError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: {}", self.line, self.col, self.message)
-    }
-}
-
-impl std::error::Error for LexError {}
 
 /// Multi-character operators, longest first (order matters).
 const PUNCTS: &[&str] = &[
@@ -69,32 +54,19 @@ const PUNCTS: &[&str] = &[
 
 /// Tokenizes Revet source.
 ///
-/// # Errors
-///
-/// Returns [`LexError`] for unterminated char literals, bad escapes, or
-/// unexpected characters.
-pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+/// Always returns the token stream (terminated by [`Tok::Eof`]) plus any
+/// lexical diagnostics. Malformed input is skipped, not fatal: an
+/// unexpected character yields one diagnostic and scanning continues, so
+/// the parser still sees everything after it.
+pub fn lex(src: &str) -> (Vec<Spanned>, Vec<Diagnostic>) {
     let bytes = src.as_bytes();
     let mut out = Vec::new();
+    let mut diags = Vec::new();
     let mut i = 0usize;
-    let mut line = 1u32;
-    let mut col = 1u32;
-    let err = |m: String, line: u32, col: u32| LexError {
-        message: m,
-        line,
-        col,
-    };
     'outer: while i < bytes.len() {
         let c = bytes[i] as char;
-        if c == '\n' {
-            i += 1;
-            line += 1;
-            col = 1;
-            continue;
-        }
         if c.is_ascii_whitespace() {
             i += 1;
-            col += 1;
             continue;
         }
         // Comments.
@@ -106,142 +78,176 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 continue;
             }
             if bytes[i + 1] == b'*' {
+                let open = i;
                 i += 2;
-                col += 2;
                 while i + 1 < bytes.len() {
                     if bytes[i] == b'*' && bytes[i + 1] == b'/' {
                         i += 2;
-                        col += 2;
                         continue 'outer;
-                    }
-                    if bytes[i] == b'\n' {
-                        line += 1;
-                        col = 1;
-                    } else {
-                        col += 1;
                     }
                     i += 1;
                 }
-                return Err(err("unterminated block comment".into(), line, col));
+                diags.push(
+                    Diagnostic::error(codes::LEX_UNTERMINATED, "unterminated block comment")
+                        .with_span(Span::new(open as u32, (open + 2) as u32)),
+                );
+                break;
             }
         }
-        let start_col = col;
+        let start = i;
         // Identifiers / keywords.
         if c.is_ascii_alphabetic() || c == '_' {
-            let s = i;
             while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                 i += 1;
-                col += 1;
             }
             out.push(Spanned {
-                tok: Tok::Ident(src[s..i].to_string()),
-                line,
-                col: start_col,
+                tok: Tok::Ident(src[start..i].to_string()),
+                span: Span::new(start as u32, i as u32),
             });
             continue;
         }
         // Numbers.
         if c.is_ascii_digit() {
-            let s = i;
             let radix = if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] | 32) == b'x' {
                 i += 2;
-                col += 2;
                 16
             } else {
                 10
             };
             while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                 i += 1;
-                col += 1;
             }
-            let text = src[s..i].replace('_', "");
+            let span = Span::new(start as u32, i as u32);
+            let text = src[start..i].replace('_', "");
             let digits = if radix == 16 { &text[2..] } else { &text[..] };
-            let v = i64::from_str_radix(digits, radix).map_err(|e| {
-                err(
-                    format!("bad integer literal '{text}': {e}"),
-                    line,
-                    start_col,
-                )
-            })?;
-            out.push(Spanned {
-                tok: Tok::Int(v),
-                line,
-                col: start_col,
-            });
+            match i64::from_str_radix(digits, radix) {
+                Ok(v) => out.push(Spanned {
+                    tok: Tok::Int(v),
+                    span,
+                }),
+                Err(e) => diags.push(
+                    Diagnostic::error(
+                        codes::LEX_BAD_LITERAL,
+                        format!("bad integer literal '{text}': {e}"),
+                    )
+                    .with_span(span),
+                ),
+            }
             continue;
         }
         // Char literals.
         if c == '\'' {
-            let mut j = i + 1;
-            let v: u8 = if j < bytes.len() && bytes[j] == b'\\' {
-                j += 1;
-                let e = *bytes
-                    .get(j)
-                    .ok_or_else(|| err("unterminated char literal".into(), line, start_col))?;
-                j += 1;
-                match e {
-                    b'n' => b'\n',
-                    b't' => b'\t',
-                    b'r' => b'\r',
-                    b'0' => 0,
-                    b'\\' => b'\\',
-                    b'\'' => b'\'',
-                    other => {
-                        return Err(err(
-                            format!("unknown escape '\\{}'", other as char),
-                            line,
-                            start_col,
-                        ))
-                    }
+            match lex_char(bytes, start) {
+                Ok((v, next)) => {
+                    out.push(Spanned {
+                        tok: Tok::Int(v as i64),
+                        span: Span::new(start as u32, next as u32),
+                    });
+                    i = next;
                 }
-            } else if j < bytes.len() {
-                let v = bytes[j];
-                j += 1;
-                v
-            } else {
-                return Err(err("unterminated char literal".into(), line, start_col));
-            };
-            if j >= bytes.len() || bytes[j] != b'\'' {
-                return Err(err("unterminated char literal".into(), line, start_col));
+                Err((d, next)) => {
+                    diags.push(d);
+                    i = next;
+                }
             }
-            col += (j + 1 - i) as u32;
-            i = j + 1;
-            out.push(Spanned {
-                tok: Tok::Int(v as i64),
-                line,
-                col: start_col,
-            });
             continue;
         }
         // Operators.
         for p in PUNCTS {
             if src[i..].starts_with(p) {
+                i += p.len();
                 out.push(Spanned {
                     tok: Tok::Punct(p),
-                    line,
-                    col: start_col,
+                    span: Span::new(start as u32, i as u32),
                 });
-                i += p.len();
-                col += p.len() as u32;
                 continue 'outer;
             }
         }
-        return Err(err(format!("unexpected character '{c}'"), line, col));
+        // Nothing matched: report the (full, possibly multi-byte) char and
+        // keep scanning after it.
+        let ch = src[i..].chars().next().expect("in bounds");
+        let w = ch.len_utf8();
+        diags.push(
+            Diagnostic::error(
+                codes::LEX_UNEXPECTED_CHAR,
+                format!("unexpected character '{ch}'"),
+            )
+            .with_span(Span::new(start as u32, (start + w) as u32)),
+        );
+        i += w;
     }
     out.push(Spanned {
         tok: Tok::Eof,
-        line,
-        col,
+        span: Span::point(src.len() as u32),
     });
-    Ok(out)
+    (out, diags)
+}
+
+/// Scans one char literal starting at the opening quote. Returns the value
+/// and the index past the closing quote, or a diagnostic and a resync
+/// index.
+fn lex_char(bytes: &[u8], start: usize) -> Result<(u8, usize), (Diagnostic, usize)> {
+    let unterminated = |end: usize| {
+        (
+            Diagnostic::error(codes::LEX_UNTERMINATED, "unterminated char literal")
+                .with_span(Span::new(start as u32, end as u32)),
+            end,
+        )
+    };
+    let mut j = start + 1;
+    let v: u8 = if j < bytes.len() && bytes[j] == b'\\' {
+        j += 1;
+        let Some(&e) = bytes.get(j) else {
+            return Err(unterminated(j));
+        };
+        j += 1;
+        match e {
+            b'n' => b'\n',
+            b't' => b'\t',
+            b'r' => b'\r',
+            b'0' => 0,
+            b'\\' => b'\\',
+            b'\'' => b'\'',
+            other => {
+                // Skip the closing quote too when it is present, so one bad
+                // escape doesn't cascade into "unexpected '''".
+                let end = if bytes.get(j) == Some(&b'\'') {
+                    j + 1
+                } else {
+                    j
+                };
+                return Err((
+                    Diagnostic::error(
+                        codes::LEX_BAD_LITERAL,
+                        format!("unknown escape '\\{}'", other as char),
+                    )
+                    .with_span(Span::new(start as u32, end as u32)),
+                    end,
+                ));
+            }
+        }
+    } else if j < bytes.len() {
+        let v = bytes[j];
+        j += 1;
+        v
+    } else {
+        return Err(unterminated(j));
+    };
+    if j >= bytes.len() || bytes[j] != b'\'' {
+        return Err(unterminated(j));
+    }
+    Ok((v, j + 1))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use revet_diag::SourceMap;
 
     fn toks(src: &str) -> Vec<Tok> {
-        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+        let (ts, diags) = lex(src);
+        assert!(diags.is_empty(), "{diags:?}");
+        ts.into_iter().map(|s| s.tok).collect()
     }
 
     #[test]
@@ -293,16 +299,54 @@ mod tests {
     }
 
     #[test]
-    fn positions_tracked() {
-        let ts = lex("a\n  b").unwrap();
-        assert_eq!((ts[0].line, ts[0].col), (1, 1));
-        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    fn spans_resolve_to_positions() {
+        let (ts, diags) = lex("a\n  b");
+        assert!(diags.is_empty());
+        let map = SourceMap::new("a\n  b");
+        let lc0 = map.line_col(ts[0].span.start);
+        let lc1 = map.line_col(ts[1].span.start);
+        assert_eq!((lc0.line, lc0.col), (1, 1));
+        assert_eq!((lc1.line, lc1.col), (2, 3));
+        // Eof is a point span at the end of input.
+        assert_eq!(ts.last().unwrap().span, Span::point(5));
     }
 
     #[test]
-    fn lex_errors() {
-        assert!(lex("@").is_err());
-        assert!(lex("'x").is_err());
-        assert!(lex("/* unterminated").is_err());
+    fn lex_errors_are_spanned_diagnostics() {
+        let (_, d) = lex("@");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, codes::LEX_UNEXPECTED_CHAR);
+        assert_eq!(d[0].span, Some(Span::new(0, 1)));
+        let (_, d) = lex("'x");
+        assert_eq!(d[0].code, codes::LEX_UNTERMINATED);
+        let (_, d) = lex("/* unterminated");
+        assert_eq!(d[0].code, codes::LEX_UNTERMINATED);
+    }
+
+    #[test]
+    fn lexer_recovers_and_reports_every_error() {
+        // Two independent bad characters; the tokens between them survive.
+        let (ts, d) = lex("a @ b $ c");
+        assert_eq!(d.len(), 2);
+        assert_eq!(
+            ts.iter().map(|s| &s.tok).cloned().collect::<Vec<_>>(),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+        // Spans point at the two offenders.
+        assert_eq!(d[0].span, Some(Span::new(2, 3)));
+        assert_eq!(d[1].span, Some(Span::new(6, 7)));
+    }
+
+    #[test]
+    fn non_ascii_reported_as_one_char() {
+        let (_, d) = lex("λ");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].span, Some(Span::new(0, 2)));
+        assert!(d[0].message.contains('λ'));
     }
 }

@@ -236,7 +236,14 @@ fn read_only_parent_vars_rejected() {
         }
     "#;
     let err = compile_to_mir(src).unwrap_err();
-    assert!(err.contains("read-only"), "got: {err}");
+    assert!(err.to_string().contains("read-only"), "got: {err}");
+    // The diagnostic is structured: coded and spanned at the offending
+    // statement.
+    let d = &err.as_slice()[0];
+    assert_eq!(d.code, revet_diag::codes::SEM_READONLY_ASSIGN);
+    let map = revet_diag::SourceMap::new(src);
+    let lc = map.line_col(d.span.expect("spanned").start);
+    assert_eq!(lc.line, 5, "span should point at the assignment");
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! Modules, functions, and the building API.
 
 use crate::ops::{Op, OpKind, Region, Value};
+use crate::spans::SpanTable;
 use crate::types::{DramDecl, DramRef, Ty};
 
 /// An on-chip SRAM region declaration (instantiated in a
@@ -103,6 +104,9 @@ pub struct Func {
     pub results: Vec<Ty>,
     /// Body (terminated by `Return`).
     pub body: Region,
+    /// Source attribution: per-value spans recorded by the front end (see
+    /// [`SpanTable`]); empty for hand-built modules.
+    pub spans: SpanTable,
     vals: Vec<Ty>,
 }
 
@@ -114,6 +118,7 @@ impl Func {
             params: Vec::new(),
             results,
             body: Region::default(),
+            spans: SpanTable::new(),
             vals: Vec::new(),
         };
         for &ty in param_tys {

@@ -44,6 +44,7 @@ mod func;
 mod interp;
 mod ops;
 mod print;
+mod spans;
 mod types;
 mod verify;
 
@@ -51,5 +52,6 @@ pub use func::{AllocDecl, Func, Module, RegionBuilder, SramDecl};
 pub use interp::{Interp, InterpError};
 pub use ops::{AluOp, ForeachFlags, ItKind, Op, OpKind, Region, Value, ViewKind};
 pub use print::{print_func, print_module};
+pub use spans::SpanTable;
 pub use types::{DramDecl, DramLayout, DramRef, Ty};
 pub use verify::{verify_func, verify_module, VerifyError};

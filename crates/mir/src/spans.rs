@@ -1,0 +1,104 @@
+//! Per-op source spans, kept as a side-table beside each function.
+//!
+//! Ops themselves stay span-free (passes clone and rebuild them freely);
+//! instead the front end records, per SSA value, the span of the surface
+//! statement that produced the op defining it. Because passes reuse value
+//! ids when they rewrite regions, the attribution survives optimization —
+//! values synthesized by passes simply have no entry.
+
+use crate::ops::{Op, Value};
+use revet_diag::Span;
+use std::collections::HashMap;
+
+/// `Value → Span` side-table: where in the source each SSA value's
+/// defining op came from.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SpanTable {
+    map: HashMap<Value, Span>,
+}
+
+impl SpanTable {
+    /// An empty table.
+    pub fn new() -> SpanTable {
+        SpanTable::default()
+    }
+
+    /// Records (or overwrites) the span for a value.
+    pub fn set(&mut self, v: Value, span: Span) {
+        self.map.insert(v, span);
+    }
+
+    /// Records the span for a value unless one is already present —
+    /// outer lowering layers use this to supply coarser fallbacks without
+    /// clobbering finer inner attributions.
+    pub fn set_if_absent(&mut self, v: Value, span: Span) {
+        self.map.entry(v).or_insert(span);
+    }
+
+    /// The span recorded for a value, if any.
+    pub fn get(&self, v: Value) -> Option<Span> {
+        self.map.get(&v).copied()
+    }
+
+    /// Best-effort span for an op: its first spanned result, else its
+    /// first spanned operand (useful for result-less ops like stores).
+    pub fn op_span(&self, op: &Op) -> Option<Span> {
+        op.results
+            .iter()
+            .copied()
+            .chain(op.kind.operands())
+            .find_map(|v| self.get(v))
+    }
+
+    /// Number of attributed values.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no value is attributed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{AluOp, OpKind};
+
+    #[test]
+    fn set_get_and_fallback() {
+        let mut t = SpanTable::new();
+        t.set(Value(1), Span::new(10, 14));
+        t.set_if_absent(Value(1), Span::new(0, 100));
+        assert_eq!(t.get(Value(1)), Some(Span::new(10, 14)));
+        t.set_if_absent(Value(2), Span::new(20, 21));
+        assert_eq!(t.get(Value(2)), Some(Span::new(20, 21)));
+        assert_eq!(t.get(Value(3)), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn op_span_prefers_results_then_operands() {
+        let mut t = SpanTable::new();
+        t.set(Value(5), Span::new(1, 2));
+        t.set(Value(9), Span::new(7, 9));
+        // Result attributed: wins.
+        let op = Op {
+            kind: OpKind::Bin(AluOp::Add, Value(5), Value(6)),
+            results: vec![Value(9)],
+        };
+        assert_eq!(t.op_span(&op), Some(Span::new(7, 9)));
+        // Result-less store: falls back to the spanned operand.
+        let store = Op {
+            kind: OpKind::Bin(AluOp::Add, Value(5), Value(6)),
+            results: vec![],
+        };
+        assert_eq!(t.op_span(&store), Some(Span::new(1, 2)));
+        let cold = Op {
+            kind: OpKind::Bin(AluOp::Add, Value(6), Value(7)),
+            results: vec![],
+        };
+        assert_eq!(t.op_span(&cold), None);
+    }
+}

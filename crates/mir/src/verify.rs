@@ -7,6 +7,7 @@
 
 use crate::func::{Func, Module};
 use crate::ops::{Op, OpKind, Region, Value};
+use revet_diag::Span;
 use std::collections::HashSet;
 use std::fmt;
 
@@ -17,6 +18,10 @@ pub struct VerifyError {
     pub func: String,
     /// Description.
     pub message: String,
+    /// Source attribution of the offending op, when the function's
+    /// [`SpanTable`](crate::SpanTable) knows it (front-end-built modules
+    /// do; hand-built ones don't).
+    pub span: Option<Span>,
 }
 
 impl fmt::Display for VerifyError {
@@ -48,6 +53,7 @@ pub fn verify_func(m: &Module, f: &Func) -> Result<(), VerifyError> {
     let err = |msg: String| VerifyError {
         func: f.name.clone(),
         message: msg,
+        span: None,
     };
     let mut defined: HashSet<Value> = f.params.iter().copied().collect();
     verify_region(m, f, &f.body, &mut defined, true, &err)?;
@@ -72,19 +78,31 @@ fn verify_region(
         scope.insert(*a);
     }
     for (i, op) in r.ops.iter().enumerate() {
+        // Attribute errors about this op to its source span, unless a
+        // nested region already pinned a finer one.
+        let attach = |mut e: VerifyError| {
+            if e.span.is_none() {
+                e.span = f.spans.op_span(op);
+            }
+            e
+        };
         let last = i + 1 == r.ops.len();
         if op.kind.is_terminator() && !last {
-            return Err(err("terminator in the middle of a region".to_string()));
+            return Err(attach(err(
+                "terminator in the middle of a region".to_string()
+            )));
         }
         if last && is_func_body && !matches!(op.kind, OpKind::Return(_) | OpKind::Exit) {
-            return Err(err("function body must end in return or exit".to_string()));
+            return Err(attach(err(
+                "function body must end in return or exit".to_string()
+            )));
         }
         for v in op.kind.operands() {
             if !scope.contains(&v) {
-                return Err(err(format!("use of undefined value %{}", v.0)));
+                return Err(attach(err(format!("use of undefined value %{}", v.0))));
             }
         }
-        verify_op(m, f, op, &mut scope, err)?;
+        verify_op(m, f, op, &mut scope, err).map_err(attach)?;
         for res in &op.results {
             if res.0 as usize >= f.value_count() {
                 return Err(err(format!("result %{} out of value table", res.0)));

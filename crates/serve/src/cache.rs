@@ -324,7 +324,7 @@ mod tests {
         let err = cache
             .get_or_compile(id, || compile("void main( {"))
             .unwrap_err();
-        assert!(!err.message.is_empty());
+        assert!(!err.diagnostics.is_empty());
         assert!(cache.get(id).is_none(), "failure must not be cached");
         // The same id can be retried — and a good compile now lands.
         let (_, hit) = cache.get_or_compile(id, || compile(SRC_A)).unwrap();

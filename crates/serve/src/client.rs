@@ -5,8 +5,8 @@
 //! that is exactly what the `load_gen` harness does.
 
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, ErrorFrame, ExecuteReply,
-    ExecuteRequest, FrameError, Request, Response, StatusInfo, WireError,
+    decode_response, encode_request, read_frame, write_frame, ErrorCode, ErrorFrame, ExecuteReply,
+    ExecuteRequest, FrameError, Request, Response, StatusInfo, WireDiagnostic, WireError,
 };
 use revet_core::{PassOptions, ProgramId};
 use std::fmt;
@@ -38,6 +38,19 @@ impl fmt::Display for ClientError {
 }
 
 impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// The structured, line/col-carrying diagnostics of a server-side
+    /// compile failure — `Some` exactly when the server answered
+    /// `CompileFailed`. The rendered caret-snippet report is in the
+    /// frame's `message`.
+    pub fn compile_diagnostics(&self) -> Option<&[WireDiagnostic]> {
+        match self {
+            ClientError::Server(f) if f.code == ErrorCode::CompileFailed => Some(&f.details),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {

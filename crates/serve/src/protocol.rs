@@ -25,7 +25,11 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 /// Current protocol version, first byte of every frame body.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// v2: error frames carry a structured [`WireDiagnostic`] list after the
+/// message (the `CompileFailed` payload). v1 peers get a clean
+/// [`ErrorCode::UnsupportedVersion`] instead of a garbled decode.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on a frame body. Large enough for a full 4 MiB DRAM
 /// window per instance on a modest batch; small enough that a corrupt
@@ -261,28 +265,89 @@ impl ErrorCode {
     }
 }
 
+/// One machine-readable compiler diagnostic inside an [`ErrorFrame`] —
+/// the structured payload of a `CompileFailed` reply. Line/column are
+/// 1-based and pre-resolved server-side (clients don't need the source's
+/// line table); `0` means "no source location".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireDiagnostic {
+    /// Stable `E`-prefixed code (`revet_diag::codes`).
+    pub code: String,
+    /// 0 = error, 1 = warning, 2 = note.
+    pub severity: u8,
+    /// 1-based line of the primary span's start (0 = unknown).
+    pub line: u32,
+    /// 1-based column of the primary span's start (0 = unknown).
+    pub col: u32,
+    /// Human-readable one-liner.
+    pub message: String,
+}
+
+impl WireDiagnostic {
+    /// Severity tag for errors.
+    pub const SEVERITY_ERROR: u8 = 0;
+    /// Severity tag for warnings.
+    pub const SEVERITY_WARNING: u8 = 1;
+    /// Severity tag for notes.
+    pub const SEVERITY_NOTE: u8 = 2;
+}
+
+impl fmt::Display for WireDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            WireDiagnostic::SEVERITY_WARNING => "warning",
+            WireDiagnostic::SEVERITY_NOTE => "note",
+            _ => "error",
+        };
+        if self.line != 0 {
+            write!(
+                f,
+                "{sev}[{}] at {}:{}: {}",
+                self.code, self.line, self.col, self.message
+            )
+        } else {
+            write!(f, "{sev}[{}]: {}", self.code, self.message)
+        }
+    }
+}
+
 /// A typed failure reply.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ErrorFrame {
     /// Failure category.
     pub code: ErrorCode,
-    /// Human-readable detail.
+    /// Human-readable detail. For `CompileFailed` this is the full
+    /// rendered diagnostic report (caret snippets included).
     pub message: String,
+    /// Structured per-diagnostic payload (`CompileFailed` fills this; the
+    /// transport-level errors leave it empty).
+    pub details: Vec<WireDiagnostic>,
 }
 
 impl ErrorFrame {
-    /// Creates an error frame.
+    /// Creates an error frame with no structured details.
     pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
         ErrorFrame {
             code,
             message: message.into(),
+            details: Vec::new(),
         }
+    }
+
+    /// Attaches structured diagnostics.
+    pub fn with_details(mut self, details: Vec<WireDiagnostic>) -> Self {
+        self.details = details;
+        self
     }
 }
 
 impl fmt::Display for ErrorFrame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:?}: {}", self.code, self.message)
+        write!(f, "{:?}: {}", self.code, self.message)?;
+        if !self.details.is_empty() {
+            write!(f, " ({} diagnostic(s))", self.details.len())?;
+        }
+        Ok(())
     }
 }
 
@@ -470,6 +535,14 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.kind(KIND_ERROR);
             w.u16(e.code as u16);
             w.str(&e.message);
+            w.u32(e.details.len() as u32);
+            for d in &e.details {
+                w.str(&d.code);
+                w.u8(d.severity);
+                w.u32(d.line);
+                w.u32(d.col);
+                w.str(&d.message);
+            }
         }
     }
     w.buf
@@ -531,9 +604,29 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
         KIND_ERROR => {
             let code = r.u16()?;
             let code = ErrorCode::from_u16(code).ok_or(WireError::BadField("error code"))?;
+            let message = r.str()?;
+            // A wire diagnostic is at least: code len (4) + severity (1) +
+            // line (4) + col (4) + message len (4).
+            let n = r.count(17)?;
+            let mut details = Vec::with_capacity(n);
+            for _ in 0..n {
+                let code = r.str()?;
+                let severity = r.u8()?;
+                if severity > WireDiagnostic::SEVERITY_NOTE {
+                    return Err(WireError::BadField("diagnostic severity"));
+                }
+                details.push(WireDiagnostic {
+                    code,
+                    severity,
+                    line: r.u32()?,
+                    col: r.u32()?,
+                    message: r.str()?,
+                });
+            }
             Response::Error(ErrorFrame {
                 code,
-                message: r.str()?,
+                message,
+                details,
             })
         }
         k => return Err(WireError::UnknownKind(k)),
@@ -767,6 +860,26 @@ mod tests {
                 draining: false,
             }),
             Response::Error(ErrorFrame::new(ErrorCode::Busy, "queue full")),
+            Response::Error(
+                ErrorFrame::new(ErrorCode::CompileFailed, "error[E0103]: …rendered…").with_details(
+                    vec![
+                        WireDiagnostic {
+                            code: "E0103".into(),
+                            severity: WireDiagnostic::SEVERITY_ERROR,
+                            line: 2,
+                            col: 11,
+                            message: "expected expression, found ';'".into(),
+                        },
+                        WireDiagnostic {
+                            code: "E0301".into(),
+                            severity: WireDiagnostic::SEVERITY_WARNING,
+                            line: 0,
+                            col: 0,
+                            message: "no source location".into(),
+                        },
+                    ],
+                ),
+            ),
         ] {
             let body = encode_response(&resp);
             assert_eq!(decode_response(&body).unwrap(), resp, "{resp:?}");

@@ -26,10 +26,11 @@
 use crate::cache::ProgramCache;
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, ErrorCode, ErrorFrame, ExecuteReply,
-    ExecuteRequest, FrameError, InstanceOutcome, Request, Response, StatusInfo, WireError,
-    WireReport, MAX_FRAME_BYTES,
+    ExecuteRequest, FrameError, InstanceOutcome, Request, Response, StatusInfo, WireDiagnostic,
+    WireError, WireReport, MAX_FRAME_BYTES,
 };
-use revet_core::{CompiledProgram, Compiler, PassOptions, ProgramId};
+use revet_core::{CompiledProgram, Compiler, CoreError, PassOptions, ProgramId};
+use revet_diag::{Severity, SourceMap};
 use revet_runtime::{BatchJob, BatchRunner};
 use revet_sltf::Word;
 use std::collections::VecDeque;
@@ -462,8 +463,37 @@ fn handle_compile(
                 },
             },
         ),
-        Err(e) => send_error(stream, ErrorCode::CompileFailed, e.to_string()),
+        Err(e) => send(stream, &Response::Error(compile_failed_frame(source, &e))),
     }
+}
+
+/// Builds the structured `CompileFailed` reply: the full rendered report
+/// as the message, plus one [`WireDiagnostic`] per compiler diagnostic
+/// with line/col pre-resolved against the submitted source.
+fn compile_failed_frame(source: &str, e: &CoreError) -> ErrorFrame {
+    let map = SourceMap::new(source);
+    let details = e
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let (line, col) = d.span.map_or((0, 0), |s| {
+                let lc = map.line_col(s.start);
+                (lc.line, lc.col)
+            });
+            WireDiagnostic {
+                code: d.code.to_string(),
+                severity: match d.severity {
+                    Severity::Error => WireDiagnostic::SEVERITY_ERROR,
+                    Severity::Warning => WireDiagnostic::SEVERITY_WARNING,
+                    Severity::Note => WireDiagnostic::SEVERITY_NOTE,
+                },
+                line,
+                col,
+                message: d.message.clone(),
+            }
+        })
+        .collect();
+    ErrorFrame::new(ErrorCode::CompileFailed, e.render(source, false)).with_details(details)
 }
 
 fn handle_execute(stream: &mut TcpStream, shared: &Shared, req: ExecuteRequest) -> io::Result<()> {

@@ -5,7 +5,7 @@
 
 use revet_apps::{app, App, DRAM_BYTES};
 use revet_core::{PassOptions, ProgramId};
-use revet_serve::protocol::{ErrorCode, ExecuteRequest, InstanceOutcome};
+use revet_serve::protocol::{ErrorCode, ExecuteRequest, InstanceOutcome, WireDiagnostic};
 use revet_serve::{ClientError, ServeClient, ServeConfig, Server};
 use revet_sltf::Word;
 use std::time::{Duration, Instant};
@@ -269,15 +269,18 @@ fn typed_errors_for_bad_compile_unknown_program_and_malformed_frames() {
     assert_eq!(frame.code, ErrorCode::UnknownProgram);
 
     // Malformed body (unknown kind byte) → Malformed, connection survives.
-    let reply = client.raw_round_trip(&[1u8, 0x55]).expect("reply");
+    let reply = client
+        .raw_round_trip(&[revet_serve::protocol::WIRE_VERSION, 0x55])
+        .expect("reply");
     let resp = revet_serve::protocol::decode_response(&reply).expect("decodable");
     let revet_serve::protocol::Response::Error(frame) = resp else {
         panic!("wanted an error frame, got {resp:?}")
     };
     assert_eq!(frame.code, ErrorCode::Malformed);
 
-    // Wrong version byte → UnsupportedVersion, connection survives.
-    let reply = client.raw_round_trip(&[9u8, 0x03]).expect("reply");
+    // Wrong version byte (a v1 peer, say) → UnsupportedVersion,
+    // connection survives.
+    let reply = client.raw_round_trip(&[1u8, 0x03]).expect("reply");
     let resp = revet_serve::protocol::decode_response(&reply).expect("decodable");
     let revet_serve::protocol::Response::Error(frame) = resp else {
         panic!("wanted an error frame, got {resp:?}")
@@ -310,5 +313,52 @@ fn typed_errors_for_bad_compile_unknown_program_and_malformed_frames() {
     // and the server shuts down cleanly with accurate counters.
     let status = client.status().expect("status");
     assert_eq!(status.executed_instances, 1);
+    server.shutdown();
+}
+
+#[test]
+fn structured_compile_failed_frame_carries_line_and_col() {
+    let server = Server::spawn(ServeConfig::default()).expect("spawn");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    // Two independent syntax errors (lines 2 and 3): parser recovery must
+    // surface both in one round trip, machine-readably.
+    let source = "void main() {\n  u32 a = ;\n  u32 b = 1 +;\n}";
+    let err = client.compile(source, &PassOptions::default()).unwrap_err();
+
+    let details = err
+        .compile_diagnostics()
+        .expect("structured CompileFailed payload")
+        .to_vec();
+    assert_eq!(details.len(), 2, "{details:?}");
+    assert_eq!(details[0].code, "E0103");
+    assert_eq!((details[0].line, details[0].col), (2, 11));
+    assert_eq!(details[1].code, "E0103");
+    assert_eq!((details[1].line, details[1].col), (3, 14));
+    assert!(details
+        .iter()
+        .all(|d| d.severity == WireDiagnostic::SEVERITY_ERROR));
+
+    // The frame's message is the full rendered report, caret snippets
+    // included — a dumb client can print it verbatim.
+    let ClientError::Server(frame) = err else {
+        panic!("wanted a typed server error")
+    };
+    assert!(
+        frame.message.contains("--> <input>:2:11"),
+        "{}",
+        frame.message
+    );
+    assert!(frame.message.contains("u32 a = ;"), "{}", frame.message);
+    assert!(frame.message.contains('^'), "{}", frame.message);
+
+    // The connection survives the failure and still does real work.
+    client
+        .compile(
+            "dram<u32> output; void main(u32 n) { foreach (n) { u32 i => output[i] = i; }; }",
+            &PassOptions::default(),
+        )
+        .expect("healthy compile after structured failure");
+    client.shutdown().expect("shutdown ack");
     server.shutdown();
 }

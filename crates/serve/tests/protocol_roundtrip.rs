@@ -9,7 +9,7 @@ use revet_core::{PassOptions, ProgramId};
 use revet_serve::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
     ErrorCode, ErrorFrame, ExecuteReply, ExecuteRequest, FrameError, InstanceOutcome, Request,
-    Response, StatusInfo, WireError, WireReport, MAX_FRAME_BYTES, WIRE_VERSION,
+    Response, StatusInfo, WireDiagnostic, WireError, WireReport, MAX_FRAME_BYTES, WIRE_VERSION,
 };
 
 // ---------------------------------------------------------------------------
@@ -124,19 +124,32 @@ impl Strategy for ArbResponse {
                 failed_instances: any::<u64>().generate(r),
                 draining: (0u8..2).generate(r) == 1,
             }),
-            3 => Response::Error(ErrorFrame::new(
-                match (0u8..8).generate(r) {
-                    0 => ErrorCode::Malformed,
-                    1 => ErrorCode::UnsupportedVersion,
-                    2 => ErrorCode::FrameTooLarge,
-                    3 => ErrorCode::CompileFailed,
-                    4 => ErrorCode::UnknownProgram,
-                    5 => ErrorCode::Busy,
-                    6 => ErrorCode::BadRequest,
-                    _ => ErrorCode::ShuttingDown,
-                },
-                gen_string(r, 80),
-            )),
+            3 => Response::Error(
+                ErrorFrame::new(
+                    match (0u8..8).generate(r) {
+                        0 => ErrorCode::Malformed,
+                        1 => ErrorCode::UnsupportedVersion,
+                        2 => ErrorCode::FrameTooLarge,
+                        3 => ErrorCode::CompileFailed,
+                        4 => ErrorCode::UnknownProgram,
+                        5 => ErrorCode::Busy,
+                        6 => ErrorCode::BadRequest,
+                        _ => ErrorCode::ShuttingDown,
+                    },
+                    gen_string(r, 80),
+                )
+                .with_details(
+                    (0..(0usize..4).generate(r))
+                        .map(|_| WireDiagnostic {
+                            code: gen_string(r, 8),
+                            severity: (0u8..3).generate(r),
+                            line: any::<u32>().generate(r),
+                            col: any::<u32>().generate(r),
+                            message: gen_string(r, 60),
+                        })
+                        .collect(),
+                ),
+            ),
             _ => Response::ShutdownAck,
         }
     }

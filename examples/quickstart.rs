@@ -36,9 +36,14 @@ fn main() {
         dram_bytes: 1 << 16,
         ..PassOptions::default()
     };
+    // On failure, render the structured diagnostics as rustc-style caret
+    // snippets instead of Debug-printing an error value.
     let mut program = Compiler::new(opts)
         .compile_source(source)
-        .expect("compiles");
+        .unwrap_or_else(|e| {
+            eprint!("{}", e.render(source, true));
+            std::process::exit(1);
+        });
     println!(
         "compiled: {} contexts, {} links",
         program.context_count(),

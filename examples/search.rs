@@ -13,7 +13,10 @@ use revet_sltf::Word;
 fn main() {
     let app = apps::app("search").expect("registered");
     let workload = (app.workload)(32, 0xB00C);
-    let mut program = app.compile(4, &PassOptions::default()).expect("compiles");
+    let mut program = app.compile(4, &PassOptions::default()).unwrap_or_else(|e| {
+        eprint!("{}", e.render(&(app.source)(4), true));
+        std::process::exit(1);
+    });
     app.load(&mut program, &workload);
     let args: Vec<Word> = workload.args.iter().map(|&a| Word(a)).collect();
     let sim = Simulator::new(RdaConfig::default(), IdealModels::default());

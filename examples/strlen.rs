@@ -54,7 +54,10 @@ fn main() {
     };
     let mut program = Compiler::new(opts)
         .compile_source(source)
-        .expect("compiles");
+        .unwrap_or_else(|e| {
+            eprint!("{}", e.render(source, true));
+            std::process::exit(1);
+        });
     let slice = (3 << 16) / 3;
     program.graph.mem.dram[..input.len()].copy_from_slice(&input);
     program.graph.mem.dram[slice..slice + offsets.len()].copy_from_slice(&offsets);

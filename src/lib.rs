@@ -3,6 +3,7 @@
 //! A reproduction of *"Revet: A Language and Compiler for Dataflow Threads"*
 //! (HPCA 2024). This facade crate re-exports the whole stack:
 //!
+//! - [`diag`] — byte spans, structured diagnostics, rustc-style rendering
 //! - [`sltf`] — the structured-link tensor format (on-chip streams, barriers)
 //! - [`machine`] — streaming primitives and the abstract dataflow machine
 //! - [`mir`] — the SSA mid-level IR the compiler operates on
@@ -145,12 +146,35 @@
 //! let stats = server.shutdown();
 //! assert_eq!(stats.executed_instances, 1);
 //! ```
+//!
+//! ## Staged compiles and structured diagnostics
+//!
+//! [`compiler::Session`] exposes the pipeline stage by stage — `parse()`
+//! → `lower_mir()` → `run_passes()` → `to_dataflow()` — and reports
+//! through span-carrying diagnostics instead of strings. Parser recovery
+//! means one run surfaces *every* syntax error, rendered rustc-style:
+//!
+//! ```
+//! use revet::compiler::{PassOptions, Session};
+//!
+//! let mut session = Session::new(
+//!     "void main() {\n  u32 a = ;\n  u32 ok = 1;\n  u32 b = 1 +;\n}",
+//!     PassOptions::default(),
+//! );
+//! assert!(session.to_dataflow().is_err());
+//! assert_eq!(session.diagnostics().error_count(), 2); // both, in one run
+//! let report = session.render_diagnostics(false);
+//! assert!(report.contains("error[E0103]"));
+//! assert!(report.contains("--> <input>:2:11"));
+//! assert!(report.contains("u32 a = ;"));
+//! ```
 
 #![warn(missing_docs)]
 
 pub use revet_apps as apps;
 pub use revet_baselines as baselines;
 pub use revet_core as compiler;
+pub use revet_diag as diag;
 pub use revet_lang as lang;
 pub use revet_machine as machine;
 pub use revet_mir as mir;
