@@ -1,0 +1,105 @@
+//! Differential correctness for the classical optimizer: every Table III
+//! app must produce byte-identical results compiled with the optimizer
+//! off (`opt_level` 0) and fully on (`opt_level` 2) — on the dataflow
+//! machine *and* under the MIR reference interpreter.
+
+use revet_apps::{all_apps, App, DRAM_BYTES};
+use revet_core::PassOptions;
+use revet_sltf::Word;
+
+const SEED: u64 = 0xD1FF;
+
+fn opts_at(level: u8) -> PassOptions {
+    PassOptions {
+        opt_level: level,
+        ..PassOptions::default()
+    }
+}
+
+/// Runs `app` on the dataflow machine at `level`; returns the final DRAM.
+fn dataflow_dram(app: &App, level: u8) -> Vec<u8> {
+    let (mut program, args, w) = app.prepare(2, 12, SEED, &opts_at(level));
+    program
+        .run_untimed(&args, 200_000_000)
+        .unwrap_or_else(|e| panic!("{} (O{level}): {e}", app.name));
+    app.check(&program, &w);
+    program.graph.mem.dram.clone()
+}
+
+#[test]
+fn dataflow_output_is_opt_level_invariant() {
+    for app in all_apps() {
+        let unopt = dataflow_dram(&app, 0);
+        let opt = dataflow_dram(&app, 2);
+        assert_eq!(
+            unopt, opt,
+            "{}: optimized dataflow run must leave bit-identical DRAM",
+            app.name
+        );
+    }
+}
+
+/// Runs `app`'s MIR through the classical passes (no lowering — the
+/// interpreter executes the high-level dialect directly) and interprets
+/// both the original and the optimized module; returns both DRAM images.
+fn interp_drams(app: &App) -> (Vec<u8>, Vec<u8>) {
+    use revet_mir::{ConstFold, Cse, Dce, DramLayout, Interp, PassManager, Simplify};
+
+    let w = (app.workload)(4, SEED);
+    let lowered = revet_lang::compile_to_mir(&(app.source)(2)).unwrap();
+    let mut module = lowered.module;
+    let n = module.drams.len();
+    let slice = (DRAM_BYTES / n) as u32;
+    let layout = DramLayout {
+        base: (0..n as u32).map(|i| i * slice).collect(),
+    };
+    let args: Vec<Word> = w.args.iter().map(|&a| Word(a)).collect();
+
+    let run = |module: &revet_mir::Module| {
+        let mut mem = module.build_memory(DRAM_BYTES);
+        for (sym, bytes) in &w.inits {
+            let base = sym * slice as usize;
+            mem.dram[base..base + bytes.len()].copy_from_slice(bytes);
+        }
+        Interp::new(module, &layout, &mut mem)
+            .with_fuel(1_000_000_000)
+            .run("main", &args)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        let base = w.out_sym * slice as usize;
+        assert_eq!(
+            &mem.dram[base..base + w.expected.len()],
+            &w.expected[..],
+            "{}: interpreter output differs from oracle",
+            app.name
+        );
+        mem.dram
+    };
+
+    let before = run(&module);
+
+    let mut pm = PassManager::new();
+    pm.add(ConstFold)
+        .add(Simplify)
+        .add(Dce)
+        .add(Cse)
+        .add(ConstFold)
+        .add(Simplify)
+        .add(Dce);
+    let report = pm.run(&mut module);
+    assert!(report.ops_after() <= report.ops_before());
+
+    let after = run(&module);
+    (before, after)
+}
+
+#[test]
+fn interp_output_is_opt_invariant() {
+    for app in all_apps() {
+        let (before, after) = interp_drams(&app);
+        assert_eq!(
+            before, after,
+            "{}: classical passes changed interpreter-observable behavior",
+            app.name
+        );
+    }
+}

@@ -1,7 +1,9 @@
 //! `revetc` — the human entry point for the staged `Session` compile API.
 //!
 //! ```text
-//! revetc FILE [--emit ast|mir|dataflow|report] [--color|--no-color] [-O0]
+//! revetc FILE [--emit ast|mir|mir-after=<pass>|dataflow|report]
+//!        [--opt-level N | -O0|-O1|-O2] [--print-pass-pipeline]
+//!        [--color|--no-color]
 //! ```
 //!
 //! Compiles one Revet source file and prints the requested artifact to
@@ -12,20 +14,34 @@
 //! - `ast` — the parsed AST (debug form)
 //! - `mir` — the optimized MIR module (after high-level lowering +
 //!   passes), in `revet_mir::print` textual form
+//! - `mir-after=<pass>` — the MIR snapshot right after the named pipeline
+//!   pass (e.g. `mir-after=lower_views`, `mir-after=cse`)
 //! - `dataflow` — the placed dataflow graph's contexts and links
-//! - `report` — the Table IV-style resource report (default)
+//! - `report` — the Table IV-style resource report plus the per-pass
+//!   timing/op-delta table (default)
+//!
+//! `--opt-level N` (or the `-ON` shorthand) selects the classical
+//! optimization level: 0 disables them, 1 enables fold/simplify/DCE, 2
+//! (the default) adds CSE and a second clean-up round. `-O0` additionally
+//! disables the optional lowering rewrites (`PassOptions::none`), matching
+//! the pre-framework behavior of the flag. `--print-pass-pipeline` lists
+//! the pass names the current options would run and exits; it needs no
+//! FILE.
 
+use revet_core::passes::build_pipeline;
 use revet_core::report::ResourceReport;
 use revet_core::{PassOptions, Session};
 use std::io::IsTerminal;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: revetc FILE [--emit ast|mir|dataflow|report] [--color|--no-color] [-O0]
+const USAGE: &str = "usage: revetc FILE [--emit ast|mir|mir-after=<pass>|dataflow|report]
+       [--opt-level N | -O0|-O1|-O2] [--print-pass-pipeline] [--color|--no-color]
        (stderr gets rustc-style diagnostics; exit 1 = compile error, 2 = usage/i/o)";
 
 enum Emit {
     Ast,
     Mir,
+    MirAfter(String),
     Dataflow,
     Report,
 }
@@ -35,6 +51,7 @@ fn main() -> ExitCode {
     let mut emit = Emit::Report;
     let mut color: Option<bool> = None;
     let mut opts = PassOptions::default();
+    let mut print_pipeline = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -49,20 +66,36 @@ fn main() -> ExitCode {
                     "mir" => Emit::Mir,
                     "dataflow" => Emit::Dataflow,
                     "report" => Emit::Report,
-                    other => {
-                        eprintln!("unknown --emit '{other}'\n{USAGE}");
-                        return ExitCode::from(2);
-                    }
+                    other => match other.strip_prefix("mir-after=") {
+                        Some(pass) if !pass.is_empty() => Emit::MirAfter(pass.to_string()),
+                        _ => {
+                            eprintln!("unknown --emit '{other}'\n{USAGE}");
+                            return ExitCode::from(2);
+                        }
+                    },
                 };
             }
+            "--opt-level" => {
+                let level = args.next().and_then(|v| v.parse::<u8>().ok());
+                let Some(level) = level else {
+                    eprintln!("--opt-level needs a number\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                opts.opt_level = level.min(2);
+            }
+            "--print-pass-pipeline" => print_pipeline = true,
             "--color" => color = Some(true),
             "--no-color" => color = Some(false),
+            // -O0 predates the optimizer and also turns off the optional
+            // lowering rewrites; -O1/-O2 only select the classical level.
             "-O0" => {
                 opts = PassOptions {
                     dram_bytes: opts.dram_bytes,
                     ..PassOptions::none()
                 };
             }
+            "-O1" => opts.opt_level = 1,
+            "-O2" => opts.opt_level = 2,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -73,6 +106,12 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+    if print_pipeline {
+        for name in build_pipeline(&opts, opts.threads).names() {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
     }
     let Some(file) = file else {
         eprintln!("{USAGE}");
@@ -88,7 +127,10 @@ fn main() -> ExitCode {
     let color = color.unwrap_or_else(|| std::io::stderr().is_terminal());
 
     let mut session = Session::new(source, opts).with_source_name(&file);
-    let failed = match emit {
+    if let Emit::MirAfter(pass) = &emit {
+        session = session.capture_mir_after(pass);
+    }
+    let failed = match &emit {
         Emit::Ast => session.parse().map(|ast| println!("{ast:#?}")).is_err(),
         Emit::Mir => {
             // The optimized module is the interesting MIR artifact; the
@@ -98,6 +140,20 @@ fn main() -> ExitCode {
                 .map(|m| print!("{}", revet_mir::print_module(m)))
                 .is_err()
         }
+        Emit::MirAfter(pass) => match session.run_passes() {
+            Ok(_) => match session.captured_mir() {
+                Some(text) => {
+                    print!("{text}");
+                    false
+                }
+                None => {
+                    eprintln!("revetc: no pipeline pass named '{pass}' ran");
+                    eprintln!("hint: --print-pass-pipeline lists the passes for these options");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) => true,
+        },
         Emit::Dataflow => session
             .to_dataflow()
             .map(|p| {
@@ -125,7 +181,12 @@ fn main() -> ExitCode {
             .is_err(),
         Emit::Report => session
             .to_dataflow()
-            .map(|p| println!("{}", ResourceReport::for_program(&file, &p).summary()))
+            .map(|p| {
+                println!("{}", ResourceReport::for_program(&file, &p).summary());
+                if let Some(report) = session.pass_report() {
+                    println!("{}", report.summary());
+                }
+            })
             .is_err(),
     };
     if failed {

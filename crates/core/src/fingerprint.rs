@@ -165,6 +165,27 @@ mod tests {
     }
 
     #[test]
+    fn opt_level_feeds_the_id_and_is_stable() {
+        // Two compiles of the same source at different opt levels produce
+        // different programs, so they must get different cache keys — and
+        // the id must not wobble across runs.
+        let src = "dram<u32> output; void main(u32 n) {}";
+        let at = |lvl: u8| {
+            ProgramId::of(
+                src,
+                &PassOptions {
+                    opt_level: lvl,
+                    ..PassOptions::default()
+                },
+            )
+        };
+        assert_ne!(at(0), at(2));
+        assert_ne!(at(1), at(2));
+        assert_ne!(at(0), at(1));
+        assert_eq!(at(2), at(2), "stable across evaluations");
+    }
+
+    #[test]
     fn display_parse_round_trips() {
         let id = ProgramId::of("dram<u32> x; void main(u32 n) {}", &PassOptions::default());
         let text = id.to_string();
@@ -179,7 +200,15 @@ mod tests {
         // The id is part of the serving wire contract: a silent change to
         // the hash function (constants, lane order, PassOptions field
         // order) would orphan every cached program. Pin the literal value.
-        let id = ProgramId::of("void main() {}", &PassOptions::default());
-        assert_eq!(id.to_string(), "5598cc7a25c63862f0284ce52fbb8409");
+        // opt_level is pinned explicitly so the REVET_OPT_LEVEL environment
+        // override cannot perturb this test.
+        let id = ProgramId::of(
+            "void main() {}",
+            &PassOptions {
+                opt_level: 2,
+                ..PassOptions::default()
+            },
+        );
+        assert_eq!(id.to_string(), "357b36452a19fec4766bc07d7f8ed3f7");
     }
 }

@@ -139,6 +139,11 @@ pub struct PassOptions {
     pub pack_subwords: bool,
     /// §V-A b: rewrite pragma-annotated foreach loops to forks (Fig. 9).
     pub eliminate_hierarchy: bool,
+    /// Classical-optimization level for the MIR pass pipeline: `0` runs no
+    /// classical optimizations, `1` adds constant folding, identity
+    /// simplification, and DCE, `2` (the default) additionally runs CSE
+    /// plus a second clean-up round. Values above 2 behave like 2.
+    pub opt_level: u8,
     /// Thread-local buffer count override (`pragma(threads, N)` wins).
     pub threads: Option<u32>,
     /// DRAM image size for the compiled program's memory state.
@@ -146,6 +151,10 @@ pub struct PassOptions {
 }
 
 impl Default for PassOptions {
+    /// Everything on. The default `opt_level` is 2, overridable through
+    /// the `REVET_OPT_LEVEL` environment variable (`0`/`1`/`2`) so the
+    /// whole test suite can be exercised at a different level without
+    /// code changes — CI runs it at both 0 and the default.
     fn default() -> Self {
         PassOptions {
             if_to_select: true,
@@ -154,6 +163,7 @@ impl Default for PassOptions {
             bufferize_replicate: true,
             pack_subwords: true,
             eliminate_hierarchy: true,
+            opt_level: default_opt_level(),
             threads: None,
             dram_bytes: 1 << 20,
         }
@@ -161,7 +171,8 @@ impl Default for PassOptions {
 }
 
 impl PassOptions {
-    /// All optimizations off (the naïve lowering baseline).
+    /// All optimizations off (the naïve lowering baseline): every paper
+    /// toggle false and `opt_level` 0.
     pub fn none() -> Self {
         PassOptions {
             if_to_select: false,
@@ -170,10 +181,20 @@ impl PassOptions {
             bufferize_replicate: false,
             pack_subwords: false,
             eliminate_hierarchy: false,
+            opt_level: 0,
             threads: None,
             dram_bytes: 1 << 20,
         }
     }
+}
+
+/// The `REVET_OPT_LEVEL` override, clamped to `0..=2`; 2 when unset or
+/// unparsable.
+fn default_opt_level() -> u8 {
+    std::env::var("REVET_OPT_LEVEL")
+        .ok()
+        .and_then(|s| s.trim().parse::<u8>().ok())
+        .map_or(2, |v| v.min(2))
 }
 
 /// The compiler driver: source (or MIR) in, [`CompiledProgram`] out.
@@ -217,15 +238,7 @@ impl Compiler {
     ) -> Result<CompiledProgram, CoreError> {
         let mut opts = self.opts.clone();
         opts.threads = threads.or(opts.threads);
-        // Fig. 8 pass order.
-        if opts.eliminate_hierarchy {
-            passes::eliminate_hierarchy(module, opts.threads);
-        }
-        passes::lower_views(module, opts.threads, opts.fuse_allocators);
-        passes::lower_bulk(module);
-        if opts.if_to_select {
-            passes::if_to_select(module);
-        }
+        passes::build_pipeline(&opts, opts.threads).run(module);
         revet_mir::verify_module(module).map_err(CoreError::from_verify)?;
         lower_to_dataflow(module, layout, &opts, opts.dram_bytes)
     }

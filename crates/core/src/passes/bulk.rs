@@ -146,7 +146,7 @@ fn bin(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::passes::lower_views;
+    use crate::passes::views::lower_views;
     use revet_lang::compile_to_mir;
     use revet_mir::{DramLayout, Interp};
     use revet_sltf::Word;

@@ -40,7 +40,7 @@ use crate::lower::CompiledProgram;
 use crate::{lower_to_dataflow, passes, CoreError, PassOptions};
 use revet_diag::{Diagnostics, SourceMap};
 use revet_lang::ast::Program;
-use revet_mir::{DramLayout, Module};
+use revet_mir::{DramLayout, Module, PassReport};
 
 /// The pipeline stages a [`Session`] moves through, in order.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -71,6 +71,9 @@ pub struct Session {
     mir: Option<Module>,
     optimized: bool,
     threads: Option<u32>,
+    report: Option<PassReport>,
+    capture: Option<String>,
+    captured: Option<String>,
 }
 
 impl Session {
@@ -87,6 +90,9 @@ impl Session {
             mir: None,
             optimized: false,
             threads: None,
+            report: None,
+            capture: None,
+            captured: None,
         }
     }
 
@@ -94,6 +100,14 @@ impl Session {
     /// diagnostics.
     pub fn with_source_name(mut self, name: impl Into<String>) -> Session {
         self.map = SourceMap::with_name(&self.source, name);
+        self
+    }
+
+    /// Asks `run_passes()` to snapshot the MIR right after the named pass
+    /// runs (see [`Session::captured_mir`]). Set before the pass stage; a
+    /// name not in the pipeline simply captures nothing.
+    pub fn capture_mir_after(mut self, pass: impl Into<String>) -> Session {
+        self.capture = Some(pass.into());
         self
     }
 
@@ -154,18 +168,18 @@ impl Session {
     pub fn run_passes(&mut self) -> Result<&Module, CoreError> {
         self.lower_mir()?;
         if !self.optimized {
-            let threads = self.threads;
-            let opts = self.opts.clone();
+            let pipeline = passes::build_pipeline(&self.opts, self.threads);
+            let capture = self.capture.clone();
+            let mut captured = None;
             let module = self.mir.as_mut().expect("lowered");
-            if opts.eliminate_hierarchy {
-                passes::eliminate_hierarchy(module, threads);
-            }
-            passes::lower_views(module, threads, opts.fuse_allocators);
-            passes::lower_bulk(module);
-            if opts.if_to_select {
-                passes::if_to_select(module);
-            }
-            if let Err(e) = revet_mir::verify_module(module) {
+            let report = pipeline.run_observed(module, &mut |name, m| {
+                if capture.as_deref() == Some(name) {
+                    captured = Some(revet_mir::print_module(m));
+                }
+            });
+            self.captured = captured;
+            self.report = Some(report);
+            if let Err(e) = revet_mir::verify_module(self.mir.as_ref().expect("lowered")) {
                 let err = CoreError::from_verify(e);
                 return Err(self.fail(err.diagnostics.into_iter().collect()));
             }
@@ -255,6 +269,18 @@ impl Session {
         self.threads
     }
 
+    /// Per-pass timing and op-count statistics, once `run_passes()` has
+    /// run.
+    pub fn pass_report(&self) -> Option<&PassReport> {
+        self.report.as_ref()
+    }
+
+    /// The MIR snapshot requested with [`Session::capture_mir_after`], if
+    /// that pass executed.
+    pub fn captured_mir(&self) -> Option<&str> {
+        self.captured.as_deref()
+    }
+
     /// Renders every accumulated diagnostic as a rustc-style snippet.
     pub fn render_diagnostics(&self, color: bool) -> String {
         self.diags.render(&self.map, color)
@@ -330,6 +356,63 @@ mod tests {
         assert_eq!(lc.line, 2);
         // parse() still succeeded — the AST artifact survives the failure.
         assert!(s.ast().is_some());
+    }
+
+    /// Constant math the classical passes can chew on (2*3 folds, the
+    /// operand constants then die). `opt_level` is pinned so the
+    /// REVET_OPT_LEVEL environment override cannot change the pipeline
+    /// under these assertions.
+    const FOLDABLE: &str = "dram<u32> output;
+        void main(u32 n) { u32 x = 2 * 3; output[n] = x + n; }";
+
+    fn o2() -> PassOptions {
+        PassOptions {
+            opt_level: 2,
+            ..PassOptions::default()
+        }
+    }
+
+    #[test]
+    fn pass_report_records_every_pipeline_pass() {
+        let mut s = Session::new(FOLDABLE, o2());
+        assert!(s.pass_report().is_none(), "no report before run_passes()");
+        s.run_passes().unwrap();
+        let report = s.pass_report().expect("report after run_passes()");
+        let expected = crate::passes::build_pipeline(s.options(), s.thread_count())
+            .names()
+            .len();
+        assert_eq!(report.passes.len(), expected);
+        assert!(report.ops_before() > 0);
+        assert!(
+            report
+                .passes
+                .iter()
+                .any(|p| p.name == "const_fold" && p.changed),
+            "2*3 must fold"
+        );
+        assert!(
+            report.ops_after() < report.ops_before(),
+            "folding + DCE must shrink the module"
+        );
+        let text = report.summary();
+        assert!(text.contains("lower_views"));
+        assert!(text.contains("total"));
+    }
+
+    #[test]
+    fn capture_mir_after_snapshots_named_pass() {
+        let mut s = Session::new(FOLDABLE, o2()).capture_mir_after("lower_views");
+        s.run_passes().unwrap();
+        let snap = s.captured_mir().expect("snapshot for a pipeline pass");
+        assert!(snap.contains("main"));
+        // The snapshot shows the mid-pipeline state — before the classical
+        // passes folded 2*3 — so it must differ from the final module.
+        let final_text = revet_mir::print_module(s.mir().unwrap());
+        assert_ne!(snap, final_text);
+
+        let mut none = Session::new(FOLDABLE, o2()).capture_mir_after("no_such");
+        none.run_passes().unwrap();
+        assert!(none.captured_mir().is_none());
     }
 
     #[test]

@@ -79,6 +79,12 @@ impl Module {
         id
     }
 
+    /// Total op count across every function (nested regions included) —
+    /// the headline number pass reports track before/after each pass.
+    pub fn op_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.count_ops(|_| true)).sum()
+    }
+
     /// Instantiates this module's SRAM regions and allocator queues into a
     /// fresh memory state with the given DRAM size.
     pub fn build_memory(&self, dram_bytes: usize) -> revet_machine::MemoryState {
@@ -171,6 +177,44 @@ impl Func {
             }
         });
         n
+    }
+
+    /// The set of values with a definition site: parameters, region
+    /// arguments, and op results, function-wide.
+    pub fn defined_values(&self) -> std::collections::HashSet<Value> {
+        let mut set: std::collections::HashSet<Value> = self.params.iter().copied().collect();
+        fn go(r: &Region, set: &mut std::collections::HashSet<Value>) {
+            set.extend(r.args.iter().copied());
+            for op in &r.ops {
+                set.extend(op.results.iter().copied());
+                for sub in op.kind.regions() {
+                    go(sub, set);
+                }
+            }
+        }
+        go(&self.body, &mut set);
+        set
+    }
+
+    /// Span-table entries whose value no longer has a definition in the
+    /// function — used by the pass manager's debug integrity check.
+    pub fn dangling_spans(&self) -> Vec<Value> {
+        let defined = self.defined_values();
+        let mut dangling: Vec<Value> = self
+            .spans
+            .values()
+            .filter(|v| !defined.contains(v))
+            .collect();
+        dangling.sort_by_key(|v| v.0);
+        dangling
+    }
+
+    /// Drops span-table entries for values with no remaining definition.
+    /// Passes that delete values wholesale (rather than op-by-op) call this
+    /// once at the end to keep the side-table consistent.
+    pub fn prune_spans(&mut self) {
+        let defined = self.defined_values();
+        self.spans.retain(|v| defined.contains(&v));
     }
 }
 

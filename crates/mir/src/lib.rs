@@ -12,7 +12,13 @@
 //! - [`print_module`]/[`print_func`]: a textual form for debugging,
 //! - [`Interp`]: a **reference interpreter** defining sequential semantics —
 //!   the oracle against which every lowering pass and the final dataflow
-//!   execution are differentially tested.
+//!   execution are differentially tested,
+//! - a generic **pass framework** ([`Pass`], [`ModulePass`],
+//!   [`PassManager`], [`AnalysisManager`]) with cached analyses
+//!   ([`DefUse`], [`Liveness`], [`OpStats`]) and per-pass statistics
+//!   ([`PassReport`]),
+//! - the classical optimizations built on it: [`ConstFold`], [`Simplify`],
+//!   [`Cse`], and [`Dce`].
 //!
 //! ## Example
 //!
@@ -40,17 +46,26 @@
 
 #![warn(missing_docs)]
 
+mod analysis;
 mod func;
 mod interp;
 mod ops;
+mod opt;
+mod pass;
 mod print;
 mod spans;
 mod types;
 mod verify;
 
+pub use analysis::{DefUse, Liveness, OpStats};
 pub use func::{AllocDecl, Func, Module, RegionBuilder, SramDecl};
 pub use interp::{Interp, InterpError};
 pub use ops::{AluOp, ForeachFlags, ItKind, Op, OpKind, Region, Value, ViewKind};
+pub use opt::{ConstFold, Cse, Dce, Simplify};
+pub use pass::{
+    AnalysisManager, ModuleAnalysisManager, ModulePass, Pass, PassManager, PassReport, PassResult,
+    PassStat,
+};
 pub use print::{print_func, print_module};
 pub use spans::SpanTable;
 pub use types::{DramDecl, DramLayout, DramRef, Ty};

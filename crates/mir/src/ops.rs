@@ -525,6 +525,16 @@ impl OpKind {
         }
     }
 
+    /// True for side-effect-free, region-free value computations — the ops
+    /// the classical optimizations (folding, CSE, DCE) may freely delete,
+    /// duplicate, or replace when their results are unused or recomputable.
+    pub fn is_pure(&self) -> bool {
+        matches!(
+            self,
+            OpKind::ConstI(..) | OpKind::Bin(..) | OpKind::Select(..) | OpKind::Cast { .. }
+        )
+    }
+
     /// True if this op (not counting nested regions) touches memory.
     pub fn is_memory(&self) -> bool {
         if let OpKind::Predicated { inner, .. } = self {

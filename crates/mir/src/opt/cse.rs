@@ -1,0 +1,218 @@
+//! Local (scoped) common-subexpression elimination.
+
+use super::{is_commutative, resolve};
+use crate::ops::{AluOp, OpKind, Region, Value};
+use crate::pass::{AnalysisManager, Pass, PassResult};
+use crate::spans::SpanTable;
+use crate::{Func, Ty};
+use std::collections::HashMap;
+
+/// Deduplicates pure ops (`const`/`bin`/`select`/`cast`) within each
+/// region's scope.
+///
+/// Availability is *scoped*: the available-expression map is cloned when
+/// descending into a nested region, so an expression computed inside one
+/// `if` arm is never reused in the sibling arm (its value would not be in
+/// scope there), while expressions from enclosing regions remain reusable
+/// inside. Commutative operands are order-normalized so `a+b` unifies with
+/// `b+a`. Duplicate ops are deleted on the spot and their span entries
+/// pruned; uses are remapped to the surviving value (declared types must
+/// match).
+pub struct Cse;
+
+impl Pass for Cse {
+    fn name(&self) -> &str {
+        "cse"
+    }
+
+    fn run(&self, f: &mut Func, _am: &mut AnalysisManager) -> PassResult {
+        let tys: Vec<_> = (0..f.value_count())
+            .map(|i| f.ty(Value(i as u32)))
+            .collect();
+        let mut remap = HashMap::new();
+        let mut changed = false;
+        let body = &mut f.body;
+        let spans = &mut f.spans;
+        cse_region(body, &HashMap::new(), &mut remap, spans, &tys, &mut changed);
+        PassResult::of(changed)
+    }
+}
+
+/// A normalized pure computation, used as the availability key.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Const(i64, Ty),
+    Bin(AluOp, Value, Value),
+    Select(Value, Value, Value),
+    Cast(Value, Ty, bool),
+}
+
+fn key_of(kind: &OpKind) -> Option<Key> {
+    Some(match *kind {
+        OpKind::ConstI(v, ty) => Key::Const(v, ty),
+        OpKind::Bin(alu, a, b) => {
+            let (a, b) = if is_commutative(alu) && b < a {
+                (b, a)
+            } else {
+                (a, b)
+            };
+            Key::Bin(alu, a, b)
+        }
+        OpKind::Select(c, t, e) => Key::Select(c, t, e),
+        OpKind::Cast { v, to, signed } => Key::Cast(v, to, signed),
+        _ => return None,
+    })
+}
+
+fn cse_region(
+    region: &mut Region,
+    inherited: &HashMap<Key, Value>,
+    remap: &mut HashMap<Value, Value>,
+    spans: &mut SpanTable,
+    tys: &[Ty],
+    changed: &mut bool,
+) {
+    let mut avail = inherited.clone();
+    let ops = std::mem::take(&mut region.ops);
+    for mut op in ops {
+        op.kind.map_operands(&mut |v| resolve(remap, v));
+        if op.kind.is_pure() {
+            let r = op.results[0];
+            if let Some(key) = key_of(&op.kind) {
+                if let Some(&prev) = avail.get(&key) {
+                    if tys[prev.0 as usize] == tys[r.0 as usize] {
+                        // Duplicate: drop the op, redirect uses, and keep
+                        // the side-table free of the deleted value.
+                        remap.insert(r, prev);
+                        if let Some(span) = spans.remove(r) {
+                            spans.set_if_absent(prev, span);
+                        }
+                        *changed = true;
+                        continue;
+                    }
+                }
+                avail.insert(key, r);
+            }
+        }
+        for sub in op.kind.regions_mut() {
+            cse_region(sub, &avail, remap, spans, tys, changed);
+        }
+        region.ops.push(op);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::RegionBuilder;
+    use crate::pass::PassManager;
+    use crate::Module;
+    use revet_diag::Span;
+
+    fn run(f: Func) -> Module {
+        let mut m = Module::default();
+        m.funcs.push(f);
+        let mut pm = PassManager::new();
+        pm.add(Cse);
+        pm.run(&mut m);
+        m
+    }
+
+    #[test]
+    fn dedups_commutative_and_consts() {
+        let mut f = Func::new("main", &[Ty::I32, Ty::I32], vec![Ty::I32]);
+        let (p, q) = (f.params[0], f.params[1]);
+        let mut b = RegionBuilder::new();
+        let c1 = b.const_i32(&mut f, 42);
+        let c2 = b.const_i32(&mut f, 42);
+        let s1 = b.bin(&mut f, AluOp::Add, p, q);
+        let s2 = b.bin(&mut f, AluOp::Add, q, p); // commutes with s1
+        let t = b.bin(&mut f, AluOp::Mul, s1, s2);
+        let u = b.bin(&mut f, AluOp::Add, t, c1);
+        let w = b.bin(&mut f, AluOp::Add, u, c2);
+        b.emit0(OpKind::Return(vec![w]));
+        f.body = b.build();
+        f.spans.set(s2, Span::new(5, 9));
+        let m = run(f);
+        let f = m.func("main").unwrap();
+        assert_eq!(f.count_ops(|k| matches!(k, OpKind::ConstI(..))), 1);
+        // s2 deleted; t = s1 * s1.
+        assert!(f
+            .body
+            .ops
+            .iter()
+            .any(|o| matches!(o.kind, OpKind::Bin(AluOp::Mul, a, b) if a == s1 && b == s1)));
+        assert_eq!(f.spans.get(s2), None, "deleted value's span pruned");
+        assert_eq!(f.spans.get(s1), Some(Span::new(5, 9)), "span transferred");
+        assert!(f.dangling_spans().is_empty());
+    }
+
+    #[test]
+    fn sibling_regions_do_not_share_availability() {
+        let mut f = Func::new("main", &[Ty::I32], vec![Ty::I32]);
+        let p = f.params[0];
+        let mut b = RegionBuilder::new();
+        let mut tb = RegionBuilder::new();
+        let t1 = tb.bin(&mut f, AluOp::Mul, p, p);
+        tb.emit0(OpKind::Yield(vec![t1]));
+        let mut eb = RegionBuilder::new();
+        let e1 = eb.bin(&mut f, AluOp::Mul, p, p); // same expr, other arm
+        eb.emit0(OpKind::Yield(vec![e1]));
+        let res = f.new_value(Ty::I32);
+        b.push(
+            OpKind::If {
+                cond: p,
+                then: tb.build(),
+                else_: eb.build(),
+            },
+            vec![res],
+        );
+        b.emit0(OpKind::Return(vec![res]));
+        f.body = b.build();
+        let m = run(f);
+        assert_eq!(
+            m.func("main")
+                .unwrap()
+                .count_ops(|k| matches!(k, OpKind::Bin(..))),
+            2,
+            "an if-arm expression must not be reused in the sibling arm"
+        );
+        crate::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn enclosing_expression_reused_inside_region() {
+        let mut f = Func::new("main", &[Ty::I32], vec![Ty::I32]);
+        let p = f.params[0];
+        let mut b = RegionBuilder::new();
+        let outer = b.bin(&mut f, AluOp::Mul, p, p);
+        let mut tb = RegionBuilder::new();
+        let inner = tb.bin(&mut f, AluOp::Mul, p, p); // dup of outer
+        let sum = tb.bin(&mut f, AluOp::Add, inner, outer);
+        tb.emit0(OpKind::Yield(vec![sum]));
+        let mut eb = RegionBuilder::new();
+        eb.emit0(OpKind::Yield(vec![p]));
+        let res = f.new_value(Ty::I32);
+        b.push(
+            OpKind::If {
+                cond: p,
+                then: tb.build(),
+                else_: eb.build(),
+            },
+            vec![res],
+        );
+        b.emit0(OpKind::Return(vec![res]));
+        f.body = b.build();
+        let m = run(f);
+        let f = m.func("main").unwrap();
+        assert_eq!(f.count_ops(|k| matches!(k, OpKind::Bin(AluOp::Mul, ..))), 1);
+        // The add now uses the outer value twice.
+        assert_eq!(
+            f.count_ops(
+                |k| matches!(k, OpKind::Bin(AluOp::Add, a, b) if *a == outer && *b == outer)
+            ),
+            1
+        );
+        crate::verify_module(&m).unwrap();
+    }
+}

@@ -1,0 +1,111 @@
+//! Classical optimizations over MIR: constant folding, identity/select
+//! simplification, local CSE, and dead-code elimination.
+//!
+//! All four are [`Pass`](crate::Pass)es designed to run as a group (fold →
+//! simplify → cse → dce): folding and simplification leave bypassed ops in
+//! place (remapping uses), and the trailing DCE sweep deletes them while
+//! pruning their `SpanTable` entries.
+//!
+//! Semantics discipline: a pure op is only rewritten to a constant when the
+//! replacement `ConstI` *materializes* (under the exact rules shared by the
+//! interpreter and the dataflow lowering — I8/I16 constants are masked to
+//! their storage width) to the very word the original op computes, and a
+//! value is only replaced by another when their declared types match (the
+//! subword packer keys on declared types). This keeps optimized programs
+//! bit-identical to unoptimized ones.
+
+mod cse;
+mod dce;
+mod fold;
+mod simplify;
+
+pub use cse::Cse;
+pub use dce::Dce;
+pub use fold::ConstFold;
+pub use simplify::Simplify;
+
+use crate::ops::{AluOp, Value};
+use crate::types::Ty;
+use revet_sltf::Word;
+use std::collections::HashMap;
+
+/// The word a `ConstI(v, ty)` op produces — mirrors both the interpreter
+/// and the dataflow lowering (I8/I16 literals masked to storage width).
+pub(crate) fn materialize(v: i64, ty: Ty) -> Word {
+    match ty {
+        Ty::I8 => Word((v as u8) as u32),
+        Ty::I16 => Word((v as u16) as u32),
+        _ => Word(v as u32),
+    }
+}
+
+/// A literal `k` such that `materialize(k, ty)` equals `w`, if one exists.
+/// (`None` when the computed word does not fit the declared storage width —
+/// rewriting to a constant would change the program in that case.)
+pub(crate) fn const_repr(w: Word, ty: Ty) -> Option<i64> {
+    let k = w.as_u32() as i64;
+    if materialize(k, ty) == w {
+        Some(k)
+    } else {
+        None
+    }
+}
+
+/// True for ALU ops where `op(a, b) == op(b, a)` for every pair of words —
+/// CSE normalizes commutative operand order so `a+b` and `b+a` unify.
+pub(crate) fn is_commutative(op: AluOp) -> bool {
+    matches!(
+        op,
+        AluOp::Add
+            | AluOp::Mul
+            | AluOp::And
+            | AluOp::Or
+            | AluOp::Xor
+            | AluOp::Eq
+            | AluOp::Ne
+            | AluOp::MinS
+            | AluOp::MinU
+            | AluOp::MaxS
+            | AluOp::MaxU
+    )
+}
+
+/// Resolves a value through a replacement map, following chains.
+pub(crate) fn resolve(remap: &HashMap<Value, Value>, mut v: Value) -> Value {
+    while let Some(&r) = remap.get(&v) {
+        v = r;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn materialize_masks_subwords() {
+        assert_eq!(materialize(0x1FF, Ty::I8), Word(0xFF));
+        assert_eq!(materialize(-1, Ty::I16), Word(0xFFFF));
+        assert_eq!(materialize(-1, Ty::I32), Word(u32::MAX));
+    }
+
+    #[test]
+    fn const_repr_round_trips() {
+        assert_eq!(const_repr(Word(200), Ty::I8), Some(200));
+        assert_eq!(
+            const_repr(Word(300), Ty::I8),
+            None,
+            "does not fit i8 storage"
+        );
+        assert_eq!(const_repr(Word(u32::MAX), Ty::I32), Some(u32::MAX as i64));
+    }
+
+    #[test]
+    fn remap_chains_resolve() {
+        let mut m = HashMap::new();
+        m.insert(Value(3), Value(2));
+        m.insert(Value(2), Value(1));
+        assert_eq!(resolve(&m, Value(3)), Value(1));
+        assert_eq!(resolve(&m, Value(5)), Value(5));
+    }
+}

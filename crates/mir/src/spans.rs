@@ -50,6 +50,24 @@ impl SpanTable {
             .find_map(|v| self.get(v))
     }
 
+    /// Removes the span recorded for a value (if any), returning it.
+    /// Passes that delete a value's defining op call this so the table
+    /// never points at values with no definition.
+    pub fn remove(&mut self, v: Value) -> Option<Span> {
+        self.map.remove(&v)
+    }
+
+    /// Keeps only entries whose value satisfies the predicate — the bulk
+    /// form of [`remove`](Self::remove) used by sweeps like DCE.
+    pub fn retain(&mut self, mut keep: impl FnMut(Value) -> bool) {
+        self.map.retain(|v, _| keep(*v));
+    }
+
+    /// Iterates over the attributed values (arbitrary order).
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        self.map.keys().copied()
+    }
+
     /// Number of attributed values.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -76,6 +94,19 @@ mod tests {
         assert_eq!(t.get(Value(2)), Some(Span::new(20, 21)));
         assert_eq!(t.get(Value(3)), None);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn remove_and_retain() {
+        let mut t = SpanTable::new();
+        t.set(Value(1), Span::new(0, 1));
+        t.set(Value(2), Span::new(2, 3));
+        t.set(Value(3), Span::new(4, 5));
+        assert_eq!(t.remove(Value(2)), Some(Span::new(2, 3)));
+        assert_eq!(t.remove(Value(2)), None);
+        t.retain(|v| v != Value(3));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.values().collect::<Vec<_>>(), vec![Value(1)]);
     }
 
     #[test]

@@ -27,9 +27,11 @@ use std::io::{self, Read, Write};
 /// Current protocol version, first byte of every frame body.
 ///
 /// v2: error frames carry a structured [`WireDiagnostic`] list after the
-/// message (the `CompileFailed` payload). v1 peers get a clean
-/// [`ErrorCode::UnsupportedVersion`] instead of a garbled decode.
-pub const WIRE_VERSION: u8 = 2;
+/// message (the `CompileFailed` payload). v3: [`PassOptions`] gained
+/// `opt_level`, encoded as one byte after the toggle flags. Older peers
+/// get a clean [`ErrorCode::UnsupportedVersion`] instead of a garbled
+/// decode.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Upper bound on a frame body. Large enough for a full 4 MiB DRAM
 /// window per instance on a modest batch; small enough that a corrupt
@@ -681,6 +683,7 @@ impl W {
             | (o.pack_subwords as u8) << 4
             | (o.eliminate_hierarchy as u8) << 5;
         self.u8(flags);
+        self.u8(o.opt_level);
         self.u8(o.threads.is_some() as u8);
         self.u32(o.threads.unwrap_or(0));
         self.u64(o.dram_bytes as u64);
@@ -773,6 +776,10 @@ impl<'a> R<'a> {
         if flags & !0x3F != 0 {
             return Err(WireError::BadField("pass option flags"));
         }
+        let opt_level = self.u8()?;
+        if opt_level > 2 {
+            return Err(WireError::BadField("opt level"));
+        }
         let has_threads = self.bool()?;
         let threads = self.u32()?;
         let dram_bytes = self.u64()?;
@@ -783,6 +790,7 @@ impl<'a> R<'a> {
             bufferize_replicate: flags & 8 != 0,
             pack_subwords: flags & 16 != 0,
             eliminate_hierarchy: flags & 32 != 0,
+            opt_level,
             threads: has_threads.then_some(threads),
             dram_bytes: dram_bytes as usize,
         })

@@ -362,3 +362,68 @@ fn structured_compile_failed_frame_carries_line_and_col() {
     client.shutdown().expect("shutdown ack");
     server.shutdown();
 }
+
+/// One source compiled at two opt levels must get two distinct cache
+/// entries — different `ProgramId`s, independent compiles, and executes
+/// routed to the right program — with results identical across levels.
+#[test]
+fn two_opt_levels_of_one_source_do_not_cross_contaminate() {
+    let name = APP_NAMES[0];
+    let base = remote_app(name, 2);
+    let o0 = RemoteApp {
+        options: PassOptions {
+            opt_level: 0,
+            ..base.options.clone()
+        },
+        ..remote_app(name, 2)
+    };
+    let o2 = RemoteApp {
+        options: PassOptions {
+            opt_level: 2,
+            ..base.options.clone()
+        },
+        ..remote_app(name, 2)
+    };
+    assert_eq!(o0.source, o2.source);
+    let id0 = ProgramId::of(&o0.source, &o0.options);
+    let id2 = ProgramId::of(&o2.source, &o2.options);
+    assert_ne!(id0, id2, "opt level must feed the content address");
+
+    let server = Server::spawn(ServeConfig::default()).expect("spawn");
+    let addr = server.local_addr();
+
+    // Both levels compile fresh; re-compiling each hits its own entry.
+    client_session(addr, &[o0, o2]);
+    let hits = client_session(
+        addr,
+        &[
+            RemoteApp {
+                options: PassOptions {
+                    opt_level: 0,
+                    ..base.options.clone()
+                },
+                ..remote_app(name, 2)
+            },
+            RemoteApp {
+                options: PassOptions {
+                    opt_level: 2,
+                    ..base.options.clone()
+                },
+                ..remote_app(name, 2)
+            },
+        ],
+    );
+    assert_eq!(hits, 2, "second round must be served from cache");
+
+    let status = ServeClient::connect(addr)
+        .expect("connect")
+        .status()
+        .expect("status");
+    assert_eq!(
+        status.programs_cached, 2,
+        "each opt level owns its own cache slot"
+    );
+    assert_eq!(status.cache_misses, 2);
+    assert_eq!(status.failed_instances, 0);
+    server.shutdown();
+}

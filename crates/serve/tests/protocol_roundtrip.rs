@@ -24,6 +24,7 @@ fn gen_options(r: &mut TestRunner) -> PassOptions {
         bufferize_replicate: flag(r),
         pack_subwords: flag(r),
         eliminate_hierarchy: flag(r),
+        opt_level: (0u8..3).generate(r),
         threads: flag(r).then(|| (1u32..256).generate(r)),
         dram_bytes: (64usize..(1 << 24)).generate(r),
     }
