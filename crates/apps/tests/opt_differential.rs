@@ -43,7 +43,7 @@ fn dataflow_output_is_opt_level_invariant() {
 /// interpreter executes the high-level dialect directly) and interprets
 /// both the original and the optimized module; returns both DRAM images.
 fn interp_drams(app: &App) -> (Vec<u8>, Vec<u8>) {
-    use revet_mir::{ConstFold, Cse, Dce, DramLayout, Interp, PassManager, Simplify};
+    use revet_mir::{ConstFold, Cse, Dce, DramLayout, Interp, PassManager, Simplify, SinkConsts};
 
     let w = (app.workload)(4, SEED);
     let lowered = revet_lang::compile_to_mir(&(app.source)(2)).unwrap();
@@ -77,6 +77,7 @@ fn interp_drams(app: &App) -> (Vec<u8>, Vec<u8>) {
 
     let before = run(&module);
 
+    // Mirrors the -O2 group of `build_pipeline` (core/src/passes).
     let mut pm = PassManager::new();
     pm.add(ConstFold)
         .add(Simplify)
@@ -84,12 +85,69 @@ fn interp_drams(app: &App) -> (Vec<u8>, Vec<u8>) {
         .add(Cse)
         .add(ConstFold)
         .add(Simplify)
+        .add(SinkConsts)
         .add(Dce);
     let report = pm.run(&mut module);
     assert!(report.ops_after() <= report.ops_before());
 
     let after = run(&module);
     (before, after)
+}
+
+/// Pins the optimizer-vs-executor cost interaction found on the
+/// while-heavy parsing apps (`isipv4`, `ip2int`).
+///
+/// CSE used to treat enclosing-region expressions as available inside
+/// `while` sub-regions; reusing one there turns a region-local pure
+/// recompute into a *free use*, which `lower_while` must thread through
+/// the recirculating loop tuple on every iteration — wider pack/unpack
+/// nodes, an extra `while_out` reorder stage, and a double-digit step
+/// regression on the ready-set executor. The fix (`while` sub-regions
+/// inherit no availability, plus the `sink_consts` pass) is pinned here
+/// from three angles:
+///
+/// 1. the dense executor's *productive* steps — real work, independent
+///    of scheduling — must not increase at -O2;
+/// 2. the planned executor's dispatch count must be identical at -O0
+///    and -O2 (fused segments absorb dispatch granularity entirely);
+/// 3. the ready-set (interpreted) executor must not regress at -O2.
+///
+/// Any residual ready-set delta between apps is dispatch-granularity
+/// noise, not real work — (1) and (2) are the load-bearing assertions.
+#[test]
+fn while_heavy_apps_do_not_regress_under_opt() {
+    for app in all_apps() {
+        if app.name != "isipv4" && app.name != "ip2int" {
+            continue;
+        }
+        let metrics = |level: u8| {
+            let opts = opts_at(level);
+            let (mut p, args, _w) = app.prepare(2, 12, SEED, &opts);
+            let planned = p.run_untimed(&args, 200_000_000).unwrap();
+            let (mut p, args, _w) = app.prepare(2, 12, SEED, &opts);
+            let ready = p.run_untimed_interpreted(&args, 200_000_000).unwrap();
+            let (mut p, args, _w) = app.prepare(2, 12, SEED, &opts);
+            let dense = p.run_untimed_dense(&args, 200_000_000).unwrap();
+            (planned.steps, ready.steps, dense.productive_steps)
+        };
+        let (planned0, ready0, work0) = metrics(0);
+        let (planned2, ready2, work2) = metrics(2);
+        assert!(
+            work2 <= work0,
+            "{}: -O2 must not increase dense productive steps ({work2} > {work0})",
+            app.name
+        );
+        assert_eq!(
+            planned2, planned0,
+            "{}: planned dispatch count must be opt-level-invariant",
+            app.name
+        );
+        assert!(
+            ready2 <= ready0,
+            "{}: -O2 must not regress ready-set steps ({ready2} > {ready0})",
+            app.name
+        );
+    }
 }
 
 #[test]

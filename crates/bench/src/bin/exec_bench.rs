@@ -1,23 +1,36 @@
 //! Executor + optimizer benchmark over the eight Table III apps.
 //!
-//! For every app this driver compiles twice — classical optimizations off
-//! (`--opt-level 0` equivalent) and at the default level 2 — and reports:
+//! Three sections:
 //!
-//! - MIR op counts and dataflow context/link counts for both compiles
-//!   (the static effect of the optimizer),
-//! - untimed executor steps for both (the dynamic effect),
-//!
-//! while asserting the two runs leave **bit-identical DRAM** and both
-//! match the app's oracle — the optimizer must never change results. It
-//! then reruns the ready-set vs dense-sweep scheduler comparison retained
-//! from the original harness.
+//! 1. **Optimizer effect** — every app compiles twice, classical
+//!    optimizations off (`--opt-level 0` equivalent) and at the default
+//!    level 2, and runs on the *interpreted* ready-set executor (whose
+//!    step counts are comparable across opt levels); reports MIR op
+//!    counts, context/link counts, and executor steps for both while
+//!    asserting bit-identical DRAM — the optimizer must never change
+//!    results.
+//! 2. **Plan vs interpreter** — at the default opt level, every app runs
+//!    through the compiled [`revet_machine::ExecPlan`] fast path and the interpreted
+//!    reference, asserting bit-identical DRAM between the two, and
+//!    measures wall-clock step rate (steps/sec) and whole-run throughput
+//!    (instances/sec, including per-instance graph cloning — the
+//!    `revet-serve` cost model). `plan speedup` is the ratio of
+//!    execution-only wall time per instance (interpreted / planned):
+//!    how much faster the plan retires the *same work*.
+//! 3. The ready-set vs dense-sweep scheduler comparison retained from
+//!    the original harness.
 //!
 //! Usage:
-//! `cargo run --release -p revet-bench --bin exec_bench [scale] [--json PATH] [--criterion]`
+//! `cargo run --release -p revet-bench --bin exec_bench \
+//!    [scale] [--json PATH] [--baseline PATH] [--criterion]`
 //!
-//! `--json PATH` additionally writes the per-app rows as a JSON array
-//! (the CI artifact `BENCH_exec.json`). `--criterion` appends the
-//! Criterion wall-clock comparison on the largest app graph.
+//! `--json PATH` writes the per-app rows as a schema-versioned JSON
+//! object (the CI artifact `BENCH_exec.json`). `--baseline PATH` reads a
+//! previously committed artifact and **fails the process** if any app's
+//! plan speedup drops below 0.8x its baseline value — wall-clock rates
+//! vary across machines, the speedup *ratio* is the stable trajectory
+//! signal. `--criterion` appends the Criterion wall-clock comparison on
+//! the largest app graph.
 
 use criterion::{black_box, Criterion};
 use revet_apps::{all_apps, App};
@@ -25,6 +38,7 @@ use revet_bench::prepare_app;
 use revet_core::{PassOptions, Session};
 use revet_machine::ExecReport;
 use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
 /// Static + dynamic measurements for one app at one opt level.
 struct Side {
@@ -34,10 +48,29 @@ struct Side {
     steps: u64,
 }
 
+/// Wall-clock measurements for one executor mode at the default level.
+struct Rate {
+    steps: u64,
+    steps_per_sec: f64,
+    instances_per_sec: f64,
+    /// Execution-only seconds per instance (graph cloning excluded).
+    exec_per_instance: f64,
+}
+
 struct Row {
     name: &'static str,
     unopt: Side,
     opt: Side,
+    planned: Rate,
+    interp: Rate,
+}
+
+impl Row {
+    /// Execution-only wall-clock speedup of the plan over the
+    /// interpreter on identical work (same program, same inputs).
+    fn plan_speedup(&self) -> f64 {
+        self.interp.exec_per_instance / self.planned.exec_per_instance
+    }
 }
 
 fn opts_at(level: u8) -> PassOptions {
@@ -59,11 +92,17 @@ fn mir_ops(app: &App, outer: u32, level: u8) -> usize {
         .op_count()
 }
 
-/// Compiles and runs `app` untimed at `level`; returns the measurements
-/// and the final DRAM image (for the bit-identical cross-check).
+/// Compiles and runs `app` on the interpreted executor at `level`;
+/// returns the measurements and the final DRAM image (for the
+/// bit-identical cross-check). Interpreted steps are the comparable
+/// dynamic metric across opt levels — planned dispatch counts depend on
+/// how many nodes fused into each segment.
 fn measure(app: &App, scale: usize, level: u8) -> (Side, Vec<u8>) {
     let mut p = prepare_app(app, revet_bench::DEFAULT_OUTER, scale, &opts_at(level));
-    let report: ExecReport = p.program.run_untimed(&p.args, 200_000_000).unwrap();
+    let report: ExecReport = p
+        .program
+        .run_untimed_interpreted(&p.args, 200_000_000)
+        .unwrap();
     app.check(&p.program, &p.workload);
     let side = Side {
         mir_ops: mir_ops(app, revet_bench::DEFAULT_OUTER, level),
@@ -72,6 +111,66 @@ fn measure(app: &App, scale: usize, level: u8) -> (Side, Vec<u8>) {
         steps: report.steps,
     };
     (side, p.program.graph.mem.dram.clone())
+}
+
+/// One timed run of one executor mode: instantiates the compiled
+/// program and runs it to quiescence, returning the report, the
+/// clone+run wall time, the run-only wall time, and the final DRAM.
+fn one_run(
+    p: &revet_bench::PreparedApp,
+    planned: bool,
+) -> (ExecReport, Duration, Duration, Vec<u8>) {
+    let t0 = Instant::now();
+    let mut inst = p.program.instance();
+    let t1 = Instant::now();
+    let r = if planned {
+        inst.run_untimed(&p.args, 200_000_000)
+    } else {
+        inst.run_untimed_interpreted(&p.args, 200_000_000)
+    }
+    .unwrap();
+    let exec = t1.elapsed();
+    (r, t0.elapsed(), exec, inst.into_memory().dram)
+}
+
+/// Times both executor modes at the default opt level, *interleaved*
+/// round-robin so machine-load swings hit both modes equally, and using
+/// the **minimum** observed per-run time — the standard noise-robust
+/// estimator for short benchmarks. `steps_per_sec` uses run-only time;
+/// `instances_per_sec` also charges the per-instance graph clone (the
+/// serve-style cost model). Also returns both final DRAM images for the
+/// bit-identical cross-check.
+fn time_modes(p: &revet_bench::PreparedApp) -> (Rate, Rate, Vec<u8>, Vec<u8>) {
+    const MIN_ROUNDS: u32 = 5;
+    const MIN_ELAPSED: Duration = Duration::from_millis(600);
+    let mut rounds = 0u32;
+    // Per mode: (min clone+run, min run-only, steps).
+    let mut best = [(Duration::MAX, Duration::MAX, 0u64); 2];
+    let (dram_p, dram_i);
+    let start = Instant::now();
+    loop {
+        let (rp, tp, ep, dp) = one_run(p, true);
+        let (ri, ti, ei, di) = one_run(p, false);
+        for (slot, (r, total, exec)) in [(0, (rp, tp, ep)), (1, (ri, ti, ei))] {
+            let b = &mut best[slot];
+            b.0 = b.0.min(total);
+            b.1 = b.1.min(exec);
+            b.2 = r.steps;
+        }
+        rounds += 1;
+        if start.elapsed() >= MIN_ELAPSED && rounds >= MIN_ROUNDS {
+            dram_p = dp;
+            dram_i = di;
+            break;
+        }
+    }
+    let rate = |b: (Duration, Duration, u64)| Rate {
+        steps: b.2,
+        steps_per_sec: b.2 as f64 / b.1.as_secs_f64(),
+        instances_per_sec: 1.0 / b.0.as_secs_f64(),
+        exec_per_instance: b.1.as_secs_f64(),
+    };
+    (rate(best[0]), rate(best[1]), dram_p, dram_i)
 }
 
 // The scheduler comparison runs with classical optimizations off so its
@@ -83,7 +182,12 @@ fn measure(app: &App, scale: usize, level: u8) -> (Side, Vec<u8>) {
 fn run_ready(app: &App, scale: usize) -> (ExecReport, usize) {
     let mut p = prepare_app(app, revet_bench::DEFAULT_OUTER, scale, &opts_at(0));
     let nodes = p.program.graph.node_count();
-    (p.program.run_untimed(&p.args, 200_000_000).unwrap(), nodes)
+    (
+        p.program
+            .run_untimed_interpreted(&p.args, 200_000_000)
+            .unwrap(),
+        nodes,
+    )
 }
 
 fn run_dense(app: &App, scale: usize) -> ExecReport {
@@ -97,15 +201,23 @@ fn json_escape_free(s: &str) -> &str {
 }
 
 fn rows_to_json(rows: &[Row], scale: usize) -> String {
-    let mut out = String::from("[\n");
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema_version\": 2,");
+    let _ = writeln!(out, "  \"scale\": {scale},");
+    let _ = writeln!(out, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,
-            "  {{\"app\": \"{}\", \"scale\": {scale}, \
+            "    {{\"app\": \"{}\", \
              \"mir_ops_o0\": {}, \"mir_ops_o2\": {}, \
              \"contexts_o0\": {}, \"contexts_o2\": {}, \
              \"links_o0\": {}, \"links_o2\": {}, \
-             \"steps_o0\": {}, \"steps_o2\": {}}}",
+             \"steps_o0\": {}, \"steps_o2\": {}, \
+             \"planned_steps\": {}, \"interp_steps\": {}, \
+             \"planned_steps_per_sec\": {:.0}, \"interp_steps_per_sec\": {:.0}, \
+             \"planned_instances_per_sec\": {:.2}, \"interp_instances_per_sec\": {:.2}, \
+             \"plan_speedup\": {:.3}}}",
             json_escape_free(r.name),
             r.unopt.mir_ops,
             r.opt.mir_ops,
@@ -115,21 +227,49 @@ fn rows_to_json(rows: &[Row], scale: usize) -> String {
             r.opt.links,
             r.unopt.steps,
             r.opt.steps,
+            r.planned.steps,
+            r.interp.steps,
+            r.planned.steps_per_sec,
+            r.interp.steps_per_sec,
+            r.planned.instances_per_sec,
+            r.interp.instances_per_sec,
+            r.plan_speedup(),
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    out.push_str("]\n");
+    out.push_str("  ]\n}\n");
     out
+}
+
+/// Extracts `(app, plan_speedup)` pairs from a schema-2 artifact without
+/// a JSON dependency: the writer above emits one row per line, so a line
+/// scan for the two keys is exact on our own output.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let at = line.find(key)? + key.len();
+        let rest = &line[at..];
+        let end = rest.find([',', '}', '"']).unwrap_or(rest.len());
+        Some(rest[..end].trim().to_string())
+    };
+    text.lines()
+        .filter_map(|line| {
+            let app = field(line, "\"app\": \"")?;
+            let speedup: f64 = field(line, "\"plan_speedup\": ")?.parse().ok()?;
+            Some((app, speedup))
+        })
+        .collect()
 }
 
 fn main() {
     let mut scale: usize = 256;
     let mut json_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
     let mut criterion = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => json_path = args.next(),
+            "--baseline" => baseline_path = args.next(),
             "--criterion" => criterion = true,
             other => {
                 if let Ok(n) = other.parse() {
@@ -139,7 +279,7 @@ fn main() {
         }
     }
 
-    println!("=== Optimizer effect: --opt-level 0 vs 2 (scale={scale}) ===");
+    println!("=== Optimizer effect: --opt-level 0 vs 2, interpreted (scale={scale}) ===");
     println!(
         "{:<12} {:>8} {:>8} {:>7} {:>9} {:>9} {:>7} {:>7} {:>12} {:>12}",
         "app",
@@ -153,7 +293,7 @@ fn main() {
         "steps O0",
         "steps O2"
     );
-    let mut rows = Vec::new();
+    let mut sides = Vec::new();
     let mut reduced = 0usize;
     for app in all_apps() {
         let (unopt, dram0) = measure(&app, scale, 0);
@@ -180,14 +320,60 @@ fn main() {
             unopt.steps,
             opt.steps,
         );
-        rows.push(Row {
-            name: app.name,
-            unopt,
-            opt,
-        });
+        sides.push((app, unopt, opt));
     }
     println!(
         "\n{reduced}/{} apps shrink in MIR op count at -O2",
+        sides.len()
+    );
+
+    println!("\n=== Execution plan vs interpreter, default level (scale={scale}) ===");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>12} {:>9} {:>9} {:>8}",
+        "app",
+        "plan stp",
+        "intp stp",
+        "plan stp/s",
+        "intp stp/s",
+        "plan i/s",
+        "intp i/s",
+        "speedup"
+    );
+    let mut rows = Vec::new();
+    let mut faster = 0usize;
+    for (app, unopt, opt) in sides {
+        let p = prepare_app(&app, revet_bench::DEFAULT_OUTER, scale, &opts_at(2));
+        let (planned, interp, dram_p, dram_i) = time_modes(&p);
+        assert_eq!(
+            dram_p, dram_i,
+            "{}: planned run must leave bit-identical DRAM vs interpreted",
+            app.name
+        );
+        let row = Row {
+            name: app.name,
+            unopt,
+            opt,
+            planned,
+            interp,
+        };
+        if row.plan_speedup() >= 1.5 {
+            faster += 1;
+        }
+        println!(
+            "{:<12} {:>10} {:>10} {:>12.2e} {:>12.2e} {:>9.1} {:>9.1} {:>7.2}x",
+            row.name,
+            row.planned.steps,
+            row.interp.steps,
+            row.planned.steps_per_sec,
+            row.interp.steps_per_sec,
+            row.planned.instances_per_sec,
+            row.interp.instances_per_sec,
+            row.plan_speedup(),
+        );
+        rows.push(row);
+    }
+    println!(
+        "\n{faster}/{} apps execute >=1.5x faster through the plan",
         rows.len()
     );
 
@@ -195,6 +381,37 @@ fn main() {
         let json = rows_to_json(&rows, scale);
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         println!("wrote {path}");
+    }
+
+    if let Some(path) = baseline_path {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let baseline = parse_baseline(&text);
+        assert!(
+            !baseline.is_empty(),
+            "{path}: no rows with app + plan_speedup found"
+        );
+        let mut failed = false;
+        for (name, base) in &baseline {
+            let Some(row) = rows.iter().find(|r| r.name == name.as_str()) else {
+                println!("baseline: app {name} no longer measured, skipping");
+                continue;
+            };
+            let now = row.plan_speedup();
+            let floor = base * 0.8;
+            if now < floor {
+                println!(
+                    "baseline FAIL {name}: plan speedup {now:.2}x < 0.8 * baseline {base:.2}x"
+                );
+                failed = true;
+            } else {
+                println!("baseline ok   {name}: plan speedup {now:.2}x (baseline {base:.2}x)");
+            }
+        }
+        if failed {
+            eprintln!("plan speedup regressed >20% against {path}");
+            std::process::exit(1);
+        }
     }
 
     println!("\n=== Untimed executor: ready-set vs dense sweep (scale={scale}) ===");

@@ -13,8 +13,9 @@
 use crate::lower::CompiledProgram;
 use crate::CoreError;
 use revet_machine::nodes::SinkHandle;
-use revet_machine::{ChanId, ExecReport, Graph, MachineError, MemoryState, TTok};
+use revet_machine::{ChanId, ExecPlan, ExecReport, Graph, MachineError, MemoryState, TTok};
 use revet_sltf::Word;
+use std::sync::Arc;
 
 /// One independently runnable instantiation of a [`CompiledProgram`]:
 /// private graph state (nodes, channels, memory) plus this instance's own
@@ -26,6 +27,7 @@ pub struct ProgramInstance {
     pub graph: Graph,
     entry: ChanId,
     sink: SinkHandle,
+    plan: Arc<ExecPlan>,
 }
 
 // The whole point of an instance is to migrate onto a worker thread; keep
@@ -37,12 +39,30 @@ const _: fn() = || {
 
 impl ProgramInstance {
     /// Runs this instance to quiescence with the given `main` arguments,
-    /// using the event-driven untimed executor.
+    /// through the compiled execution plan (shared, like the topology
+    /// index, by all instances of one compile).
     ///
     /// # Errors
     ///
     /// Propagates machine protocol errors and deadlock diagnoses.
     pub fn run_untimed(
+        &mut self,
+        args: &[Word],
+        max_rounds: u64,
+    ) -> Result<ExecReport, MachineError> {
+        crate::lower::inject_args(&mut self.graph, self.entry, args);
+        let plan = Arc::clone(&self.plan);
+        self.graph.run_untimed_planned(&plan, max_rounds)
+    }
+
+    /// Like [`ProgramInstance::run_untimed`] but on the interpreted
+    /// event-driven executor — the functional reference the plan is
+    /// differential-tested against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine protocol errors and deadlock diagnoses.
+    pub fn run_untimed_interpreted(
         &mut self,
         args: &[Word],
         max_rounds: u64,
@@ -87,6 +107,7 @@ impl CompiledProgram {
             graph,
             entry: self.entry,
             sink,
+            plan: Arc::clone(&self.plan),
         }
     }
 

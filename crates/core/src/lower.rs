@@ -29,10 +29,11 @@ use revet_machine::nodes::{
     BroadcastNode, CounterNode, EwNode, FbMergeNode, FlattenNode, ForkNode, FwdMergeNode,
     OutputSpec, ReduceNode, SinkNode,
 };
-use revet_machine::{ChanId, Channel, Graph, LinkClass, UnitClass};
+use revet_machine::{ChanId, Channel, ExecPlan, Graph, LinkClass, UnitClass};
 use revet_mir::{DramLayout, Func, Module, Op, OpKind, Region, Ty, Value};
 use revet_sltf::Word;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Table IV resource category of a context.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -102,16 +103,40 @@ pub struct CompiledProgram {
     pub sink: revet_machine::nodes::SinkHandle,
     /// Product of replicate ways (the "outer parallelism" knob).
     pub outer_parallelism: u32,
+    /// The flattened execution plan: built once when the graph is
+    /// finished, shared (like the topology index) by every
+    /// [`crate::ProgramInstance`] of this compile.
+    pub plan: Arc<ExecPlan>,
 }
 
 impl CompiledProgram {
-    /// Runs the program to quiescence with the given `main` arguments.
-    /// DRAM inputs should be written into `self.graph.mem.dram` first.
+    /// Runs the program to quiescence with the given `main` arguments,
+    /// through the compiled execution plan (the fused fast path; falls
+    /// back to boxed node stepping for non-lowered kinds). DRAM inputs
+    /// should be written into `self.graph.mem.dram` first.
     ///
     /// # Errors
     ///
     /// Propagates machine protocol errors and deadlock diagnoses.
     pub fn run_untimed(
+        &mut self,
+        args: &[Word],
+        max_rounds: u64,
+    ) -> Result<revet_machine::ExecReport, revet_machine::MachineError> {
+        self.inject_args(args);
+        let plan = Arc::clone(&self.plan);
+        self.graph.run_untimed_planned(&plan, max_rounds)
+    }
+
+    /// Like [`CompiledProgram::run_untimed`] but on the interpreted
+    /// event-driven executor (boxed `dyn Node` stepping for every node) —
+    /// the functional reference the plan is benchmarked and
+    /// differential-tested against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine protocol errors and deadlock diagnoses.
+    pub fn run_untimed_interpreted(
         &mut self,
         args: &[Word],
         max_rounds: u64,
@@ -323,8 +348,10 @@ impl DfLower<'_> {
         self.g.set_node_meta(id, u32::MAX, UnitClass::Virtual);
         self.g.mem = self.module.build_memory(dram_bytes);
         // The wiring is complete: build the channel-endpoint index both
-        // executors use for ready-set scheduling.
+        // executors use for ready-set scheduling, and flatten the graph
+        // into the execution plan every instance of this compile shares.
         self.g.finalize_topology();
+        let plan = Arc::new(ExecPlan::build(&self.g));
         Ok(CompiledProgram {
             graph: self.g,
             contexts: self.infos,
@@ -333,6 +360,7 @@ impl DfLower<'_> {
             entry,
             sink: handle,
             outer_parallelism: self.outer_par,
+            plan,
         })
     }
 

@@ -29,7 +29,7 @@ pub(crate) mod hierarchy;
 pub(crate) mod select;
 pub(crate) mod views;
 
-pub use revet_mir::{ConstFold, Cse, Dce, Simplify};
+pub use revet_mir::{ConstFold, Cse, Dce, Simplify, SinkConsts};
 pub use views::DEFAULT_THREADS;
 
 use crate::PassOptions;
@@ -139,8 +139,15 @@ pub fn build_pipeline(opts: &PassOptions, threads: Option<u32>) -> PassManager {
     }
     if opts.opt_level >= 2 {
         // CSE opens new fold/identity opportunities; run a second clean-up
-        // round behind it.
-        pm.add(Cse).add(ConstFold).add(Simplify).add(Dce);
+        // round behind it. CSE also hoists region-local constants into
+        // enclosing regions, which the dataflow lowering would pay for as
+        // recirculated loop state — SinkConsts rematerializes them back
+        // into the regions that use them before the final DCE sweep.
+        pm.add(Cse)
+            .add(ConstFold)
+            .add(Simplify)
+            .add(SinkConsts)
+            .add(Dce);
     }
     pm
 }
@@ -213,6 +220,7 @@ mod tests {
                 "cse",
                 "const_fold",
                 "simplify",
+                "sink_consts",
                 "dce",
             ]
         );

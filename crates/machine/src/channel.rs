@@ -9,9 +9,9 @@
 //! encoding rule without ever *holding back* a token (which could deadlock
 //! cyclic regions).
 
+use crate::ring::Ring;
 use crate::tuple::TTok;
 use revet_sltf::Tok;
-use std::collections::VecDeque;
 
 /// Bandwidth class of a link (§III-C).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
@@ -34,9 +34,13 @@ impl LinkClass {
 }
 
 /// A FIFO link between two streaming contexts.
+///
+/// The queue is a power-of-two [`Ring`]: bounded channels pre-size their
+/// storage at construction and never reallocate while the graph runs;
+/// unbounded channels grow by doubling.
 #[derive(Debug, Clone)]
 pub struct Channel {
-    queue: VecDeque<TTok>,
+    queue: Ring<TTok>,
     /// Number of live values per tuple (physical link count of this edge).
     pub arity: usize,
     /// Bandwidth class used by the timed simulator and resource accounting.
@@ -64,7 +68,7 @@ impl Channel {
     /// Creates an unbounded vector channel of the given tuple arity.
     pub fn new(arity: usize) -> Self {
         Channel {
-            queue: VecDeque::new(),
+            queue: Ring::new(),
             arity,
             class: LinkClass::Vector,
             capacity: None,
@@ -81,9 +85,13 @@ impl Channel {
         self
     }
 
-    /// Sets a capacity bound (builder style).
+    /// Sets a capacity bound (builder style). The ring is pre-sized to the
+    /// next power of two, so a bounded channel never reallocates mid-run.
     pub fn with_capacity(mut self, cap: usize) -> Self {
         self.capacity = Some(cap);
+        if self.queue.is_empty() {
+            self.queue = Ring::with_capacity(cap);
+        }
         self
     }
 
@@ -189,7 +197,7 @@ impl Channel {
     /// Drains the remaining queue into a vector (test helper).
     pub fn drain_all(&mut self) -> Vec<TTok> {
         self.tail_preceded_by_data = false;
-        self.queue.drain(..).collect()
+        self.queue.drain_all()
     }
 }
 
@@ -282,6 +290,59 @@ mod tests {
         let mut c = Channel::new(1).with_capacity(1);
         c.push(tdata([1u32]));
         c.push(tdata([2u32]));
+    }
+
+    #[test]
+    fn capacity_one_channel_cycles() {
+        // The tightest bounded link: one slot, filled and drained repeatedly
+        // (the ring wraps many times without reallocating).
+        let mut c = Channel::new(1).with_capacity(1);
+        for i in 0..100u32 {
+            assert_eq!(c.room(), 1);
+            c.push(tdata([i]));
+            assert_eq!(c.room(), 0);
+            assert_eq!(c.pop(), Some(tdata([i])));
+            assert!(c.is_empty());
+        }
+        assert_eq!(c.total_pushed(), 100);
+    }
+
+    #[test]
+    fn bounded_channel_wraparound_preserves_order() {
+        let mut c = Channel::new(1).with_capacity(3);
+        let mut next_in = 0u32;
+        let mut next_out = 0u32;
+        // Keep the queue at 2/3 while head orbits the ring storage.
+        c.push(tdata([next_in]));
+        next_in += 1;
+        c.push(tdata([next_in]));
+        next_in += 1;
+        for _ in 0..500 {
+            c.push(tdata([next_in]));
+            next_in += 1;
+            assert_eq!(c.room(), 0);
+            assert_eq!(c.pop(), Some(tdata([next_out])));
+            next_out += 1;
+        }
+        assert_eq!(
+            c.drain_all(),
+            vec![tdata([next_out]), tdata([next_out + 1])]
+        );
+    }
+
+    #[test]
+    fn canonicalization_survives_wraparound() {
+        // The absorb rule pops the ring's back slot; exercise it after the
+        // ring has wrapped.
+        let mut c = Channel::new(1);
+        for i in 0..10u32 {
+            c.push(tdata([i]));
+            assert!(c.pop().is_some());
+        }
+        c.push(tdata([99u32]));
+        c.push(tbar(1));
+        c.push(tbar(2));
+        assert_eq!(c.drain_all(), vec![tdata([99u32]), tbar(2)]);
     }
 
     #[test]

@@ -266,6 +266,19 @@ impl Graph {
         &mut self.chans[id.0 as usize]
     }
 
+    /// Split mutable access to the channel table and memory state — the
+    /// plan executor pops, computes against memory, and pushes in one
+    /// borrow scope.
+    pub(crate) fn chans_and_mem_mut(&mut self) -> (&mut [Channel], &mut MemoryState) {
+        (&mut self.chans, &mut self.mem)
+    }
+
+    /// Like [`Graph::chans_and_mem_mut`] with the node slots alongside
+    /// (read-only, for error attribution while channels are borrowed).
+    pub(crate) fn split_mut(&mut self) -> (&mut [Channel], &mut MemoryState, &[NodeSlot]) {
+        (&mut self.chans, &mut self.mem, &self.nodes)
+    }
+
     /// Builds (or reuses) the channel-endpoint index for the current wiring.
     /// The compiler calls this once when a program's graph is complete;
     /// executors call it defensively before running.
@@ -552,6 +565,23 @@ impl Graph {
             )));
         }
         Ok(report)
+    }
+
+    /// Runs the graph untimed through a prebuilt execution plan
+    /// ([`crate::ExecPlan`]) — the flattened, fused fast path. Semantically
+    /// equivalent to [`Graph::run_untimed`]; the plan must have been built
+    /// from a graph with this wiring.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::run_untimed`], plus a shape-mismatch error when the
+    /// plan was built for different wiring.
+    pub fn run_untimed_planned(
+        &mut self,
+        plan: &crate::ExecPlan,
+        max_rounds: u64,
+    ) -> Result<ExecReport, MachineError> {
+        plan.run(self, max_rounds)
     }
 
     /// The retained dense-sweep reference executor: every round steps every

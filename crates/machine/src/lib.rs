@@ -32,6 +32,12 @@
 //! the ready set just attempts far fewer steps (see
 //! [`ExecReport::productive_ratio`]).
 //!
+//! The hot path does not interpret boxed nodes at all: a finished graph
+//! flattens once into an [`ExecPlan`] — fused element-wise segments,
+//! native sink drains, a bitmap worklist, and a boxed fallback for
+//! everything else — which [`Graph::run_untimed_planned`] executes with
+//! bit-identical results (see the [`ExecPlan`] docs).
+//!
 //! ## Example: a `foreach` as counter + reduce (paper Fig. 2)
 //!
 //! ```
@@ -66,10 +72,14 @@ pub mod instr;
 mod mem;
 mod node;
 pub mod nodes;
+mod plan;
+mod ring;
 mod tuple;
 
 pub use channel::{Channel, LinkClass};
 pub use graph::{ExecReport, Graph, NodeSlot, TopologyIndex, UnitClass};
 pub use mem::{AllocId, AllocQueue, MemoryState, SramId, SramRegion};
-pub use node::{ChanId, IoEvents, MachineError, Node, NodeId, NodeIo, PortBudget};
+pub use node::{ChanId, FusedSpec, IoEvents, MachineError, Node, NodeId, NodeIo, PortBudget};
+pub use plan::{ExecPlan, PlanStats};
+pub use ring::Ring;
 pub use tuple::{tbar, tdata, TTok, Tuple};

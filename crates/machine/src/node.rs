@@ -9,8 +9,9 @@
 //! channels and per-cycle port budgets).
 
 use crate::channel::Channel;
+use crate::instr::EwInstr;
 use crate::mem::MemoryState;
-use crate::nodes::SinkHandle;
+use crate::nodes::{OutputSpec, SinkHandle};
 use crate::tuple::TTok;
 use core::fmt;
 
@@ -300,4 +301,38 @@ pub trait Node: fmt::Debug + Send + Sync {
     fn sink_handle(&self) -> Option<SinkHandle> {
         None
     }
+
+    /// A data-only description of this node's behavior that the execution
+    /// plan ([`crate::ExecPlan`]) can lower onto its fused fast path;
+    /// `None` (the default) keeps the node on the boxed `step` fallback.
+    ///
+    /// Returning `Some` is a contract: executing the returned spec against
+    /// the node's channels must be **observably identical** to calling
+    /// [`Node::step`] — same tokens, same order, same memory effects, same
+    /// errors. The plan builder applies its own additional eligibility
+    /// checks (allocator stalls, channel bounds) before committing a node
+    /// to the fused path, so implementations only describe behavior, never
+    /// scheduling.
+    fn fused_spec(&self) -> Option<FusedSpec> {
+        None
+    }
+}
+
+/// A node behavior lowered to plan-executable data (see
+/// [`Node::fused_spec`]).
+#[derive(Clone, Debug)]
+pub enum FusedSpec {
+    /// An element-wise pipeline stage: straight-line instructions over a
+    /// per-thread register file, then per-port output specs.
+    Ew {
+        /// The straight-line program (indices into the plan's micro arena
+        /// after flattening).
+        instrs: Vec<EwInstr>,
+        /// One spec per output port.
+        outputs: Vec<OutputSpec>,
+        /// Register-file size.
+        reg_count: u16,
+    },
+    /// A result-collecting sink: drain input 0 into the sink handle.
+    Sink,
 }

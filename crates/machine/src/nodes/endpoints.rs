@@ -1,6 +1,6 @@
 //! Graph endpoints: sources inject prepared streams, sinks collect results.
 
-use crate::node::{MachineError, Node, NodeIo};
+use crate::node::{FusedSpec, MachineError, Node, NodeIo};
 use crate::tuple::TTok;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -23,6 +23,12 @@ impl SinkHandle {
     /// True if nothing was collected.
     pub fn is_empty(&self) -> bool {
         self.0.lock().unwrap().is_empty()
+    }
+
+    /// Appends every token `iter` yields under a single lock — the plan
+    /// executor's fused sink drain (one lock per firing, not per token).
+    pub(crate) fn collect_from(&self, iter: impl Iterator<Item = TTok>) {
+        self.0.lock().unwrap().extend(iter);
     }
 }
 
@@ -111,6 +117,12 @@ impl Node for SinkNode {
 
     fn sink_handle(&self) -> Option<SinkHandle> {
         Some(self.out.clone())
+    }
+
+    /// Sinks lower to a plan-native drain: pop everything on input 0 into
+    /// the handle (the plan captures the handle at run start).
+    fn fused_spec(&self) -> Option<FusedSpec> {
+        Some(FusedSpec::Sink)
     }
 }
 

@@ -9,7 +9,7 @@
 //! carry data only).
 
 use crate::instr::{exec_instrs, EwInstr, Reg};
-use crate::node::{MachineError, Node, NodeIo};
+use crate::node::{FusedSpec, MachineError, Node, NodeIo};
 use revet_sltf::{BarrierLevel, Tok, Word};
 
 /// Where one output port gets its tuple and when it fires.
@@ -223,6 +223,16 @@ impl Node for EwNode {
 
     fn may_stall_on_alloc(&self) -> bool {
         self.instrs.iter().any(|i| i.alloc_pop_id().is_some())
+    }
+
+    /// An `EwNode` is pure per-thread data: its whole behavior is the
+    /// instruction slice plus the output specs, so it lowers directly.
+    fn fused_spec(&self) -> Option<FusedSpec> {
+        Some(FusedSpec::Ew {
+            instrs: self.instrs.clone(),
+            outputs: self.outputs.clone(),
+            reg_count: self.reg_count,
+        })
     }
 }
 

@@ -1,0 +1,280 @@
+//! A power-of-two ring buffer — the channel queue of the execution fast
+//! path.
+//!
+//! [`Ring`] replaces `VecDeque` under every [`crate::Channel`]. Its storage
+//! length is always a power of two, so front/back indexing is a mask (no
+//! branch, no modulo), and a channel created with a capacity bound
+//! pre-sizes its ring to the next power of two — a bounded channel never
+//! reallocates while the graph runs. Unbounded channels grow by doubling,
+//! which keeps the mask invariant.
+
+/// A growable FIFO over power-of-two storage with mask indexing.
+///
+/// Invariants: `buf.len()` is zero or a power of two; `len <= buf.len()`;
+/// element `i` (0 = front) lives at `buf[(head + i) & mask]`.
+#[derive(Clone, Debug)]
+pub struct Ring<T> {
+    buf: Box<[Option<T>]>,
+    head: usize,
+    len: usize,
+}
+
+impl<T> Default for Ring<T> {
+    fn default() -> Self {
+        Ring::new()
+    }
+}
+
+impl<T> Ring<T> {
+    const MIN_POW2: usize = 4;
+
+    /// An empty ring with no storage (first push allocates).
+    pub fn new() -> Self {
+        Ring {
+            buf: Box::new([]),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// An empty ring pre-sized to hold at least `cap` elements without
+    /// reallocating (rounded up to a power of two).
+    pub fn with_capacity(cap: usize) -> Self {
+        let n = cap.max(Self::MIN_POW2).next_power_of_two();
+        Ring {
+            buf: (0..n).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Elements currently queued.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing is queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slots available before the next reallocation.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.buf.len().wrapping_sub(1)
+    }
+
+    /// Doubles storage, re-packing elements so the front lands at slot 0.
+    #[cold]
+    fn grow(&mut self) {
+        let new_cap = (self.buf.len() * 2).max(Self::MIN_POW2);
+        let mut buf: Box<[Option<T>]> = (0..new_cap).map(|_| None).collect();
+        let mask = self.mask();
+        for (i, slot) in buf.iter_mut().enumerate().take(self.len) {
+            *slot = self.buf[(self.head + i) & mask].take();
+        }
+        self.buf = buf;
+        self.head = 0;
+    }
+
+    /// Appends an element at the back.
+    pub fn push_back(&mut self, v: T) {
+        if self.len == self.buf.len() {
+            self.grow();
+        }
+        let idx = (self.head + self.len) & self.mask();
+        debug_assert!(self.buf[idx].is_none());
+        self.buf[idx] = Some(v);
+        self.len += 1;
+    }
+
+    /// Removes and returns the front element.
+    pub fn pop_front(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let v = self.buf[self.head].take();
+        debug_assert!(v.is_some());
+        self.head = (self.head + 1) & self.mask();
+        self.len -= 1;
+        v
+    }
+
+    /// Removes and returns the back element (barrier canonicalization
+    /// absorbs the queued tail in place).
+    pub fn pop_back(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        let idx = (self.head + self.len) & self.mask();
+        let v = self.buf[idx].take();
+        debug_assert!(v.is_some());
+        v
+    }
+
+    /// The front element, if any.
+    #[inline]
+    pub fn front(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.buf[self.head].as_ref()
+        }
+    }
+
+    /// The back element, if any.
+    #[inline]
+    pub fn back(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.buf[(self.head + self.len - 1) & self.mask()].as_ref()
+        }
+    }
+
+    /// The element `i` positions behind the front, if present.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i >= self.len {
+            None
+        } else {
+            self.buf[(self.head + i) & self.mask()].as_ref()
+        }
+    }
+
+    /// Iterates front to back.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        (0..self.len).map(|i| self.get(i).expect("index < len"))
+    }
+
+    /// Drains every element, front to back.
+    pub fn drain_all(&mut self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        while let Some(v) = self.pop_front() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty_without_storage() {
+        let r: Ring<u32> = Ring::new();
+        assert_eq!(r.len(), 0);
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), 0);
+        assert_eq!(r.front(), None);
+        assert_eq!(r.back(), None);
+        assert_eq!(r.get(0), None);
+    }
+
+    #[test]
+    fn fifo_order_with_growth() {
+        let mut r = Ring::new();
+        for i in 0..100u32 {
+            r.push_back(i);
+        }
+        assert_eq!(r.len(), 100);
+        assert!(r.capacity().is_power_of_two());
+        for i in 0..100u32 {
+            assert_eq!(r.front(), Some(&i));
+            assert_eq!(r.pop_front(), Some(i));
+        }
+        assert_eq!(r.pop_front(), None);
+    }
+
+    #[test]
+    fn wraparound_across_many_cycles() {
+        // Interleave pushes and pops so head orbits the storage repeatedly
+        // without ever growing past the initial power of two.
+        let mut r = Ring::with_capacity(4);
+        let cap = r.capacity();
+        let mut next_in = 0u64;
+        let mut next_out = 0u64;
+        for _ in 0..1000 {
+            r.push_back(next_in);
+            next_in += 1;
+            r.push_back(next_in);
+            next_in += 1;
+            assert_eq!(r.pop_front(), Some(next_out));
+            next_out += 1;
+            assert_eq!(r.pop_front(), Some(next_out));
+            next_out += 1;
+        }
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), cap, "steady-state traffic must not grow");
+    }
+
+    #[test]
+    fn full_and_empty_boundaries() {
+        let mut r = Ring::with_capacity(3); // rounds up to 4
+        assert_eq!(r.capacity(), 4);
+        for i in 0..4u32 {
+            r.push_back(i);
+        }
+        assert_eq!(r.len(), 4);
+        // One more forces a doubling, preserving order.
+        r.push_back(4);
+        assert_eq!(r.capacity(), 8);
+        assert_eq!(r.drain_all(), vec![0, 1, 2, 3, 4]);
+        assert!(r.is_empty());
+        assert_eq!(r.pop_back(), None);
+    }
+
+    #[test]
+    fn capacity_one_semantics() {
+        // MIN_POW2 keeps physical storage ≥ 4, but logical single-slot use
+        // (push, pop, push …) must behave like a 1-deep FIFO.
+        let mut r = Ring::with_capacity(1);
+        for i in 0..10u32 {
+            r.push_back(i);
+            assert_eq!(r.len(), 1);
+            assert_eq!(r.front(), Some(&i));
+            assert_eq!(r.back(), Some(&i));
+            assert_eq!(r.pop_front(), Some(i));
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn pop_back_and_indexing() {
+        let mut r = Ring::with_capacity(4);
+        r.push_back(1u32);
+        r.push_back(2);
+        r.push_back(3);
+        assert_eq!(r.get(0), Some(&1));
+        assert_eq!(r.get(1), Some(&2));
+        assert_eq!(r.get(2), Some(&3));
+        assert_eq!(r.get(3), None);
+        assert_eq!(r.pop_back(), Some(3));
+        assert_eq!(r.back(), Some(&2));
+        r.push_back(9);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![1, 2, 9]);
+    }
+
+    #[test]
+    fn growth_repacks_wrapped_contents() {
+        let mut r = Ring::with_capacity(4);
+        // Wrap head partway around, then force a grow with a wrapped layout.
+        for i in 0..4u32 {
+            r.push_back(i);
+        }
+        r.pop_front();
+        r.pop_front();
+        r.push_back(4);
+        r.push_back(5); // storage full again, head in the middle
+        r.push_back(6); // grow
+        assert_eq!(r.drain_all(), vec![2, 3, 4, 5, 6]);
+    }
+}

@@ -1,8 +1,10 @@
 //! Scheduler-equivalence property tests: the event-driven ready-set
-//! executor and the retained dense-sweep reference must produce identical
-//! sink token streams and identical [`MemoryState`] on randomly generated
-//! acyclic graphs — Kahn determinism means results are independent of the
-//! order in which ready nodes are drained.
+//! executor, the retained dense-sweep reference, and the compiled
+//! execution plan ([`ExecPlan`]) must produce identical sink token streams
+//! and identical [`MemoryState`] on randomly generated acyclic graphs —
+//! Kahn determinism means results are independent of the order in which
+//! ready nodes are drained, and the plan's fused segments must be
+//! observationally invisible.
 //!
 //! The generator grows a DAG from one source by three count-preserving
 //! construction moves, so any two open channels always carry the same
@@ -20,7 +22,7 @@
 use proptest::prelude::*;
 use revet_machine::instr::{AluOp, EwInstr, Operand};
 use revet_machine::nodes::{EwNode, OutputSpec, SinkHandle, SinkNode, SourceNode};
-use revet_machine::{tbar, tdata, Channel, ExecReport, Graph, MemoryState, TTok};
+use revet_machine::{tbar, tdata, Channel, ExecPlan, ExecReport, Graph, MemoryState, TTok};
 
 /// One construction move, decoded from a raw u32.
 #[derive(Clone, Copy, Debug)]
@@ -184,12 +186,15 @@ fn snapshot(handles: &[SinkHandle]) -> Vec<Vec<TTok>> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Ready-set and dense-sweep executions of the same random DAG agree on
-    /// every sink stream and on the entire memory state (DRAM bytes, SRAM,
-    /// allocators, and traffic counters), while the ready set attempts no
-    /// more steps than the dense sweep.
+    /// Three-way triangulation: ready-set, dense-sweep, and planned
+    /// executions of the same random DAG agree on every sink stream and on
+    /// the entire memory state (DRAM bytes, SRAM, allocators, and traffic
+    /// counters), while the ready set attempts no more steps than the
+    /// dense sweep. Every generated interior node is an `EwNode`, so the
+    /// plan exercises its fused path on the whole DAG (sources stay
+    /// boxed).
     #[test]
-    fn ready_set_matches_dense_reference(
+    fn planned_matches_ready_matches_dense(
         values in prop::collection::vec(0u32..100, 0..14),
         moves in prop::collection::vec(0u32..3_000_000, 0..18),
     ) {
@@ -197,9 +202,21 @@ proptest! {
         let dense: ExecReport = dense_g.run_untimed_dense(100_000).unwrap();
         let (mut ready_g, ready_h) = build(&values, &moves);
         let ready: ExecReport = ready_g.run_untimed(100_000).unwrap();
+        let (mut plan_g, plan_h) = build(&values, &moves);
+        let plan = ExecPlan::build(&plan_g);
+        plan_g.run_untimed_planned(&plan, 100_000).unwrap();
+
+        let stats = plan.stats();
+        prop_assert_eq!(
+            stats.fused_ew + stats.fused_sinks + 1,
+            stats.nodes,
+            "everything but the source lowers: {:?}", stats
+        );
 
         prop_assert_eq!(snapshot(&dense_h), snapshot(&ready_h));
+        prop_assert_eq!(snapshot(&ready_h), snapshot(&plan_h));
         prop_assert_eq!(&dense_g.mem, &ready_g.mem);
+        prop_assert_eq!(&ready_g.mem, &plan_g.mem);
         // Step *grouping* is schedule-dependent (the ready set may fire a
         // node at finer granularity), but total attempted work must not be.
         prop_assert!(

@@ -61,7 +61,7 @@ pub use analysis::{DefUse, Liveness, OpStats};
 pub use func::{AllocDecl, Func, Module, RegionBuilder, SramDecl};
 pub use interp::{Interp, InterpError};
 pub use ops::{AluOp, ForeachFlags, ItKind, Op, OpKind, Region, Value, ViewKind};
-pub use opt::{ConstFold, Cse, Dce, Simplify};
+pub use opt::{ConstFold, Cse, Dce, Simplify, SinkConsts};
 pub use pass::{
     AnalysisManager, ModuleAnalysisManager, ModulePass, Pass, PassManager, PassReport, PassResult,
     PassStat,

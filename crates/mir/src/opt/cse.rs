@@ -18,7 +18,23 @@ use std::collections::HashMap;
 /// `b+a`. Duplicate ops are deleted on the spot and their span entries
 /// pruned; uses are remapped to the surviving value (declared types must
 /// match).
+///
+/// Exception: availability does **not** flow into the sub-regions of
+/// `while`/`foreach`/`replicate`/`fork` ops. The dataflow lowering pays
+/// for every free use of those regions with *recirculated or broadcast
+/// bandwidth* — a while loop threads it through the packed loop tuple on
+/// every iteration, a foreach broadcasts it per element — so replacing a
+/// region-local pure recompute with a reference to an enclosing value is
+/// a pessimization there, not a win (measured as a double-digit executor
+/// step regression on the while-heavy evaluation apps). `if` arms keep
+/// inherited availability: their routing is filter-based and cheap.
 pub struct Cse;
+
+/// True when `kind`'s sub-regions recirculate or broadcast their free
+/// uses under dataflow lowering (see the scoping exception above).
+fn isolates_availability(kind: &OpKind) -> bool {
+    matches!(kind, OpKind::While { .. })
+}
 
 impl Pass for Cse {
     fn name(&self) -> &str {
@@ -94,8 +110,15 @@ fn cse_region(
                 avail.insert(key, r);
             }
         }
+        let empty;
+        let inherited_by_sub: &HashMap<Key, Value> = if isolates_availability(&op.kind) {
+            empty = HashMap::new();
+            &empty
+        } else {
+            &avail
+        };
         for sub in op.kind.regions_mut() {
-            cse_region(sub, &avail, remap, spans, tys, changed);
+            cse_region(sub, inherited_by_sub, remap, spans, tys, changed);
         }
         region.ops.push(op);
     }

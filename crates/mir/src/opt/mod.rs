@@ -18,11 +18,13 @@ mod cse;
 mod dce;
 mod fold;
 mod simplify;
+mod sink;
 
 pub use cse::Cse;
 pub use dce::Dce;
 pub use fold::ConstFold;
 pub use simplify::Simplify;
+pub use sink::SinkConsts;
 
 use crate::ops::{AluOp, Value};
 use crate::types::Ty;
