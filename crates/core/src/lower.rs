@@ -1320,10 +1320,15 @@ impl DfLower<'_> {
         // broadcast inside a recirculating region).
         let mut free: HashSet<Value> = HashSet::new();
         Self::op_free_uses(op, &mut free);
+        // An init value normally rides only the carried slot (renamed to the
+        // region arg at the body head). But if a region also references the
+        // value directly — e.g. through a pre-loop alias of a reassigned
+        // variable — that reference means "the value from before the loop"
+        // on every iteration, so it additionally needs an invariant slot.
         let mut invariant: Vec<Value> = self
             .tupleize(&free)
             .into_iter()
-            .filter(|v| !inits.contains(v))
+            .filter(|v| !inits.contains(v) || body_uses(before, *v) || body_uses(after, *v))
             .collect();
         invariant.retain(|v| !passthrough.contains(v));
         // Loop tuple: [carried (as before.args) ++ invariant ++ passthrough].

@@ -1,0 +1,443 @@
+//! The N-way differential oracle.
+//!
+//! One [`Case`] is judged by ten evaluator runs that must all agree
+//! bit-for-bit on the final DRAM image (and, among the dataflow
+//! executors, on `main`'s sink token stream):
+//!
+//! | # | evaluator | module | opt level |
+//! |---|-----------|--------|-----------|
+//! | 1 | MIR interpreter | unoptimized (`compile_to_mir`) | — (reference) |
+//! | 2,5,8 | MIR interpreter | optimized (`Session::run_passes`) | O0/O1/O2 |
+//! | 3,6,9 | compiled `ExecPlan` (`run_untimed`) | lowered dataflow | O0/O1/O2 |
+//! | 4,7,10 | interpreted ready-set executor | lowered dataflow | O0/O1/O2 |
+//!
+//! On top of the bit-identity matrix the oracle enforces the frontend
+//! invariants: compilation must succeed with *zero* diagnostics (clean
+//! programs are well-typed by construction) and nothing in the stack may
+//! panic — every run is wrapped in `catch_unwind`.
+//!
+//! Full `MemoryState` equality is deliberately not asserted (allocator
+//! free-list order is schedule-dependent, see `plan_differential.rs` in
+//! `revet-apps`); final DRAM plus sink streams is the observable
+//! contract.
+//!
+//! [`Injection`] is the test-only miscompile hook: it mutates the
+//! optimized MIR *only on the dataflow path* (the reference interpreter
+//! still sees the honest module), exactly the shape of a broken
+//! optimization pass, and is used to prove the oracle catches and the
+//! reducer minimizes real miscompiles.
+
+use crate::gen::Case;
+use revet_core::{lower_to_dataflow, PassOptions, Session};
+use revet_mir::{AluOp, DramLayout, Interp, Module, OpKind, Region};
+use revet_sltf::Word;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Oracle-wide execution limits and hooks.
+#[derive(Clone, Debug, Default)]
+pub struct OracleConfig {
+    /// DRAM image size for every evaluator (0 = the 64 KiB default).
+    pub dram_bytes: usize,
+    /// Executor round bound (0 = a generous default).
+    pub max_rounds: u64,
+    /// Interpreter op-fuel bound (0 = a generous default).
+    pub interp_fuel: u64,
+    /// Test-only miscompile injection on the dataflow path.
+    pub inject: Option<Injection>,
+}
+
+impl OracleConfig {
+    fn dram_bytes(&self) -> usize {
+        if self.dram_bytes == 0 {
+            1 << 16
+        } else {
+            self.dram_bytes
+        }
+    }
+    fn max_rounds(&self) -> u64 {
+        if self.max_rounds == 0 {
+            50_000_000
+        } else {
+            self.max_rounds
+        }
+    }
+    fn interp_fuel(&self) -> u64 {
+        if self.interp_fuel == 0 {
+            1_000_000_000
+        } else {
+            self.interp_fuel
+        }
+    }
+}
+
+/// Test-only miscompiles the oracle must catch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Injection {
+    /// Rewrites the last integer `Add` in `main` into a `Sub` after the
+    /// pass pipeline, before dataflow lowering (a classic wrong-code
+    /// peephole). Last rather than first: late adds are usually
+    /// generator-visible arithmetic, not lowering-introduced address
+    /// math, so the divergence shows up as wrong data instead of an
+    /// out-of-bounds fault — but either way the oracle flags it.
+    FlipLastAddToSub,
+}
+
+/// Why a case failed, stable across reduction steps (the reducer only
+/// keeps a mutation when the kind survives).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureKind {
+    /// The front end rejected a generated (well-typed!) program.
+    CompileError,
+    /// Compilation succeeded but left diagnostics behind.
+    DirtyDiagnostics,
+    /// The MIR interpreter faulted.
+    InterpError,
+    /// A dataflow executor faulted or deadlocked.
+    ExecError,
+    /// Final DRAM images differ between two evaluators.
+    DramMismatch,
+    /// Sink token streams differ between two evaluators.
+    SinkMismatch,
+    /// Something panicked.
+    Panic,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FailureKind::CompileError => "compile-error",
+            FailureKind::DirtyDiagnostics => "dirty-diagnostics",
+            FailureKind::InterpError => "interp-error",
+            FailureKind::ExecError => "exec-error",
+            FailureKind::DramMismatch => "dram-mismatch",
+            FailureKind::SinkMismatch => "sink-mismatch",
+            FailureKind::Panic => "panic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A divergence report: what failed, where, and a human-readable detail
+/// line naming the disagreeing evaluator pair.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The stable failure class.
+    pub kind: FailureKind,
+    /// The opt level being evaluated when the failure surfaced.
+    pub level: Option<u8>,
+    /// One-line description (first differing byte, error text, …).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.level {
+            Some(l) => write!(f, "{} at O{}: {}", self.kind, l, self.detail),
+            None => write!(f, "{}: {}", self.kind, self.detail),
+        }
+    }
+}
+
+fn fail(kind: FailureKind, level: impl Into<Option<u8>>, detail: impl Into<String>) -> Failure {
+    Failure {
+        kind,
+        level: level.into(),
+        detail: detail.into(),
+    }
+}
+
+/// First differing byte between two DRAM images, as a report line.
+fn diff_dram(a: &[u8], b: &[u8], who: &str) -> String {
+    if a.len() != b.len() {
+        return format!("{who}: image sizes differ ({} vs {})", a.len(), b.len());
+    }
+    match a.iter().zip(b).position(|(x, y)| x != y) {
+        Some(i) => format!(
+            "{who}: DRAM differs at byte {i} ({:#04x} vs {:#04x})",
+            a[i], b[i]
+        ),
+        None => format!("{who}: images equal (internal oracle error)"),
+    }
+}
+
+/// The equal-slice layout `Session::to_dataflow` builds (and the one the
+/// interpreter must share for images to be comparable).
+fn layout_for(module: &Module, dram_bytes: usize) -> DramLayout {
+    let n = module.drams.len().max(1);
+    let slice = (dram_bytes / n) as u32;
+    DramLayout {
+        base: (0..module.drams.len() as u32).map(|i| i * slice).collect(),
+    }
+}
+
+/// Runs `module` under the MIR interpreter with the case's inputs loaded;
+/// returns the final DRAM image.
+fn interp_dram(
+    module: &Module,
+    case: &Case,
+    cfg: &OracleConfig,
+    level: Option<u8>,
+) -> Result<Vec<u8>, Failure> {
+    let dram_bytes = cfg.dram_bytes();
+    let layout = layout_for(module, dram_bytes);
+    let slice = dram_bytes / module.drams.len().max(1);
+    let mut mem = module.build_memory(dram_bytes);
+    for (sym, bytes) in case.dram_inits.iter().enumerate() {
+        if !bytes.is_empty() {
+            mem.dram[sym * slice..sym * slice + bytes.len()].copy_from_slice(bytes);
+        }
+    }
+    let args: Vec<Word> = case.args.iter().map(|&a| Word(a)).collect();
+    Interp::new(module, &layout, &mut mem)
+        .with_fuel(cfg.interp_fuel())
+        .run("main", &args)
+        .map_err(|e| fail(FailureKind::InterpError, level, e.to_string()))?;
+    Ok(mem.dram)
+}
+
+/// Applies the injected miscompile to `main`'s body.
+fn apply_injection(module: &mut Module, inject: Injection) -> bool {
+    let Injection::FlipLastAddToSub = inject;
+    let Some(f) = module.func_mut("main") else {
+        return false;
+    };
+    fn flip_last(region: &mut Region) -> bool {
+        for op in region.ops.iter_mut().rev() {
+            for sub in op.kind.regions_mut() {
+                if flip_last(sub) {
+                    return true;
+                }
+            }
+            if let OpKind::Bin(alu @ AluOp::Add, _, _) = &mut op.kind {
+                *alu = AluOp::Sub;
+                return true;
+            }
+        }
+        false
+    }
+    flip_last(&mut f.body)
+}
+
+/// The per-level artifacts compared across levels. (DRAM equality across
+/// levels follows transitively from each level's reference comparison,
+/// so only the sink stream needs to be carried.)
+struct LevelRun {
+    sink_planned: Vec<revet_machine::TTok>,
+}
+
+/// Judges one case. `Ok(())` means all ten runs agreed; `Err` carries the
+/// first divergence found. Never panics: every stage runs under
+/// `catch_unwind` and a panic is itself a reported failure.
+pub fn run_case(case: &Case, cfg: &OracleConfig) -> Result<(), Failure> {
+    match catch_unwind(AssertUnwindSafe(|| run_case_inner(case, cfg))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(fail(FailureKind::Panic, None, msg))
+        }
+    }
+}
+
+fn run_case_inner(case: &Case, cfg: &OracleConfig) -> Result<(), Failure> {
+    // Run 1: the reference — the MIR interpreter over the unoptimized
+    // module straight out of the front end.
+    let lowered = revet_lang::compile_to_mir(&case.source)
+        .map_err(|d| fail(FailureKind::CompileError, None, format!("frontend: {d}")))?;
+    let reference = interp_dram(&lowered.module, case, cfg, None)?;
+
+    let mut first_level: Option<LevelRun> = None;
+    for level in [0u8, 1, 2] {
+        let run = run_level(case, cfg, level, &reference)?;
+        match &first_level {
+            None => first_level = Some(run),
+            Some(base) => {
+                if base.sink_planned != run.sink_planned {
+                    return Err(fail(
+                        FailureKind::SinkMismatch,
+                        level,
+                        format!(
+                            "planned sink stream differs from O0 ({} vs {} tokens)",
+                            base.sink_planned.len(),
+                            run.sink_planned.len()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_level(
+    case: &Case,
+    cfg: &OracleConfig,
+    level: u8,
+    reference: &[u8],
+) -> Result<LevelRun, Failure> {
+    let dram_bytes = cfg.dram_bytes();
+    let opts = PassOptions {
+        opt_level: level,
+        dram_bytes,
+        ..PassOptions::default()
+    };
+    let mut session = Session::new(case.source.clone(), opts.clone());
+    session
+        .run_passes()
+        .map_err(|e| fail(FailureKind::CompileError, level, e.to_string()))?;
+    if !session.diagnostics().is_empty() {
+        return Err(fail(
+            FailureKind::DirtyDiagnostics,
+            level,
+            format!(
+                "compile succeeded but left {} diagnostic(s)",
+                session.diagnostics().as_slice().len()
+            ),
+        ));
+    }
+
+    // Runs 2/5/8: the interpreter over the *optimized* module.
+    let optimized = session.mir().expect("run_passes succeeded").clone();
+    let opt_dram = interp_dram(&optimized, case, cfg, Some(level))?;
+    if opt_dram != reference {
+        return Err(fail(
+            FailureKind::DramMismatch,
+            level,
+            diff_dram(reference, &opt_dram, "optimized-interp vs reference"),
+        ));
+    }
+
+    // Lower to dataflow — through the session unless a miscompile is
+    // being injected, in which case we mirror `Session::to_dataflow`
+    // around the mutated module.
+    let program = match cfg.inject {
+        None => session
+            .to_dataflow()
+            .map_err(|e| fail(FailureKind::CompileError, level, e.to_string()))?,
+        Some(inj) => {
+            let mut module = optimized.clone();
+            apply_injection(&mut module, inj);
+            let layout = layout_for(&module, dram_bytes);
+            let mut lopts = opts.clone();
+            lopts.threads = session.thread_count();
+            lower_to_dataflow(&mut module, &layout, &lopts, dram_bytes)
+                .map_err(|e| fail(FailureKind::CompileError, level, e.to_string()))?
+        }
+    };
+
+    // Load the case's DRAM inputs into the compiled template; instances
+    // deep-clone the image.
+    let mut program = program;
+    let slice = dram_bytes / optimized.drams.len().max(1);
+    for (sym, bytes) in case.dram_inits.iter().enumerate() {
+        if !bytes.is_empty() {
+            program.graph.mem.dram[sym * slice..sym * slice + bytes.len()].copy_from_slice(bytes);
+        }
+    }
+    let args: Vec<Word> = case.args.iter().map(|&a| Word(a)).collect();
+
+    // Runs 3/6/9: the compiled execution plan.
+    let mut planned = program.instance();
+    planned
+        .run_untimed(&args, cfg.max_rounds())
+        .map_err(|e| fail(FailureKind::ExecError, level, format!("planned: {e}")))?;
+
+    // Runs 4/7/10: the interpreted ready-set executor.
+    let mut ready = program.instance();
+    ready
+        .run_untimed_interpreted(&args, cfg.max_rounds())
+        .map_err(|e| fail(FailureKind::ExecError, level, format!("interpreted: {e}")))?;
+
+    if planned.memory().dram != *reference {
+        return Err(fail(
+            FailureKind::DramMismatch,
+            level,
+            diff_dram(reference, &planned.memory().dram, "planned vs reference"),
+        ));
+    }
+    if ready.memory().dram != *reference {
+        return Err(fail(
+            FailureKind::DramMismatch,
+            level,
+            diff_dram(reference, &ready.memory().dram, "interpreted vs reference"),
+        ));
+    }
+    if planned.sink_tokens() != ready.sink_tokens() {
+        return Err(fail(
+            FailureKind::SinkMismatch,
+            level,
+            format!(
+                "planned vs interpreted sink streams ({} vs {} tokens)",
+                planned.sink_tokens().len(),
+                ready.sink_tokens().len()
+            ),
+        ));
+    }
+
+    Ok(LevelRun {
+        sink_planned: planned.sink_tokens(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_case, GenConfig};
+
+    #[test]
+    fn a_known_good_program_passes() {
+        let case = Case {
+            seed: 1,
+            ast: Default::default(),
+            source: "dram<u32> d0;\ndram<u32> d1;\ndram<u8> d2;\n\
+                     void main(u32 p0, u32 p1) {\n\
+                       foreach (8) { u32 i => d1[i] = (i * p0) + p1; };\n\
+                     }"
+            .into(),
+            args: vec![3, 9],
+            dram_inits: vec![Vec::new(), Vec::new(), Vec::new()],
+        };
+        run_case(&case, &OracleConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn an_ill_formed_program_is_a_compile_error_not_a_panic() {
+        let case = Case {
+            seed: 2,
+            ast: Default::default(),
+            source: "void main() { undeclared[0] = 1; }".into(),
+            args: vec![],
+            dram_inits: vec![],
+        };
+        let f = run_case(&case, &OracleConfig::default()).unwrap_err();
+        assert_eq!(f.kind, FailureKind::CompileError);
+    }
+
+    #[test]
+    fn injection_is_caught_on_a_seeded_case() {
+        // Find a generated case that is green normally and diverges with
+        // the miscompile injected; with arithmetic flowing into stores in
+        // nearly every program, the first seeds suffice.
+        let cfg = GenConfig::default();
+        let clean = OracleConfig::default();
+        let bad = OracleConfig {
+            inject: Some(Injection::FlipLastAddToSub),
+            ..OracleConfig::default()
+        };
+        let mut caught = false;
+        for i in 0..24u64 {
+            let case = generate_case(crate::rng::case_seed(0xACCE_D175, i), &cfg);
+            if run_case(&case, &clean).is_err() {
+                continue;
+            }
+            if run_case(&case, &bad).is_err() {
+                caught = true;
+                break;
+            }
+        }
+        assert!(caught, "no seed in the probe window tripped the injection");
+    }
+}

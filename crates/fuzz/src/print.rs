@@ -1,0 +1,291 @@
+//! AST → Revet source printer.
+//!
+//! The generator builds [`revet_lang::ast`] values directly (with dummy
+//! spans) and this module renders them back to concrete syntax. Every
+//! composite expression is printed fully parenthesized, so operator
+//! precedence can never reassociate a generated program, and `(ty)(e)`
+//! casts stay unambiguous under the parser's three-token cast lookahead.
+//! `print_program(parse(print_program(ast)))` is a fixpoint — the
+//! round-trip property test in `tests/roundtrip.rs` pins that.
+
+use revet_lang::ast::{
+    BinOp, Expr, FuncAst, ItKindName, MemDecl, Program, ReduceOp, Stmt, StmtKind, TyName, UnOp,
+    ViewKindName,
+};
+use std::fmt::Write;
+
+/// Renders a whole program as compilable Revet source.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for d in &p.drams {
+        let _ = writeln!(out, "dram<{}> {};", ty(d.ty), d.name);
+    }
+    for f in &p.funcs {
+        if !p.drams.is_empty() {
+            out.push('\n');
+        }
+        print_func(f, &mut out);
+    }
+    out
+}
+
+fn print_func(f: &FuncAst, out: &mut String) {
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|(t, n)| format!("{} {}", ty(*t), n))
+        .collect();
+    let _ = writeln!(out, "{} {}({}) {{", ty(f.ret), f.name, params.join(", "));
+    for s in &f.body {
+        print_stmt(s, 1, out);
+    }
+    out.push_str("}\n");
+}
+
+fn indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("    ");
+    }
+}
+
+fn print_body(body: &[Stmt], depth: usize, out: &mut String) {
+    for s in body {
+        print_stmt(s, depth, out);
+    }
+}
+
+fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match &s.kind {
+        StmtKind::Decl { ty: t, name, init } => match init {
+            Some(e) => {
+                let _ = writeln!(out, "{} {} = {};", ty(*t), name, expr(e));
+            }
+            None => {
+                let _ = writeln!(out, "{} {};", ty(*t), name);
+            }
+        },
+        StmtKind::Mem { name, decl } => match decl {
+            MemDecl::Sram { ty: t, size } => {
+                let _ = writeln!(out, "sram<{}, {}> {};", ty(*t), size, name);
+            }
+            MemDecl::View {
+                kind,
+                size,
+                dram,
+                base,
+            } => {
+                let kw = match kind {
+                    ViewKindName::Read => "readview",
+                    ViewKindName::Write => "writeview",
+                    ViewKindName::Modify => "modifyview",
+                };
+                let _ = writeln!(out, "{kw}<{size}> {name}({dram}, {});", expr(base));
+            }
+            MemDecl::It {
+                kind,
+                tile,
+                dram,
+                seek,
+            } => {
+                let kw = match kind {
+                    ItKindName::Read => "readit",
+                    ItKindName::PeekRead => "peekreadit",
+                    ItKindName::Write => "writeit",
+                    ItKindName::ManualWrite => "manualwriteit",
+                };
+                let _ = writeln!(out, "{kw}<{tile}> {name}({dram}, {});", expr(seek));
+            }
+        },
+        StmtKind::Assign { name, value } => {
+            let _ = writeln!(out, "{} = {};", name, expr(value));
+        }
+        StmtKind::Store { base, idx, value } => {
+            let _ = writeln!(out, "{}[{}] = {};", base, expr(idx), expr(value));
+        }
+        StmtKind::DerefStore { it, value } => {
+            let _ = writeln!(out, "*{} = {};", it, expr(value));
+        }
+        StmtKind::Inc { it, last } => match last {
+            Some(e) => {
+                let _ = writeln!(out, "{}.inc({});", it, expr(e));
+            }
+            None => {
+                let _ = writeln!(out, "{it}++;");
+            }
+        },
+        StmtKind::If { cond, then, els } => {
+            let _ = writeln!(out, "if ({}) {{", expr(cond));
+            print_body(then, depth + 1, out);
+            indent(depth, out);
+            if els.is_empty() {
+                out.push_str("};\n");
+            } else {
+                out.push_str("} else {\n");
+                print_body(els, depth + 1, out);
+                indent(depth, out);
+                out.push_str("};\n");
+            }
+        }
+        StmtKind::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", expr(cond));
+            print_body(body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("};\n");
+        }
+        StmtKind::Foreach {
+            count,
+            step,
+            ity,
+            ivar,
+            body,
+        } => {
+            let _ = write!(out, "foreach ({}", expr(count));
+            if let Some(st) = step {
+                let _ = write!(out, " by {}", expr(st));
+            }
+            let _ = writeln!(out, ") {{ {} {} =>", ty(*ity), ivar);
+            print_body(body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("};\n");
+        }
+        StmtKind::Replicate { ways, body } => {
+            let _ = writeln!(out, "replicate ({ways}) {{");
+            print_body(body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("};\n");
+        }
+        StmtKind::Fork {
+            count,
+            ity,
+            ivar,
+            body,
+        } => {
+            let _ = writeln!(out, "fork ({}) {{ {} {} =>", expr(count), ty(*ity), ivar);
+            print_body(body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("};\n");
+        }
+        StmtKind::Exit => out.push_str("exit;\n"),
+        StmtKind::Yield(e) => {
+            let _ = writeln!(out, "yield {};", expr(e));
+        }
+        StmtKind::Return(None) => out.push_str("return;\n"),
+        StmtKind::Return(Some(e)) => {
+            let _ = writeln!(out, "return {};", expr(e));
+        }
+        StmtKind::Pragma { name, value } => match value {
+            Some(v) => {
+                let _ = writeln!(out, "pragma({name}, {v});");
+            }
+            None => {
+                let _ = writeln!(out, "pragma({name});");
+            }
+        },
+        StmtKind::Bulk {
+            sram,
+            load,
+            dram,
+            base,
+            len,
+        } => {
+            let op = if *load { "load" } else { "store" };
+            let _ = writeln!(out, "{sram}.{op}({dram}, {}, {});", expr(base), expr(len));
+        }
+    }
+}
+
+/// Renders one expression, fully parenthesized.
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(n) => {
+            if *n < 0 {
+                format!("(-{})", n.unsigned_abs())
+            } else {
+                n.to_string()
+            }
+        }
+        Expr::Var(name) => name.clone(),
+        Expr::Bin(op, a, b) => format!("({} {} {})", expr(a), bin(*op), expr(b)),
+        Expr::Un(op, a) => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+                UnOp::BitNot => "~",
+            };
+            format!("({}{})", sym, expr(a))
+        }
+        Expr::Index(base, idx) => format!("{}[{}]", base, expr(idx)),
+        Expr::Deref(it) => format!("(*{it})"),
+        Expr::Peek(it, e) => format!("{}.peek({})", it, expr(e)),
+        Expr::Cast(t, e) => format!("(({})({}))", ty(*t), expr(e)),
+        Expr::ForeachReduce {
+            count,
+            step,
+            op,
+            ity,
+            ivar,
+            body,
+        } => {
+            let mut out = String::new();
+            let _ = write!(out, "foreach ({}", expr(count));
+            if let Some(st) = step {
+                let _ = write!(out, " by {}", expr(st));
+            }
+            let _ = writeln!(out, ") reduce({}) {{ {} {} =>", reduce(*op), ty(*ity), ivar);
+            // Reduce bodies nest inside an initializer; a fixed two-level
+            // indent keeps them readable without threading the depth here
+            // (the parser is whitespace-insensitive).
+            print_body(body, 2, &mut out);
+            out.push_str("    }");
+            out
+        }
+    }
+}
+
+fn bin(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::LAnd => "&&",
+        BinOp::LOr => "||",
+    }
+}
+
+fn reduce(op: ReduceOp) -> &'static str {
+    match op {
+        ReduceOp::Add => "+",
+        ReduceOp::Mul => "*",
+        ReduceOp::And => "&",
+        ReduceOp::Or => "|",
+        ReduceOp::Xor => "^",
+        ReduceOp::Min => "min",
+        ReduceOp::Max => "max",
+    }
+}
+
+fn ty(t: TyName) -> &'static str {
+    match t {
+        TyName::U8 => "u8",
+        TyName::U16 => "u16",
+        TyName::U32 => "u32",
+        TyName::I8 => "i8",
+        TyName::I16 => "i16",
+        TyName::I32 => "i32",
+        TyName::Void => "void",
+    }
+}

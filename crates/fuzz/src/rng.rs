@@ -1,0 +1,91 @@
+//! The fuzzer's deterministic random source.
+//!
+//! Same xorshift64* generator the workspace's other seeded harnesses use
+//! (`mir/tests/opt_props.rs`, the scheduler-equivalence suite): every
+//! campaign, case, and reproducer is replayable from a printed 64-bit
+//! seed alone, with no external RNG dependency.
+
+/// A deterministic xorshift64* stream.
+#[derive(Clone, Debug)]
+pub struct Rng(pub u64);
+
+impl Rng {
+    /// The next raw 64-bit sample.
+    #[allow(clippy::should_implement_trait)] // xorshift step, not an Iterator
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `0..n` (`n` must be non-zero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform in `lo..=hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// True with probability `percent`/100.
+    pub fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+/// Derives an independent per-case seed from a campaign seed and a case
+/// index (splitmix64 finalizer, so neighboring indices decorrelate).
+pub fn case_seed(campaign: u64, index: u64) -> u64 {
+    let mut z =
+        campaign.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) | 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = Rng(42);
+        let mut b = Rng(42);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn case_seeds_differ_and_are_odd() {
+        let s: Vec<u64> = (0..64).map(|i| case_seed(42, i)).collect();
+        for (i, &a) in s.iter().enumerate() {
+            assert_eq!(a & 1, 1);
+            for &b in &s[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn range_and_chance_bounds() {
+        let mut r = Rng(7);
+        for _ in 0..200 {
+            let v = r.range(3, 9);
+            assert!((3..=9).contains(&v));
+        }
+        let hits = (0..1000).filter(|_| r.chance(100)).count();
+        assert_eq!(hits, 1000);
+        let none = (0..1000).filter(|_| r.chance(0)).count();
+        assert_eq!(none, 0);
+    }
+}

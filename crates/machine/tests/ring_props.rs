@@ -1,0 +1,126 @@
+//! Property tests for [`Ring`], the power-of-two channel queue: random
+//! push/pop interleavings at capacities 1..64 must behave exactly like a
+//! `VecDeque` model, across wraparound (head chasing its own tail) and
+//! grow-on-full doublings.
+
+use proptest::prelude::*;
+use revet_machine::Ring;
+use std::collections::VecDeque;
+
+/// One step of the interleaving. Weighted toward pushes so runs actually
+/// fill the ring and force a grow; PopBack mixes in the deque-style use.
+#[derive(Clone, Debug)]
+enum Step {
+    PushBack(u32),
+    PopFront,
+    PopBack,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    // 3:2:1 push/pop-front/pop-back, decoded from one u64 (the vendored
+    // proptest has no `prop_oneof!`): high bits pick the variant, low 32
+    // bits are the pushed value.
+    any::<u64>().prop_map(|raw| match (raw >> 32) % 6 {
+        0..=2 => Step::PushBack(raw as u32),
+        3..=4 => Step::PopFront,
+        _ => Step::PopBack,
+    })
+}
+
+/// Replays `steps` against both the ring and a `VecDeque` model, checking
+/// every observable (returned values, len, front/back, full indexed
+/// contents) after each step.
+fn check(mut ring: Ring<u32>, steps: &[Step]) {
+    let mut model: VecDeque<u32> = VecDeque::new();
+    for (i, step) in steps.iter().enumerate() {
+        match step {
+            Step::PushBack(v) => {
+                ring.push_back(*v);
+                model.push_back(*v);
+            }
+            Step::PopFront => {
+                assert_eq!(ring.pop_front(), model.pop_front(), "step {i}");
+            }
+            Step::PopBack => {
+                assert_eq!(ring.pop_back(), model.pop_back(), "step {i}");
+            }
+        }
+        assert_eq!(ring.len(), model.len(), "step {i}: len diverged");
+        assert_eq!(ring.is_empty(), model.is_empty(), "step {i}");
+        assert_eq!(ring.front(), model.front(), "step {i}: front diverged");
+        assert_eq!(ring.back(), model.back(), "step {i}: back diverged");
+        assert!(
+            ring.capacity() >= ring.len(),
+            "step {i}: len {} exceeds capacity {}",
+            ring.len(),
+            ring.capacity()
+        );
+        for k in 0..model.len() {
+            assert_eq!(
+                ring.get(k),
+                model.get(k),
+                "step {i}: element {k} diverged after wraparound/grow"
+            );
+        }
+    }
+    // Terminal observables: iteration order and drain order both match.
+    let via_iter: Vec<u32> = ring.iter().copied().collect();
+    let expect: Vec<u32> = model.iter().copied().collect();
+    assert_eq!(via_iter, expect, "iter order diverged");
+    assert_eq!(ring.drain_all(), expect, "drain order diverged");
+    assert!(ring.is_empty(), "drain_all must empty the ring");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pre-sized rings (capacity 1..64) under random interleavings long
+    /// enough to wrap head past the storage boundary many times and to
+    /// overflow the initial allocation (grow-on-full).
+    #[test]
+    fn presized_ring_matches_vecdeque(
+        cap in 1usize..64,
+        steps in prop::collection::vec(step_strategy(), 0..200),
+    ) {
+        check(Ring::with_capacity(cap), &steps);
+    }
+
+    /// A `Ring::new()` ring starts with zero storage — the first push
+    /// allocates — and must satisfy the same model.
+    #[test]
+    fn unsized_ring_matches_vecdeque(
+        steps in prop::collection::vec(step_strategy(), 0..200),
+    ) {
+        check(Ring::new(), &steps);
+    }
+
+    /// A capacity bound is a no-realloc promise: pushing exactly `cap`
+    /// elements never changes `capacity()`, and alternating pop-front/
+    /// push-back at full occupancy (steady-state channel traffic) keeps
+    /// wrapping without growing.
+    #[test]
+    fn bounded_fill_and_steady_state_never_reallocate(
+        cap in 1usize..64,
+        traffic in prop::collection::vec(any::<u32>(), 0..150),
+    ) {
+        let mut ring = Ring::with_capacity(cap);
+        let fixed = ring.capacity();
+        prop_assert!(fixed >= cap);
+        for v in 0..cap as u32 {
+            ring.push_back(v);
+        }
+        prop_assert_eq!(ring.capacity(), fixed, "fill to cap grew the ring");
+        let mut model: VecDeque<u32> = (0..cap as u32).collect();
+        for (i, v) in traffic.iter().enumerate() {
+            prop_assert_eq!(ring.pop_front(), model.pop_front(), "step {}", i);
+            ring.push_back(*v);
+            model.push_back(*v);
+            prop_assert_eq!(ring.capacity(), fixed, "steady state grew the ring");
+            prop_assert_eq!(ring.front(), model.front(), "step {}", i);
+            prop_assert_eq!(ring.back(), model.back(), "step {}", i);
+        }
+        let got: Vec<u32> = ring.drain_all();
+        let expect: Vec<u32> = model.into_iter().collect();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -6,8 +6,8 @@
 
 use revet_diag::Span;
 use revet_mir::{
-    verify_module, AluOp, ConstFold, Cse, Dce, DramLayout, Interp, Module, OpKind, PassManager,
-    RegionBuilder, Simplify, Ty, Value,
+    verify_module, AluOp, ConstFold, Cse, Dce, DramLayout, ForeachFlags, Interp, Module, OpKind,
+    PassManager, Region, RegionBuilder, Simplify, SinkConsts, Ty, Value,
 };
 use revet_sltf::Word;
 
@@ -198,4 +198,442 @@ fn random_straight_line_programs_are_opt_invariant() {
             "case {case} (seed {seed:#x}, len {len}): optimized program diverged"
         );
     }
+}
+
+// ---------------- nested-region properties ----------------
+
+/// Emits random pure compute + bounded DRAM writes into `b`, growing
+/// `pool`. Every result gets a span.
+struct NestedGen<'a> {
+    rng: &'a mut Rng,
+    span_at: u32,
+}
+
+impl NestedGen<'_> {
+    fn emit(&mut self, b: &mut RegionBuilder, f: &mut revet_mir::Func, kind: OpKind) -> Value {
+        let v = b.emit(f, kind, Ty::I32);
+        f.spans.set(v, Span::new(self.span_at, self.span_at + 1));
+        self.span_at += 2;
+        v
+    }
+
+    fn payload(
+        &mut self,
+        b: &mut RegionBuilder,
+        f: &mut revet_mir::Func,
+        pool: &mut Vec<Value>,
+        dram: revet_mir::DramRef,
+        n: usize,
+    ) {
+        for _ in 0..n {
+            match self.rng.below(6) {
+                0 => {
+                    let c = [0i64, 1, -1, 7, 200, 0x7fff_ffff][self.rng.below(6) as usize];
+                    let v = self.emit(b, f, OpKind::ConstI(c, Ty::I32));
+                    pool.push(v);
+                }
+                1 => {
+                    let slot = self.rng.below(DRAM_WORDS) as i64;
+                    let idx = self.emit(b, f, OpKind::ConstI(slot, Ty::I32));
+                    let val = *self.rng.pick(pool);
+                    b.push(OpKind::DramWrite { dram, idx, val }, vec![]);
+                }
+                _ => {
+                    let op = *self.rng.pick(ALU_OPS);
+                    let (a, c) = (*self.rng.pick(pool), *self.rng.pick(pool));
+                    let v = self.emit(b, f, OpKind::Bin(op, a, c));
+                    pool.push(v);
+                }
+            }
+        }
+    }
+
+    /// One nested construct chosen at random; region-local values never
+    /// leak back into `pool` except through op results.
+    fn nested(
+        &mut self,
+        b: &mut RegionBuilder,
+        f: &mut revet_mir::Func,
+        pool: &mut Vec<Value>,
+        dram: revet_mir::DramRef,
+        depth: usize,
+    ) {
+        match self.rng.below(3) {
+            // Counted while: carried counter runs 0..limit (limit ≤ 4).
+            0 => {
+                let bound = 1 + self.rng.below(4) as i64;
+                let limit = self.emit(b, f, OpKind::ConstI(bound, Ty::I32));
+                let zero = self.emit(b, f, OpKind::ConstI(0, Ty::I32));
+                let one = self.emit(b, f, OpKind::ConstI(1, Ty::I32));
+                let cv = f.new_value(Ty::I32);
+                let mut before = RegionBuilder::with_args(vec![cv]);
+                let cond = self.emit(&mut before, f, OpKind::Bin(AluOp::LtU, cv, limit));
+                before.emit0(OpKind::Condition {
+                    cond,
+                    fwd: vec![cv],
+                });
+                let av = f.new_value(Ty::I32);
+                let mut after = RegionBuilder::with_args(vec![av]);
+                let mut inner = pool.clone();
+                inner.push(av);
+                self.payload(&mut after, f, &mut inner, dram, 3);
+                if depth > 0 && self.rng.below(2) == 0 {
+                    self.nested(&mut after, f, &mut inner, dram, depth - 1);
+                }
+                let next = self.emit(&mut after, f, OpKind::Bin(AluOp::Add, av, one));
+                after.emit0(OpKind::Yield(vec![next]));
+                let r = f.new_value(Ty::I32);
+                b.push(
+                    OpKind::While {
+                        inits: vec![zero],
+                        before: before.build(),
+                        after: after.build(),
+                    },
+                    vec![r],
+                );
+                pool.push(r);
+            }
+            // Foreach, plain or add-reducing over the thread index.
+            1 => {
+                let lo = self.emit(b, f, OpKind::ConstI(0, Ty::I32));
+                let trips = self.rng.below(5) as i64;
+                let hi = self.emit(b, f, OpKind::ConstI(trips, Ty::I32));
+                let step = self.emit(b, f, OpKind::ConstI(1, Ty::I32));
+                let idx = f.new_value(Ty::I32);
+                let mut body = RegionBuilder::with_args(vec![idx]);
+                let mut inner = pool.clone();
+                inner.push(idx);
+                self.payload(&mut body, f, &mut inner, dram, 3);
+                if depth > 0 && self.rng.below(2) == 0 {
+                    self.nested(&mut body, f, &mut inner, dram, depth - 1);
+                }
+                if self.rng.below(2) == 0 {
+                    let y = *self.rng.pick(&inner);
+                    body.emit0(OpKind::Yield(vec![y]));
+                    let r = f.new_value(Ty::I32);
+                    b.push(
+                        OpKind::Foreach {
+                            lo,
+                            hi,
+                            step,
+                            body: body.build(),
+                            reduce: vec![AluOp::Add],
+                            flags: ForeachFlags::default(),
+                        },
+                        vec![r],
+                    );
+                    pool.push(r);
+                } else {
+                    body.emit0(OpKind::Yield(vec![]));
+                    b.push(
+                        OpKind::Foreach {
+                            lo,
+                            hi,
+                            step,
+                            body: body.build(),
+                            reduce: vec![],
+                            flags: ForeachFlags::default(),
+                        },
+                        vec![],
+                    );
+                }
+            }
+            // If whose branches each yield one value.
+            _ => {
+                let cond = *self.rng.pick(pool);
+                let mut then_b = RegionBuilder::new();
+                let mut then_pool = pool.clone();
+                self.payload(&mut then_b, f, &mut then_pool, dram, 2);
+                let tv = *self.rng.pick(&then_pool);
+                then_b.emit0(OpKind::Yield(vec![tv]));
+                let mut else_b = RegionBuilder::new();
+                let mut else_pool = pool.clone();
+                self.payload(&mut else_b, f, &mut else_pool, dram, 2);
+                let ev = *self.rng.pick(&else_pool);
+                else_b.emit0(OpKind::Yield(vec![ev]));
+                let r = f.new_value(Ty::I32);
+                b.push(
+                    OpKind::If {
+                        cond,
+                        then: then_b.build(),
+                        else_: else_b.build(),
+                    },
+                    vec![r],
+                );
+                pool.push(r);
+            }
+        }
+    }
+}
+
+/// A random `main` whose body mixes straight-line batches with nested
+/// while/foreach/if regions (two levels deep).
+fn random_nested_module(rng: &mut Rng) -> Module {
+    let mut m = Module::default();
+    let dram = m.add_dram("out", 4);
+    let mut f = revet_mir::Func::new("main", &[Ty::I32, Ty::I32], vec![]);
+    let mut pool: Vec<Value> = f.params.clone();
+    let mut b = RegionBuilder::new();
+    let mut g = NestedGen { rng, span_at: 0 };
+    g.payload(&mut b, &mut f, &mut pool, dram, 4);
+    for _ in 0..(1 + g.rng.below(3)) {
+        g.nested(&mut b, &mut f, &mut pool, dram, 1);
+        g.payload(&mut b, &mut f, &mut pool, dram, 3);
+    }
+    b.emit0(OpKind::Return(vec![]));
+    f.body = b.build();
+    m.funcs.push(f);
+    m
+}
+
+/// The classical pipeline plus constant sinking, mirroring the staged
+/// `-O2` ordering (sink after CSE, DCE last).
+fn sinking_pipeline() -> PassManager {
+    let mut pm = PassManager::new();
+    pm.add(ConstFold)
+        .add(Simplify)
+        .add(Dce)
+        .add(Cse)
+        .add(ConstFold)
+        .add(Simplify)
+        .add(SinkConsts)
+        .add(Dce);
+    pm
+}
+
+#[test]
+fn random_nested_region_programs_are_opt_invariant() {
+    let mut rng = Rng(0x00DD_BA11_DEAD_BEEF);
+    for case in 0..80 {
+        let seed = rng.next() | 1;
+        let mut gen = Rng(seed);
+        let mut m = random_nested_module(&mut gen);
+        verify_module(&m).unwrap_or_else(|e| panic!("case {case} (seed {seed:#x}): {e}"));
+
+        let args = [Word(gen.next() as u32), Word(gen.next() as u32)];
+        let before = interp_dram(&m, &args);
+
+        sinking_pipeline().run(&mut m);
+        verify_module(&m)
+            .unwrap_or_else(|e| panic!("case {case} (seed {seed:#x}): broken after opt: {e}"));
+        for f in &m.funcs {
+            let dangling = f.dangling_spans();
+            assert!(
+                dangling.is_empty(),
+                "case {case} (seed {seed:#x}): dangling spans {dangling:?}"
+            );
+        }
+
+        let after = interp_dram(&m, &args);
+        assert_eq!(
+            before, after,
+            "case {case} (seed {seed:#x}): nested-region program diverged"
+        );
+    }
+}
+
+// ---------------- directed region-boundary tests ----------------
+
+/// Counts ops matching `pred` in `region` and every nested region.
+fn count_ops(region: &Region, pred: &mut dyn FnMut(&OpKind) -> bool) -> usize {
+    let mut n = 0;
+    for op in &region.ops {
+        if pred(&op.kind) {
+            n += 1;
+        }
+        for sub in op.kind.regions() {
+            n += count_ops(sub, pred);
+        }
+    }
+    n
+}
+
+/// Builds `main` computing `xor(p0, p1)` both before a counted loop and
+/// inside its body (or inside an `if` branch when `use_if`). Both uses
+/// feed DRAM writes so DCE can't interfere with the count.
+fn boundary_module(use_if: bool) -> Module {
+    let mut m = Module::default();
+    let dram = m.add_dram("out", 4);
+    let mut f = revet_mir::Func::new("main", &[Ty::I32, Ty::I32], vec![]);
+    let (p0, p1) = (f.params[0], f.params[1]);
+    let mut b = RegionBuilder::new();
+    let x_outer = b.emit(&mut f, OpKind::Bin(AluOp::Xor, p0, p1), Ty::I32);
+    let i0 = b.emit(&mut f, OpKind::ConstI(0, Ty::I32), Ty::I32);
+    b.push(
+        OpKind::DramWrite {
+            dram,
+            idx: i0,
+            val: x_outer,
+        },
+        vec![],
+    );
+    if use_if {
+        let mut then_b = RegionBuilder::new();
+        let x_inner = then_b.emit(&mut f, OpKind::Bin(AluOp::Xor, p0, p1), Ty::I32);
+        then_b.emit0(OpKind::Yield(vec![x_inner]));
+        let mut else_b = RegionBuilder::new();
+        else_b.emit0(OpKind::Yield(vec![p0]));
+        let r = f.new_value(Ty::I32);
+        b.push(
+            OpKind::If {
+                cond: p0,
+                then: then_b.build(),
+                else_: else_b.build(),
+            },
+            vec![r],
+        );
+        let i1 = b.emit(&mut f, OpKind::ConstI(1, Ty::I32), Ty::I32);
+        b.push(
+            OpKind::DramWrite {
+                dram,
+                idx: i1,
+                val: r,
+            },
+            vec![],
+        );
+    } else {
+        let zero = b.emit(&mut f, OpKind::ConstI(0, Ty::I32), Ty::I32);
+        let two = b.emit(&mut f, OpKind::ConstI(2, Ty::I32), Ty::I32);
+        let one = b.emit(&mut f, OpKind::ConstI(1, Ty::I32), Ty::I32);
+        let cv = f.new_value(Ty::I32);
+        let mut before = RegionBuilder::with_args(vec![cv]);
+        let cond = before.emit(&mut f, OpKind::Bin(AluOp::LtU, cv, two), Ty::I32);
+        before.emit0(OpKind::Condition {
+            cond,
+            fwd: vec![cv],
+        });
+        let av = f.new_value(Ty::I32);
+        let mut after = RegionBuilder::with_args(vec![av]);
+        let x_inner = after.emit(&mut f, OpKind::Bin(AluOp::Xor, p0, p1), Ty::I32);
+        let i1 = after.emit(&mut f, OpKind::ConstI(1, Ty::I32), Ty::I32);
+        after.push(
+            OpKind::DramWrite {
+                dram,
+                idx: i1,
+                val: x_inner,
+            },
+            vec![],
+        );
+        let next = after.emit(&mut f, OpKind::Bin(AluOp::Add, av, one), Ty::I32);
+        after.emit0(OpKind::Yield(vec![next]));
+        let r = f.new_value(Ty::I32);
+        b.push(
+            OpKind::While {
+                inits: vec![zero],
+                before: before.build(),
+                after: after.build(),
+            },
+            vec![r],
+        );
+    }
+    b.emit0(OpKind::Return(vec![]));
+    f.body = b.build();
+    m.funcs.push(f);
+    m
+}
+
+/// `while` bodies recirculate their free uses as loop-carried state, so
+/// CSE must NOT treat expressions from the enclosing region as available
+/// inside — the redundant `xor` stays.
+#[test]
+fn cse_keeps_redundant_exprs_across_while_boundaries() {
+    let mut m = boundary_module(false);
+    verify_module(&m).expect("fixture is valid");
+    let mut pm = PassManager::new();
+    pm.add(Cse);
+    pm.run(&mut m);
+    verify_module(&m).expect("valid after cse");
+    let xors = count_ops(&m.funcs[0].body, &mut |k| {
+        matches!(k, OpKind::Bin(AluOp::Xor, _, _))
+    });
+    assert_eq!(
+        xors, 2,
+        "cse must not merge a while-body expr with the enclosing region"
+    );
+}
+
+/// The same redundancy across an `if` boundary IS merged — `if` lowers to
+/// filter/merge pipelines, not a recirculating tuple, so availability
+/// flows in.
+#[test]
+fn cse_merges_redundant_exprs_into_if_branches() {
+    let mut m = boundary_module(true);
+    verify_module(&m).expect("fixture is valid");
+    let mut pm = PassManager::new();
+    pm.add(Cse);
+    pm.run(&mut m);
+    verify_module(&m).expect("valid after cse");
+    let xors = count_ops(&m.funcs[0].body, &mut |k| {
+        matches!(k, OpKind::Bin(AluOp::Xor, _, _))
+    });
+    assert_eq!(xors, 1, "cse should merge across an if boundary");
+}
+
+/// A constant defined outside a `while` but used only inside its body
+/// must be rematerialized into the body by `SinkConsts` (and the outer
+/// copy DCE'd), so the loop tuple never threads a constant.
+#[test]
+fn sink_consts_rematerializes_into_while_bodies() {
+    let mut m = Module::default();
+    let dram = m.add_dram("out", 4);
+    let mut f = revet_mir::Func::new("main", &[Ty::I32], vec![]);
+    let mut b = RegionBuilder::new();
+    let magic = b.emit(&mut f, OpKind::ConstI(123, Ty::I32), Ty::I32);
+    let zero = b.emit(&mut f, OpKind::ConstI(0, Ty::I32), Ty::I32);
+    let two = b.emit(&mut f, OpKind::ConstI(2, Ty::I32), Ty::I32);
+    let one = b.emit(&mut f, OpKind::ConstI(1, Ty::I32), Ty::I32);
+    let cv = f.new_value(Ty::I32);
+    let mut before = RegionBuilder::with_args(vec![cv]);
+    let cond = before.emit(&mut f, OpKind::Bin(AluOp::LtU, cv, two), Ty::I32);
+    before.emit0(OpKind::Condition {
+        cond,
+        fwd: vec![cv],
+    });
+    let av = f.new_value(Ty::I32);
+    let mut after = RegionBuilder::with_args(vec![av]);
+    after.push(
+        OpKind::DramWrite {
+            dram,
+            idx: av,
+            val: magic,
+        },
+        vec![],
+    );
+    let next = after.emit(&mut f, OpKind::Bin(AluOp::Add, av, one), Ty::I32);
+    after.emit0(OpKind::Yield(vec![next]));
+    let r = f.new_value(Ty::I32);
+    b.push(
+        OpKind::While {
+            inits: vec![zero],
+            before: before.build(),
+            after: after.build(),
+        },
+        vec![r],
+    );
+    b.emit0(OpKind::Return(vec![]));
+    f.body = b.build();
+    m.funcs.push(f);
+    verify_module(&m).expect("fixture is valid");
+
+    let args = [Word(5)];
+    let before_img = interp_dram(&m, &args);
+    let mut pm = PassManager::new();
+    pm.add(SinkConsts).add(Dce);
+    pm.run(&mut m);
+    verify_module(&m).expect("valid after sinking");
+
+    let top = &m.funcs[0].body;
+    let outer_magic = top
+        .ops
+        .iter()
+        .filter(|o| matches!(o.kind, OpKind::ConstI(123, _)))
+        .count();
+    assert_eq!(outer_magic, 0, "outer constant should be sunk + DCE'd");
+    let total_magic = count_ops(top, &mut |k| matches!(k, OpKind::ConstI(123, _)));
+    assert_eq!(total_magic, 1, "exactly one rematerialized copy survives");
+    assert_eq!(
+        interp_dram(&m, &args),
+        before_img,
+        "sinking must not change behavior"
+    );
 }
