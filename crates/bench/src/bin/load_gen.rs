@@ -264,10 +264,9 @@ fn main() {
         .flat_map(|o| o.compile_latencies.clone())
         .collect();
 
-    let status = ServeClient::connect(addr)
-        .expect("status connect")
-        .status()
-        .expect("status");
+    let mut scrape = ServeClient::connect(addr).expect("status connect");
+    let status = scrape.status().expect("status");
+    let metrics = scrape.metrics().expect("metrics");
 
     let secs = elapsed.as_secs_f64();
     let rps = requests_ok as f64 / secs;
@@ -289,6 +288,21 @@ fn main() {
         status.executed_instances,
         status.failed_instances
     );
+    // The Metrics wire frame: the server-side obs sink's view of the same
+    // load. A scrape endpoint must agree with the Status frame.
+    println!(
+        "server obs   dispatches {} productive {} instances {} peak_ready {} wall p50 {} us",
+        metrics.get("exec.dispatches").unwrap_or(0),
+        metrics.get("exec.productive").unwrap_or(0),
+        metrics.get("exec.instances").unwrap_or(0),
+        metrics.get("exec.peak_ready").unwrap_or(0),
+        metrics.get("runtime.instance_wall_us.p50").unwrap_or(0),
+    );
+    assert_eq!(
+        metrics.get("serve.executed_instances"),
+        Some(status.executed_instances),
+        "Metrics and Status frames must agree"
+    );
 
     if let Some(path) = &args.json {
         let json = format!(
@@ -300,7 +314,8 @@ fn main() {
              \"exec_latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}},\n  \
              \"compile_latency_us\": {{\"p50\": {compile_p50}}},\n  \
              \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n  \
-             \"server\": {{\"executed_instances\": {}, \"failed_instances\": {}}}\n}}\n",
+             \"server\": {{\"executed_instances\": {}, \"failed_instances\": {}}},\n  \
+             \"obs\": {{\"dispatches\": {}, \"productive\": {}, \"peak_ready\": {}}}\n}}\n",
             args.clients,
             args.requests,
             args.instances,
@@ -312,6 +327,9 @@ fn main() {
             status.cache_evictions,
             status.executed_instances,
             status.failed_instances,
+            metrics.get("exec.dispatches").unwrap_or(0),
+            metrics.get("exec.productive").unwrap_or(0),
+            metrics.get("exec.peak_ready").unwrap_or(0),
         );
         std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("wrote {path}");

@@ -1,8 +1,9 @@
 //! `revetc` — the human entry point for the staged `Session` compile API.
 //!
 //! ```text
-//! revetc FILE [--emit ast|mir|mir-after=<pass>|dataflow|report]
+//! revetc FILE|--app NAME [--emit ast|mir|mir-after=<pass>|dataflow|report]
 //!        [--opt-level N | -O0|-O1|-O2] [--print-pass-pipeline]
+//!        [--profile] [--trace-out FILE.json] [--args A,B,…] [--scale N]
 //!        [--color|--no-color]
 //! ```
 //!
@@ -27,16 +28,39 @@
 //! the pre-framework behavior of the flag. `--print-pass-pipeline` lists
 //! the pass names the current options would run and exits; it needs no
 //! FILE.
+//!
+//! ## Profiling
+//!
+//! `--profile` and `--trace-out FILE.json` *run* the compiled program
+//! (instead of emitting a compile artifact) with an observability sink
+//! attached. `--profile` prints the execution counters, per-stage compile
+//! timings, and the stall-attribution "top stalls" table; `--trace-out`
+//! writes a Chrome `trace_event` JSON file loadable in Perfetto
+//! (ui.perfetto.dev) or `chrome://tracing`. `--app NAME` selects one of
+//! the registered Table III evaluation apps (its workload supplies `main`
+//! arguments and DRAM inputs; `--scale` sizes it); for a FILE, `--args`
+//! passes comma-separated u32 `main` arguments.
 
+use revet_apps::{app, DRAM_BYTES};
 use revet_core::passes::build_pipeline;
 use revet_core::report::ResourceReport;
 use revet_core::{PassOptions, Session};
+use revet_obs::ObsSink;
+use revet_sltf::Word;
 use std::io::IsTerminal;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: revetc FILE [--emit ast|mir|mir-after=<pass>|dataflow|report]
-       [--opt-level N | -O0|-O1|-O2] [--print-pass-pipeline] [--color|--no-color]
+const USAGE: &str =
+    "usage: revetc FILE|--app NAME [--emit ast|mir|mir-after=<pass>|dataflow|report]
+       [--opt-level N | -O0|-O1|-O2] [--print-pass-pipeline]
+       [--profile] [--trace-out FILE.json] [--args A,B,...] [--scale N] [--color|--no-color]
        (stderr gets rustc-style diagnostics; exit 1 = compile error, 2 = usage/i/o)";
+
+/// Trace-ring capacity for `--trace-out`: big enough for the Table III
+/// apps at smoke scale, bounded so a huge run cannot eat memory.
+const TRACE_CAPACITY: usize = 1 << 18;
+
+const MAX_ROUNDS: u64 = 200_000_000;
 
 enum Emit {
     Ast,
@@ -48,14 +72,53 @@ enum Emit {
 
 fn main() -> ExitCode {
     let mut file: Option<String> = None;
+    let mut app_name: Option<String> = None;
     let mut emit = Emit::Report;
     let mut color: Option<bool> = None;
     let mut opts = PassOptions::default();
     let mut print_pipeline = false;
+    let mut profile = false;
+    let mut trace_out: Option<String> = None;
+    let mut main_args: Vec<u32> = Vec::new();
+    let mut scale: usize = 16;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--app" => {
+                let Some(name) = args.next() else {
+                    eprintln!("--app needs a name\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                app_name = Some(name);
+            }
+            "--profile" => profile = true,
+            "--trace-out" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--trace-out needs a file path\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                trace_out = Some(path);
+            }
+            "--args" => {
+                let parsed = args
+                    .next()
+                    .map(|v| v.split(',').map(|s| s.trim().parse::<u32>()).collect());
+                match parsed {
+                    Some(Ok(list)) => main_args = list,
+                    _ => {
+                        eprintln!("--args needs comma-separated u32s\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--scale" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--scale needs a number\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                scale = n.max(1);
+            }
             "--emit" => {
                 let Some(what) = args.next() else {
                     eprintln!("--emit needs a value\n{USAGE}");
@@ -113,20 +176,54 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let Some(file) = file else {
-        eprintln!("{USAGE}");
-        return ExitCode::from(2);
+    // Resolve the input: a source FILE, or a registered evaluation app
+    // (which also supplies the workload `--profile` runs).
+    let selected_app = match &app_name {
+        Some(name) => match app(name) {
+            Some(a) => Some(a),
+            None => {
+                let known: Vec<&str> = revet_apps::all_apps().iter().map(|a| a.name).collect();
+                eprintln!("revetc: unknown app '{name}' (known: {})", known.join(", "));
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
     };
-    let source = match std::fs::read_to_string(&file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("revetc: cannot read {file}: {e}");
+    let (file, source) = if let Some(a) = &selected_app {
+        if file.is_some() {
+            eprintln!("revetc: FILE and --app are mutually exclusive\n{USAGE}");
             return ExitCode::from(2);
+        }
+        // Apps are compiled against the shared evaluation DRAM budget.
+        opts.dram_bytes = DRAM_BYTES;
+        (format!("app:{}", a.name), (a.source)(2))
+    } else {
+        let Some(file) = file else {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        };
+        match std::fs::read_to_string(&file) {
+            Ok(s) => (file, s),
+            Err(e) => {
+                eprintln!("revetc: cannot read {file}: {e}");
+                return ExitCode::from(2);
+            }
         }
     };
     let color = color.unwrap_or_else(|| std::io::stderr().is_terminal());
 
     let mut session = Session::new(source, opts).with_source_name(&file);
+    if profile || trace_out.is_some() {
+        return run_profiled(
+            session,
+            selected_app.as_ref(),
+            &main_args,
+            scale,
+            profile,
+            trace_out.as_deref(),
+            color,
+        );
+    }
     if let Emit::MirAfter(pass) = &emit {
         session = session.capture_mir_after(pass);
     }
@@ -194,6 +291,81 @@ fn main() -> ExitCode {
         let n = session.diagnostics().error_count();
         eprintln!("error: compilation failed with {n} error(s)");
         return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Compile, run once with an enabled observability sink, and report:
+/// `--profile` prints counters / compile-stage timings / the top-stalls
+/// table, `--trace-out` writes Chrome `trace_event` JSON.
+fn run_profiled(
+    mut session: Session,
+    selected_app: Option<&revet_apps::App>,
+    main_args: &[u32],
+    scale: usize,
+    profile: bool,
+    trace_out: Option<&str>,
+    color: bool,
+) -> ExitCode {
+    let mut program = match session.to_dataflow() {
+        Ok(p) => p,
+        Err(_) => {
+            eprint!("{}", session.render_diagnostics(color));
+            let n = session.diagnostics().error_count();
+            eprintln!("error: compilation failed with {n} error(s)");
+            return ExitCode::FAILURE;
+        }
+    };
+    // A registered app brings its own workload (args + DRAM inputs);
+    // a plain FILE runs with the `--args` list.
+    let args: Vec<Word> = if let Some(a) = selected_app {
+        let w = (a.workload)(scale, 0x5EED);
+        a.load(&mut program, &w);
+        w.args.iter().map(|&x| Word(x)).collect()
+    } else {
+        main_args.iter().map(|&x| Word(x)).collect()
+    };
+
+    let obs = if trace_out.is_some() {
+        ObsSink::with_trace_capacity(TRACE_CAPACITY)
+    } else {
+        ObsSink::counters_only()
+    };
+    session.emit_compile_trace(&obs);
+    let mut inst = program.instance();
+    if let Err(e) = inst.run_untimed_obs(&args, MAX_ROUNDS, &obs) {
+        eprintln!("revetc: execution failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if profile {
+        println!("== compile stages ==");
+        for (stage, wall) in session.stage_timings() {
+            println!("  {stage:<12} {:>8} us", wall.as_micros());
+        }
+        println!("\n== execution counters ==");
+        for (name, value) in obs.snapshot_counters() {
+            println!("  {name:<28} {value}");
+        }
+        println!("\n== top stalls ==");
+        print!("{}", obs.top_stalls_table(10));
+    }
+    if let Some(path) = trace_out {
+        let json = obs.chrome_trace_json();
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("revetc: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        let dropped = obs.trace_dropped();
+        println!(
+            "wrote {path} ({} events{}) — load it at ui.perfetto.dev",
+            obs.trace_events().len(),
+            if dropped > 0 {
+                format!(", {dropped} dropped by the ring")
+            } else {
+                String::new()
+            }
+        );
     }
     ExitCode::SUCCESS
 }

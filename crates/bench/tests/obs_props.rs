@@ -1,0 +1,292 @@
+//! Observability invariants, pinned as properties:
+//!
+//! 1. The obs sink's dispatch counter — and the number of `NodeDispatch`
+//!    events in the trace ring — equal the `ExecReport::steps` the
+//!    executor itself reports, on all eight Table III apps (planned and
+//!    interpreted executors) and on random scheduler-equivalence DAGs.
+//!    The trace is an *account* of the run, not a sample of it.
+//! 2. Per-worker sinks forked by `BatchRunner::run_obs` and merged after
+//!    the join aggregate to exactly the counters a single-threaded run
+//!    over the same jobs records.
+
+use proptest::prelude::*;
+use revet_apps::all_apps;
+use revet_core::PassOptions;
+use revet_machine::instr::{AluOp, EwInstr, Operand};
+use revet_machine::nodes::{EwNode, OutputSpec, SinkNode, SourceNode};
+use revet_machine::{tbar, tdata, Channel, ExecPlan, Graph, MemoryState, TTok};
+use revet_obs::{EventKind, ObsSink};
+use revet_runtime::{BatchRunner, ExecMode};
+
+const OUTER: u32 = 2;
+const SCALE: usize = 8;
+const SEED: u64 = 0x5EED;
+const MAX_ROUNDS: u64 = 200_000_000;
+/// Large enough that no app/DAG in this suite drops events — equality
+/// against `steps` requires a complete trace, so every test asserts
+/// `trace_dropped() == 0` before counting.
+const TRACE_CAP: usize = 1 << 21;
+
+/// Counter snapshot minus wall-clock percentiles — instance timings are
+/// real time and legitimately differ between a contended pool and a
+/// sequential run, so only the histogram's `.count` is deterministic.
+fn deterministic_counters(obs: &ObsSink) -> Vec<(String, u64)> {
+    obs.snapshot_counters()
+        .into_iter()
+        .filter(|(name, _)| {
+            !name.ends_with(".p50") && !name.ends_with(".p95") && !name.ends_with(".p99")
+        })
+        .collect()
+}
+
+fn dispatch_events(obs: &ObsSink) -> (u64, u64) {
+    let mut total = 0u64;
+    let mut productive = 0u64;
+    for ev in obs.trace_events() {
+        if let EventKind::NodeDispatch {
+            productive: p,
+            node: _,
+        } = ev.kind
+        {
+            total += 1;
+            productive += p as u64;
+        }
+    }
+    (total, productive)
+}
+
+/// On every evaluation app, for both executors: the sink's counters and
+/// the trace ring agree exactly with the `ExecReport`.
+#[test]
+fn trace_dispatch_counts_match_exec_report_on_all_apps() {
+    for a in all_apps() {
+        let (program, args, w) = a.prepare(OUTER, SCALE, SEED, &PassOptions::default());
+        for interpreted in [false, true] {
+            let obs = ObsSink::with_trace_capacity(TRACE_CAP);
+            let mut inst = program.instance();
+            let report = if interpreted {
+                inst.run_untimed_interpreted_obs(&args, MAX_ROUNDS, &obs)
+            } else {
+                inst.run_untimed_obs(&args, MAX_ROUNDS, &obs)
+            }
+            .unwrap_or_else(|e| panic!("{}: {e}", a.name));
+            a.check_dram(&inst.memory().dram, &w);
+
+            assert_eq!(obs.trace_dropped(), 0, "{}: ring too small", a.name);
+            assert_eq!(
+                obs.counters.dispatches.get(),
+                report.steps,
+                "{} (interpreted={interpreted}): dispatch counter vs report.steps",
+                a.name
+            );
+            assert_eq!(
+                obs.counters.productive.get(),
+                report.productive_steps,
+                "{} (interpreted={interpreted})",
+                a.name
+            );
+            assert_eq!(obs.counters.rounds.get(), report.rounds, "{}", a.name);
+            assert_eq!(
+                obs.counters.peak_ready.get(),
+                report.peak_ready,
+                "{}",
+                a.name
+            );
+            let (traced, traced_productive) = dispatch_events(&obs);
+            assert_eq!(
+                traced, report.steps,
+                "{} (interpreted={interpreted}): traced NodeDispatch events vs report.steps",
+                a.name
+            );
+            assert_eq!(traced_productive, report.productive_steps, "{}", a.name);
+        }
+    }
+}
+
+/// Forked per-worker sinks, merged after the pool joins, must equal a
+/// single-threaded run's counters exactly — on every app.
+#[test]
+fn merged_worker_counters_equal_single_threaded_on_all_apps() {
+    for a in all_apps() {
+        let (program, args, _w) = a.prepare(OUTER, SCALE, SEED, &PassOptions::default());
+        let argsets: Vec<Vec<revet_sltf::Word>> = (0..6).map(|_| args.clone()).collect();
+        for mode in [ExecMode::Planned, ExecMode::Interpreted] {
+            let solo_obs = ObsSink::counters_only();
+            let solo = BatchRunner::new(1)
+                .with_mode(mode)
+                .run_same_obs(&program, &argsets, &solo_obs);
+            let pooled_obs = ObsSink::counters_only();
+            let pooled =
+                BatchRunner::new(4)
+                    .with_mode(mode)
+                    .run_same_obs(&program, &argsets, &pooled_obs);
+            assert_eq!(solo.ok_count(), 6, "{}", a.name);
+            assert_eq!(pooled.ok_count(), 6, "{}", a.name);
+            assert_eq!(
+                deterministic_counters(&solo_obs),
+                deterministic_counters(&pooled_obs),
+                "{} ({mode:?}): forked+merged counters diverged from sequential",
+                a.name
+            );
+            assert_eq!(solo_obs.counters.instances.get(), 6, "{}", a.name);
+            assert_eq!(
+                solo_obs.counters.dispatches.get(),
+                solo.total().steps,
+                "{}",
+                a.name
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random DAGs (the scheduler_equiv generator, compacted)
+
+#[derive(Clone, Copy)]
+enum Move {
+    Map { sel: u32, op: u32 },
+    Dup { sel: u32 },
+    Zip { sel_a: u32, sel_b: u32 },
+}
+
+fn decode(raw: u32) -> Move {
+    let kind = raw % 3;
+    let a = (raw / 3) % 1009;
+    let b = (raw / 3037) % 1013;
+    match kind {
+        0 => Move::Map { sel: a, op: b },
+        1 => Move::Dup { sel: a },
+        _ => Move::Zip { sel_a: a, sel_b: b },
+    }
+}
+
+/// Grows a random DAG from one source by count-preserving moves (map /
+/// dup / zip over open channels), exactly like the machine crate's
+/// scheduler-equivalence generator minus the DRAM taps.
+fn build(values: &[u32], moves: &[u32]) -> Graph {
+    let mut g = Graph::new();
+    let mut toks: Vec<TTok> = Vec::new();
+    for (i, &v) in values.iter().enumerate() {
+        toks.push(tdata([v]));
+        if v % 7 == 0 {
+            toks.push(tbar(1));
+        }
+        if i + 1 == values.len() {
+            toks.push(tbar(1));
+        }
+    }
+    let first = g.add_chan(Channel::new(1));
+    g.add_node("src", Box::new(SourceNode::new(toks)), vec![], vec![first]);
+    let mut open = vec![first];
+    for (node_idx, &raw) in moves.iter().enumerate() {
+        match decode(raw) {
+            Move::Map { sel, op } => {
+                let src = open.remove(sel as usize % open.len());
+                let dst = g.add_chan(Channel::new(1));
+                let alu = match op % 4 {
+                    0 => AluOp::Add,
+                    1 => AluOp::Xor,
+                    2 => AluOp::Mul,
+                    _ => AluOp::Rotl,
+                };
+                let instrs = vec![EwInstr::Alu {
+                    op: alu,
+                    a: Operand::Reg(0),
+                    b: Operand::imm(1 + op % 13),
+                    dst: 0,
+                }];
+                g.add_node(
+                    format!("map{node_idx}"),
+                    Box::new(EwNode::new(1, instrs, vec![OutputSpec::plain([0])])),
+                    vec![src],
+                    vec![dst],
+                );
+                open.push(dst);
+            }
+            Move::Dup { sel } => {
+                let src = open.remove(sel as usize % open.len());
+                let d0 = g.add_chan(Channel::new(1));
+                let d1 = g.add_chan(Channel::new(1));
+                g.add_node(
+                    format!("dup{node_idx}"),
+                    Box::new(EwNode::new(
+                        1,
+                        Vec::new(),
+                        vec![OutputSpec::plain([0]), OutputSpec::plain([0])],
+                    )),
+                    vec![src],
+                    vec![d0, d1],
+                );
+                open.push(d0);
+                open.push(d1);
+            }
+            Move::Zip { sel_a, sel_b } => {
+                if open.len() < 2 {
+                    continue;
+                }
+                let a = open.remove(sel_a as usize % open.len());
+                let b = open.remove(sel_b as usize % open.len());
+                let dst = g.add_chan(Channel::new(1));
+                let instrs = vec![EwInstr::Alu {
+                    op: AluOp::Add,
+                    a: Operand::Reg(0),
+                    b: Operand::Reg(1),
+                    dst: 0,
+                }];
+                g.add_node(
+                    format!("zip{node_idx}"),
+                    Box::new(EwNode::new(2, instrs, vec![OutputSpec::plain([0])])),
+                    vec![a, b],
+                    vec![dst],
+                );
+                open.push(dst);
+            }
+        }
+    }
+    for (i, c) in open.into_iter().enumerate() {
+        let (sink, _h) = SinkNode::new();
+        g.add_node(format!("sink{i}"), Box::new(sink), vec![c], vec![]);
+    }
+    g.mem = MemoryState::with_dram_size(64);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On random DAGs, both the event-driven executor and the compiled
+    /// plan keep the sink and the report in exact agreement: dispatch
+    /// counter == traced NodeDispatch events == report.steps, and the
+    /// productive / rounds / peak-ready views match too.
+    #[test]
+    fn obs_matches_exec_report_on_random_dags(
+        values in prop::collection::vec(0u32..100, 0..14),
+        moves in prop::collection::vec(0u32..3_000_000, 0..18),
+    ) {
+        // Event-driven ready-set executor.
+        let mut g = build(&values, &moves);
+        let obs = ObsSink::with_trace_capacity(TRACE_CAP);
+        let report = g.run_untimed_obs(100_000, &obs).unwrap();
+        prop_assert_eq!(obs.trace_dropped(), 0);
+        prop_assert_eq!(obs.counters.dispatches.get(), report.steps);
+        prop_assert_eq!(obs.counters.productive.get(), report.productive_steps);
+        prop_assert_eq!(obs.counters.rounds.get(), report.rounds);
+        prop_assert_eq!(obs.counters.peak_ready.get(), report.peak_ready);
+        let (traced, traced_productive) = dispatch_events(&obs);
+        prop_assert_eq!(traced, report.steps);
+        prop_assert_eq!(traced_productive, report.productive_steps);
+
+        // Compiled execution plan over an identical graph.
+        let mut pg = build(&values, &moves);
+        let plan = ExecPlan::build(&pg);
+        let pobs = ObsSink::with_trace_capacity(TRACE_CAP);
+        let preport = pg.run_untimed_planned_obs(&plan, 100_000, &pobs).unwrap();
+        prop_assert_eq!(pobs.trace_dropped(), 0);
+        prop_assert_eq!(pobs.counters.dispatches.get(), preport.steps);
+        prop_assert_eq!(pobs.counters.productive.get(), preport.productive_steps);
+        prop_assert_eq!(pobs.counters.rounds.get(), preport.rounds);
+        prop_assert_eq!(pobs.counters.peak_ready.get(), preport.peak_ready);
+        let (ptraced, _) = dispatch_events(&pobs);
+        prop_assert_eq!(ptraced, preport.steps);
+    }
+}

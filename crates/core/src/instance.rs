@@ -50,9 +50,30 @@ impl ProgramInstance {
         args: &[Word],
         max_rounds: u64,
     ) -> Result<ExecReport, MachineError> {
+        self.run_untimed_obs(args, max_rounds, revet_obs::ObsSink::noop())
+    }
+
+    /// [`ProgramInstance::run_untimed`] with an observability sink (node
+    /// labels are published to the sink so stall tables and traces can name
+    /// nodes).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ProgramInstance::run_untimed`].
+    pub fn run_untimed_obs(
+        &mut self,
+        args: &[Word],
+        max_rounds: u64,
+        obs: &revet_obs::ObsSink,
+    ) -> Result<ExecReport, MachineError> {
+        self.publish_labels(obs);
         crate::lower::inject_args(&mut self.graph, self.entry, args);
         let plan = Arc::clone(&self.plan);
-        self.graph.run_untimed_planned(&plan, max_rounds)
+        let report = self.graph.run_untimed_planned_obs(&plan, max_rounds, obs);
+        if report.is_ok() && obs.is_enabled() {
+            obs.counters.instances.inc();
+        }
+        report
     }
 
     /// Like [`ProgramInstance::run_untimed`] but on the interpreted
@@ -67,8 +88,34 @@ impl ProgramInstance {
         args: &[Word],
         max_rounds: u64,
     ) -> Result<ExecReport, MachineError> {
+        self.run_untimed_interpreted_obs(args, max_rounds, revet_obs::ObsSink::noop())
+    }
+
+    /// [`ProgramInstance::run_untimed_interpreted`] with an observability
+    /// sink.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ProgramInstance::run_untimed_interpreted`].
+    pub fn run_untimed_interpreted_obs(
+        &mut self,
+        args: &[Word],
+        max_rounds: u64,
+        obs: &revet_obs::ObsSink,
+    ) -> Result<ExecReport, MachineError> {
+        self.publish_labels(obs);
         crate::lower::inject_args(&mut self.graph, self.entry, args);
-        self.graph.run_untimed(max_rounds)
+        let report = self.graph.run_untimed_obs(max_rounds, obs);
+        if report.is_ok() && obs.is_enabled() {
+            obs.counters.instances.inc();
+        }
+        report
+    }
+
+    fn publish_labels(&self, obs: &revet_obs::ObsSink) {
+        if obs.is_enabled() {
+            obs.set_labels(self.graph.nodes().iter().map(|s| s.label.clone()).collect());
+        }
     }
 
     /// Snapshot of the tokens this instance's sink collected (`main`'s

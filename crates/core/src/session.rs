@@ -74,6 +74,7 @@ pub struct Session {
     report: Option<PassReport>,
     capture: Option<String>,
     captured: Option<String>,
+    timings: Vec<(&'static str, std::time::Duration)>,
 }
 
 impl Session {
@@ -93,6 +94,7 @@ impl Session {
             report: None,
             capture: None,
             captured: None,
+            timings: Vec::new(),
         }
     }
 
@@ -125,10 +127,12 @@ impl Session {
             return Err(self.failure());
         }
         if self.ast.is_none() {
+            let started = std::time::Instant::now();
             match revet_lang::parse_program(&self.source) {
                 Ok(p) => {
                     self.ast = Some(p);
                     self.stage = self.stage.max(Stage::Parsed);
+                    self.timings.push(("parse", started.elapsed()));
                 }
                 Err(diags) => return Err(self.fail(diags)),
             }
@@ -145,12 +149,14 @@ impl Session {
     pub fn lower_mir(&mut self) -> Result<&Module, CoreError> {
         self.parse()?;
         if self.mir.is_none() {
+            let started = std::time::Instant::now();
             let ast = self.ast.as_ref().expect("parsed");
             match revet_lang::lower_program(ast) {
                 Ok(lowered) => {
                     self.threads = self.opts.threads.or(lowered.thread_count_hint);
                     self.mir = Some(lowered.module);
                     self.stage = self.stage.max(Stage::Lowered);
+                    self.timings.push(("lower_mir", started.elapsed()));
                 }
                 Err(diags) => return Err(self.fail(diags)),
             }
@@ -168,6 +174,7 @@ impl Session {
     pub fn run_passes(&mut self) -> Result<&Module, CoreError> {
         self.lower_mir()?;
         if !self.optimized {
+            let started = std::time::Instant::now();
             let pipeline = passes::build_pipeline(&self.opts, self.threads);
             let capture = self.capture.clone();
             let mut captured = None;
@@ -185,6 +192,7 @@ impl Session {
             }
             self.optimized = true;
             self.stage = self.stage.max(Stage::Optimized);
+            self.timings.push(("run_passes", started.elapsed()));
         }
         Ok(self.mir.as_ref().expect("optimized"))
     }
@@ -202,6 +210,7 @@ impl Session {
     /// (code `E0401`).
     pub fn to_dataflow(&mut self) -> Result<CompiledProgram, CoreError> {
         self.run_passes()?;
+        let started = std::time::Instant::now();
         let mut opts = self.opts.clone();
         opts.threads = self.threads;
         // Dataflow lowering consumes/mutates the module; clone so the
@@ -213,7 +222,10 @@ impl Session {
             base: (0..module.drams.len() as u32).map(|i| i * slice).collect(),
         };
         match lower_to_dataflow(&mut module, &layout, &opts, opts.dram_bytes) {
-            Ok(p) => Ok(p),
+            Ok(p) => {
+                self.timings.push(("to_dataflow", started.elapsed()));
+                Ok(p)
+            }
             Err(e) => Err(self.fail(e.diagnostics.into_iter().collect())),
         }
     }
@@ -279,6 +291,24 @@ impl Session {
     /// that pass executed.
     pub fn captured_mir(&self) -> Option<&str> {
         self.captured.as_deref()
+    }
+
+    /// Wall time of every compile stage that actually executed this
+    /// session, in execution order. Memoized re-runs add no entries, so a
+    /// full compile yields exactly `parse`, `lower_mir`, `run_passes`,
+    /// `to_dataflow` (the latter once per materialization). Complements
+    /// [`Session::pass_report`], which times the individual passes *inside*
+    /// the `run_passes` stage.
+    pub fn stage_timings(&self) -> &[(&'static str, std::time::Duration)] {
+        &self.timings
+    }
+
+    /// Records each stage timing into `obs` as a `compile_stage` trace
+    /// event (for `--trace-out` Perfetto exports).
+    pub fn emit_compile_trace(&self, obs: &revet_obs::ObsSink) {
+        for (name, dur) in &self.timings {
+            obs.compile_stage(name, dur.as_micros() as u64);
+        }
     }
 
     /// Renders every accumulated diagnostic as a rustc-style snippet.
@@ -413,6 +443,39 @@ mod tests {
         let mut none = Session::new(FOLDABLE, o2()).capture_mir_after("no_such");
         none.run_passes().unwrap();
         assert!(none.captured_mir().is_none());
+    }
+
+    #[test]
+    fn stage_timings_record_each_stage_once() {
+        let mut s = Session::new(GOOD, PassOptions::default());
+        assert!(s.stage_timings().is_empty());
+        s.to_dataflow().unwrap();
+        let names: Vec<&str> = s.stage_timings().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec!["parse", "lower_mir", "run_passes", "to_dataflow"]
+        );
+        // Memoized stages add nothing; a re-materialization adds only the
+        // dataflow stage.
+        s.run_passes().unwrap();
+        assert_eq!(s.stage_timings().len(), 4);
+        s.to_dataflow().unwrap();
+        let names: Vec<&str> = s.stage_timings().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "parse",
+                "lower_mir",
+                "run_passes",
+                "to_dataflow",
+                "to_dataflow"
+            ]
+        );
+        // Stage timings flow into the trace ring as compile_stage events.
+        let obs = revet_obs::ObsSink::with_trace_capacity(64);
+        s.emit_compile_trace(&obs);
+        assert_eq!(obs.trace_events().len(), 5);
+        assert!(obs.chrome_trace_json().contains("compile:run_passes"));
     }
 
     #[test]

@@ -30,6 +30,7 @@
 use crate::channel::Channel;
 use crate::mem::MemoryState;
 use crate::node::{ChanId, IoEvents, MachineError, Node, NodeId, NodeIo, PortBudget};
+use revet_obs::{ObsSink, StallClass, WakeCause};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
@@ -171,6 +172,10 @@ pub struct ExecReport {
     /// `rounds × nodes`; the ready-set executor only steps woken nodes, so
     /// this is the "work" a scheduler comparison should look at.
     pub steps: u64,
+    /// High watermark of worklist occupancy at the start of any round — the
+    /// peak instantaneous parallelism the scheduler saw. A **max-merged**
+    /// watermark, not an additive counter.
+    pub peak_ready: u64,
 }
 
 impl ExecReport {
@@ -185,11 +190,15 @@ impl ExecReport {
     }
 
     /// Folds another run's counters into this report — batch aggregation
-    /// across program instances (all three counters add).
+    /// across program instances. The three step counters **add**; the
+    /// `peak_ready` watermark merges by **max** (a peak observed by any
+    /// instance is a peak of the batch — summing watermarks would invent a
+    /// parallelism level no scheduler ever saw).
     pub fn merge(&mut self, other: &ExecReport) {
         self.rounds += other.rounds;
         self.productive_steps += other.productive_steps;
         self.steps += other.steps;
+        self.peak_ready = self.peak_ready.max(other.peak_ready);
     }
 }
 
@@ -467,7 +476,54 @@ impl Graph {
     /// Returns a node error, a round-limit error (suspected livelock), or a
     /// deadlock diagnosis listing all stuck channels.
     pub fn run_untimed(&mut self, max_rounds: u64) -> Result<ExecReport, MachineError> {
-        self.run_with_topology(|g, topo| g.run_untimed_ready(topo, max_rounds))
+        self.run_untimed_obs(max_rounds, ObsSink::noop())
+    }
+
+    /// [`Graph::run_untimed`] with an observability sink: dispatches, wake
+    /// causes, and per-node stall attribution are recorded into `obs`. Pass
+    /// [`ObsSink::noop`] (what `run_untimed` does) to keep the hot path at
+    /// one predictable branch per event site.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::run_untimed`].
+    pub fn run_untimed_obs(
+        &mut self,
+        max_rounds: u64,
+        obs: &ObsSink,
+    ) -> Result<ExecReport, MachineError> {
+        self.run_with_topology(|g, topo| g.run_untimed_ready(topo, max_rounds, obs))
+    }
+
+    /// Classifies why a node that was just stepped made no progress, by
+    /// inspecting its channel endpoints: an empty input means
+    /// **input-starved**; otherwise a bounded output at capacity means
+    /// **output-full**; otherwise a node that can block on an allocator
+    /// queue is **allocator-gated**. (DRAM gating exists only in the timed
+    /// simulator, which attributes it at the deferral site.) Shared by the
+    /// ready-set executor, the plan executor, and the simulator.
+    pub fn classify_stall(&self, id: NodeId) -> StallClass {
+        let slot = &self.nodes[id.0 as usize];
+        if slot.ins.iter().any(|c| self.chans[c.0 as usize].is_empty()) {
+            return StallClass::InputStarved;
+        }
+        if slot
+            .outs
+            .iter()
+            .any(|c| self.chans[c.0 as usize].room() == 0)
+        {
+            return StallClass::OutputFull;
+        }
+        if slot
+            .behavior
+            .as_ref()
+            .is_some_and(|b| b.may_stall_on_alloc())
+        {
+            return StallClass::AllocGated;
+        }
+        // No visibly blocked endpoint: the node is waiting for *more* input
+        // than any one channel shows (e.g. a barrier-aligned zip).
+        StallClass::InputStarved
     }
 
     /// Hands an executor a shared handle to the topology index so it can
@@ -486,6 +542,7 @@ impl Graph {
         &mut self,
         topo: &TopologyIndex,
         max_rounds: u64,
+        obs: &ObsSink,
     ) -> Result<ExecReport, MachineError> {
         let n = self.nodes.len();
         let max_in = self.nodes.iter().map(|s| s.ins.len()).max().unwrap_or(0);
@@ -510,6 +567,8 @@ impl Graph {
                 )));
             }
             report.rounds += 1;
+            report.peak_ready = report.peak_ready.max(current.len() as u64);
+            obs.round(current.len() as u64);
             while let Some(i) = current.pop_front() {
                 let idx = i as usize;
                 queued[idx] = false;
@@ -532,25 +591,34 @@ impl Graph {
                 if progressed {
                     report.productive_steps += 1;
                 }
-                let wake = |id: NodeId, next: &mut VecDeque<u32>, queued: &mut Vec<bool>| {
+                obs.node_dispatch(i, progressed);
+                if !progressed && obs.is_enabled() {
+                    obs.stall(i, self.classify_stall(NodeId(i)));
+                }
+                let wake = |id: NodeId,
+                            cause: WakeCause,
+                            next: &mut VecDeque<u32>,
+                            queued: &mut Vec<bool>| {
                     if !queued[id.0 as usize] {
                         queued[id.0 as usize] = true;
                         next.push_back(id.0);
+                        obs.wake(id.0, cause);
                     }
                 };
                 for &c in &events.pushed {
+                    obs.channel_push(c.0);
                     for &w in topo.consumers(c) {
-                        wake(w, &mut next, &mut queued);
+                        wake(w, WakeCause::TokenArrival, &mut next, &mut queued);
                     }
                 }
                 for &c in &events.freed {
                     for &w in topo.producers(c) {
-                        wake(w, &mut next, &mut queued);
+                        wake(w, WakeCause::CapacityRelease, &mut next, &mut queued);
                     }
                 }
                 if self.mem.alloc_push_ops() != allocs_before {
                     for &w in topo.alloc_waiters() {
-                        wake(w, &mut next, &mut queued);
+                        wake(w, WakeCause::AllocatorPush, &mut next, &mut queued);
                     }
                 }
             }
@@ -584,6 +652,21 @@ impl Graph {
         plan.run(self, max_rounds)
     }
 
+    /// [`Graph::run_untimed_planned`] with an observability sink (see
+    /// [`Graph::run_untimed_obs`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::run_untimed_planned`].
+    pub fn run_untimed_planned_obs(
+        &mut self,
+        plan: &crate::ExecPlan,
+        max_rounds: u64,
+        obs: &ObsSink,
+    ) -> Result<ExecReport, MachineError> {
+        plan.run_obs(self, max_rounds, obs)
+    }
+
     /// The retained dense-sweep reference executor: every round steps every
     /// node until a whole round makes no progress. Semantically equivalent
     /// to [`Graph::run_untimed`] (the property suite pins this); kept for
@@ -615,6 +698,9 @@ impl Graph {
                 )));
             }
             report.rounds += 1;
+            // Every node is "ready" in a dense sweep; the watermark is the
+            // node count as soon as any round runs.
+            report.peak_ready = report.peak_ready.max(n as u64);
             let mut any = false;
             for i in 0..n {
                 let n_in = self.nodes[i].ins.len();
@@ -889,16 +975,18 @@ mod tests {
     }
 
     #[test]
-    fn exec_report_merge_sums_counters() {
+    fn exec_report_merge_sums_counters_and_maxes_watermarks() {
         let mut a = ExecReport {
             rounds: 2,
             productive_steps: 5,
             steps: 8,
+            peak_ready: 6,
         };
         let b = ExecReport {
             rounds: 1,
             productive_steps: 3,
             steps: 4,
+            peak_ready: 9,
         };
         a.merge(&b);
         assert_eq!(
@@ -906,9 +994,82 @@ mod tests {
             ExecReport {
                 rounds: 3,
                 productive_steps: 8,
-                steps: 12
+                steps: 12,
+                peak_ready: 9,
             }
         );
+        // Merging the other way keeps the same watermark: max, not sum.
+        let mut c = ExecReport {
+            peak_ready: 9,
+            ..ExecReport::default()
+        };
+        c.merge(&ExecReport {
+            peak_ready: 6,
+            ..ExecReport::default()
+        });
+        assert_eq!(c.peak_ready, 9);
+    }
+
+    #[test]
+    fn executors_record_the_peak_ready_watermark() {
+        let build = || {
+            let mut g = Graph::new();
+            let c0 = g.add_chan(Channel::new(1));
+            let c1 = g.add_chan(Channel::new(1));
+            g.add_node(
+                "src",
+                Box::new(SourceNode::new(vec![tdata([4u32]), tbar(1)])),
+                vec![],
+                vec![c0],
+            );
+            g.add_node(
+                "stage",
+                Box::new(EwNode::passthrough(1)),
+                vec![c0],
+                vec![c1],
+            );
+            let (sink, _h) = SinkNode::new();
+            g.add_node("sink", Box::new(sink), vec![c1], vec![]);
+            g
+        };
+        let ready = build().run_untimed(1_000).unwrap();
+        // Round 0 seeds every node, so the watermark starts at node count.
+        assert_eq!(ready.peak_ready, 3);
+        let dense = build().run_untimed_dense(1_000).unwrap();
+        assert_eq!(dense.peak_ready, 3);
+    }
+
+    #[test]
+    fn obs_dispatch_count_matches_report_steps() {
+        let obs = revet_obs::ObsSink::with_trace_capacity(4096);
+        let mut g = Graph::new();
+        let c0 = g.add_chan(Channel::new(1));
+        let c1 = g.add_chan(Channel::new(1));
+        g.add_node(
+            "src",
+            Box::new(SourceNode::new(vec![tdata([4u32]), tbar(1)])),
+            vec![],
+            vec![c0],
+        );
+        g.add_node(
+            "stage",
+            Box::new(EwNode::passthrough(1)),
+            vec![c0],
+            vec![c1],
+        );
+        let (sink, _h) = SinkNode::new();
+        g.add_node("sink", Box::new(sink), vec![c1], vec![]);
+        let report = g.run_untimed_obs(1_000, &obs).unwrap();
+        assert_eq!(obs.counters.dispatches.get(), report.steps);
+        assert_eq!(obs.counters.productive.get(), report.productive_steps);
+        assert_eq!(obs.counters.rounds.get(), report.rounds);
+        assert_eq!(obs.counters.peak_ready.get(), report.peak_ready);
+        let traced = obs
+            .trace_events()
+            .iter()
+            .filter(|e| matches!(e.kind, revet_obs::EventKind::NodeDispatch { .. }))
+            .count() as u64;
+        assert_eq!(traced, report.steps);
     }
 
     #[test]

@@ -37,6 +37,7 @@ use crate::graph::{ExecReport, Graph};
 use crate::instr::{exec_instrs, EwInstr, Reg};
 use crate::node::{ChanId, FusedSpec, IoEvents, MachineError, NodeId, PortBudget};
 use crate::nodes::{OutputSpec, SinkHandle};
+use revet_obs::{ObsSink, WakeCause};
 use revet_sltf::{BarrierLevel, Tok, Word};
 
 /// A lowered element-wise behavior awaiting segment assembly.
@@ -159,12 +160,17 @@ impl WakeSet {
         self.cur[i as usize / 64] |= 1 << (i % 64);
     }
 
+    /// Queues `i` for the next generation; returns whether it was newly
+    /// queued (false = already pending in either generation).
     #[inline]
-    fn wake(&mut self, i: u32) {
+    fn wake(&mut self, i: u32) -> bool {
         let (w, b) = (i as usize / 64, 1u64 << (i % 64));
         if (self.cur[w] | self.next[w]) & b == 0 {
             self.next[w] |= b;
             self.next_count += 1;
+            true
+        } else {
+            false
         }
     }
 }
@@ -412,6 +418,23 @@ impl ExecPlan {
     /// errors, the round cap, or a deadlock diagnosis — the latter three
     /// formatted identically to the interpreted executors.
     pub fn run(&self, g: &mut Graph, max_rounds: u64) -> Result<ExecReport, MachineError> {
+        self.run_obs(g, max_rounds, ObsSink::noop())
+    }
+
+    /// [`ExecPlan::run`] with an observability sink: dispatches, segment
+    /// fires, sink drains, classified wakes, and per-node stall attribution
+    /// are recorded into `obs`. The no-op sink costs one predictable branch
+    /// per event site (the `exec_bench --baseline` CI gate pins this).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ExecPlan::run`].
+    pub fn run_obs(
+        &self,
+        g: &mut Graph,
+        max_rounds: u64,
+        obs: &ObsSink,
+    ) -> Result<ExecReport, MachineError> {
         if g.node_count() != self.node_count || g.chan_count() != self.chan_count {
             return Err(MachineError::new(format!(
                 "execution plan shape mismatch: plan for {} nodes/{} chans, graph has {}/{}",
@@ -457,6 +480,9 @@ impl ExecPlan {
                 )));
             }
             report.rounds += 1;
+            let ready: u64 = ws.cur.iter().map(|w| w.count_ones() as u64).sum();
+            report.peak_ready = report.peak_ready.max(ready);
+            obs.round(ready);
             for w in 0..ws.cur.len() {
                 while ws.cur[w] != 0 {
                     let b = ws.cur[w].trailing_zeros();
@@ -464,16 +490,44 @@ impl ExecPlan {
                     let i = w * 64 + b as usize;
                     report.steps += 1;
                     let progressed = match self.kinds[i] {
-                        PlanKind::Seg(s) => self.fire_segment(s, g, &mut regs, &mut ws)?,
+                        PlanKind::Seg(s) => {
+                            let p = self.fire_segment(s, g, &mut regs, &mut ws, obs)?;
+                            if p {
+                                let stages =
+                                    self.seg_bounds[s as usize + 1] - self.seg_bounds[s as usize];
+                                obs.segment_fire(s, stages);
+                            }
+                            p
+                        }
                         PlanKind::Sink(c) => {
-                            self.fire_sink(c, sinks[i].as_ref().expect("captured"), g, &mut ws)
+                            let p = self.fire_sink(
+                                c,
+                                sinks[i].as_ref().expect("captured"),
+                                g,
+                                &mut ws,
+                                obs,
+                            );
+                            if p {
+                                obs.sink_drain();
+                            }
+                            p
                         }
-                        PlanKind::Boxed => {
-                            self.fire_boxed(i as u32, g, &mut ib, &mut ob, &mut events, &mut ws)?
-                        }
+                        PlanKind::Boxed => self.fire_boxed(
+                            i as u32,
+                            g,
+                            &mut ib,
+                            &mut ob,
+                            &mut events,
+                            &mut ws,
+                            obs,
+                        )?,
                     };
                     if progressed {
                         report.productive_steps += 1;
+                    }
+                    obs.node_dispatch(i as u32, progressed);
+                    if !progressed && obs.is_enabled() {
+                        obs.stall(i as u32, g.classify_stall(NodeId(i as u32)));
                     }
                 }
             }
@@ -505,6 +559,7 @@ impl ExecPlan {
         ob: &mut [PortBudget],
         events: &mut IoEvents,
         ws: &mut WakeSet,
+        obs: &ObsSink,
     ) -> Result<bool, MachineError> {
         let idx = i as usize;
         let n_in = g.nodes()[idx].ins.len();
@@ -519,18 +574,28 @@ impl ExecPlan {
         let progressed =
             g.step_node_traced(NodeId(i), &mut ib[..n_in], &mut ob[..n_out], events)?;
         for &c in &events.pushed {
+            obs.channel_push(c.0);
             for &w in self.consumers_of(c) {
-                ws.wake(self.wake_target[w as usize]);
+                let t = self.wake_target[w as usize];
+                if ws.wake(t) {
+                    obs.wake(t, WakeCause::TokenArrival);
+                }
             }
         }
         for &c in &events.freed {
             for &w in self.producers_of(c) {
-                ws.wake(self.wake_target[w as usize]);
+                let t = self.wake_target[w as usize];
+                if ws.wake(t) {
+                    obs.wake(t, WakeCause::CapacityRelease);
+                }
             }
         }
         if g.mem.alloc_push_ops() != allocs_before {
             for &w in &self.alloc_waiters {
-                ws.wake(self.wake_target[w as usize]);
+                let t = self.wake_target[w as usize];
+                if ws.wake(t) {
+                    obs.wake(t, WakeCause::AllocatorPush);
+                }
             }
         }
         Ok(progressed)
@@ -538,7 +603,14 @@ impl ExecPlan {
 
     /// Fused sink firing: drain the input channel into the handle under
     /// one lock.
-    fn fire_sink(&self, c: ChanId, handle: &SinkHandle, g: &mut Graph, ws: &mut WakeSet) -> bool {
+    fn fire_sink(
+        &self,
+        c: ChanId,
+        handle: &SinkHandle,
+        g: &mut Graph,
+        ws: &mut WakeSet,
+        obs: &ObsSink,
+    ) -> bool {
         let (chans, _) = g.chans_and_mem_mut();
         let chan = &mut chans[c.0 as usize];
         if chan.is_empty() {
@@ -546,9 +618,13 @@ impl ExecPlan {
         }
         let was_full = chan.room() == 0;
         handle.collect_from(std::iter::from_fn(|| chan.pop()));
+        obs.channel_pop(c.0);
         if was_full {
             for &w in self.producers_of(c) {
-                ws.wake(self.wake_target[w as usize]);
+                let t = self.wake_target[w as usize];
+                if ws.wake(t) {
+                    obs.wake(t, WakeCause::CapacityRelease);
+                }
             }
         }
         true
@@ -564,20 +640,24 @@ impl ExecPlan {
         g: &mut Graph,
         regs: &mut [Word],
         ws: &mut WakeSet,
+        obs: &ObsSink,
     ) -> Result<bool, MachineError> {
         let allocs_before = g.mem.alloc_push_ops();
         let range =
             self.seg_bounds[seg as usize] as usize..self.seg_bounds[seg as usize + 1] as usize;
         let mut progressed = false;
         for st in &self.stages[range] {
-            progressed |= self.fire_stage(st, g, regs, ws)?;
+            progressed |= self.fire_stage(st, g, regs, ws, obs)?;
         }
         // Fused micro-ops may AllocPush (returns are non-stalling); that
         // state change is invisible on the channel network, so mirror the
         // interpreter's allocator wake.
         if g.mem.alloc_push_ops() != allocs_before {
             for &w in &self.alloc_waiters {
-                ws.wake(self.wake_target[w as usize]);
+                let t = self.wake_target[w as usize];
+                if ws.wake(t) {
+                    obs.wake(t, WakeCause::AllocatorPush);
+                }
             }
         }
         Ok(progressed)
@@ -591,6 +671,7 @@ impl ExecPlan {
         g: &mut Graph,
         regs: &mut [Word],
         ws: &mut WakeSet,
+        obs: &ObsSink,
     ) -> Result<bool, MachineError> {
         let ins = &self.ports[st.ins.0 as usize..st.ins.1 as usize];
         let instrs = &self.micro[st.instrs.0 as usize..st.instrs.1 as usize];
@@ -631,7 +712,10 @@ impl ExecPlan {
                     }
                     if was_full {
                         for &w in self.producers_of(c) {
-                            ws.wake(self.wake_target[w as usize]);
+                            let t = self.wake_target[w as usize];
+                            if ws.wake(t) {
+                                obs.wake(t, WakeCause::CapacityRelease);
+                            }
                         }
                     }
                 }
@@ -645,7 +729,10 @@ impl ExecPlan {
                         chans[o.chan.0 as usize].push(Tok::Data(tuple));
                         if o.wake {
                             for &w in self.consumers_of(o.chan) {
-                                ws.wake(self.wake_target[w as usize]);
+                                let t = self.wake_target[w as usize];
+                                if ws.wake(t) {
+                                    obs.wake(t, WakeCause::TokenArrival);
+                                }
                             }
                         }
                     }
@@ -673,7 +760,10 @@ impl ExecPlan {
                         chan.pop();
                         if was_full {
                             for &w in self.producers_of(c) {
-                                ws.wake(self.wake_target[w as usize]);
+                                let t = self.wake_target[w as usize];
+                                if ws.wake(t) {
+                                    obs.wake(t, WakeCause::CapacityRelease);
+                                }
                             }
                         }
                     }
@@ -683,7 +773,10 @@ impl ExecPlan {
                         chans[o.chan.0 as usize].push(Tok::Barrier(level));
                         if o.wake {
                             for &w in self.consumers_of(o.chan) {
-                                ws.wake(self.wake_target[w as usize]);
+                                let t = self.wake_target[w as usize];
+                                if ws.wake(t) {
+                                    obs.wake(t, WakeCause::TokenArrival);
+                                }
                             }
                         }
                     }

@@ -74,6 +74,7 @@
 
 use revet_core::CompiledProgram;
 use revet_machine::{ExecReport, MachineError, MemoryState, TTok};
+use revet_obs::ObsSink;
 use revet_sltf::Word;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -303,6 +304,16 @@ impl BatchRunner {
     /// Admission queues may hand a drained runner an empty batch; that
     /// must be a no-op, not an edge case.
     pub fn run(&self, jobs: &[BatchJob<'_>]) -> BatchReport {
+        self.run_obs(jobs, ObsSink::noop())
+    }
+
+    /// [`BatchRunner::run`] with an observability sink. With one worker,
+    /// instances record straight into `obs`; with several, each worker
+    /// records into a private [`ObsSink::fork`] (no cross-thread contention
+    /// on the trace ring) and the forks are merged into `obs` after the
+    /// pool joins, so counters and stall tables aggregate exactly as a
+    /// single-threaded run over the same jobs would.
+    pub fn run_obs(&self, jobs: &[BatchJob<'_>], obs: &ObsSink) -> BatchReport {
         let start = Instant::now();
         if jobs.is_empty() {
             return BatchReport {
@@ -316,7 +327,7 @@ impl BatchRunner {
             (0..jobs.len()).map(|_| None).collect();
         if workers == 1 {
             for (slot, job) in slots.iter_mut().zip(jobs) {
-                *slot = Some(run_one(job, self.max_rounds, self.mode));
+                *slot = Some(run_one(job, self.max_rounds, self.mode, obs));
             }
         } else {
             let cursor = AtomicUsize::new(0);
@@ -326,19 +337,23 @@ impl BatchRunner {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let cursor = &cursor;
+                        let obs = &*obs;
                         scope.spawn(move || {
+                            let local = obs.fork();
                             let mut done = Vec::new();
                             loop {
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                                 let Some(job) = jobs.get(i) else { break };
-                                done.push((i, run_one(job, max_rounds, mode)));
+                                done.push((i, run_one(job, max_rounds, mode, &local)));
                             }
-                            done
+                            (done, local)
                         })
                     })
                     .collect();
                 for handle in handles {
-                    for (i, result) in handle.join().expect("batch worker panicked") {
+                    let (done, local) = handle.join().expect("batch worker panicked");
+                    obs.merge(&local);
+                    for (i, result) in done {
                         slots[i] = Some(result);
                     }
                 }
@@ -357,11 +372,22 @@ impl BatchRunner {
     /// Convenience wrapper for the common homogeneous case: one program,
     /// one instance per argument set.
     pub fn run_same(&self, program: &CompiledProgram, argsets: &[Vec<Word>]) -> BatchReport {
+        self.run_same_obs(program, argsets, ObsSink::noop())
+    }
+
+    /// [`BatchRunner::run_same`] with an observability sink (see
+    /// [`BatchRunner::run_obs`]).
+    pub fn run_same_obs(
+        &self,
+        program: &CompiledProgram,
+        argsets: &[Vec<Word>],
+        obs: &ObsSink,
+    ) -> BatchReport {
         let jobs: Vec<BatchJob<'_>> = argsets
             .iter()
             .map(|args| BatchJob::new(program, args.clone()))
             .collect();
-        self.run(&jobs)
+        self.run_obs(&jobs, obs)
     }
 }
 
@@ -371,6 +397,7 @@ fn run_one(
     job: &BatchJob<'_>,
     max_rounds: u64,
     mode: ExecMode,
+    obs: &ObsSink,
 ) -> Result<InstanceResult, MachineError> {
     let start = Instant::now();
     let mut inst = job.program.instance();
@@ -388,15 +415,21 @@ fn run_one(
         inst.graph.mem.dram[*base..end].copy_from_slice(bytes);
     }
     let report = match mode {
-        ExecMode::Planned => inst.run_untimed(&job.args, max_rounds)?,
-        ExecMode::Interpreted => inst.run_untimed_interpreted(&job.args, max_rounds)?,
+        ExecMode::Planned => inst.run_untimed_obs(&job.args, max_rounds, obs)?,
+        ExecMode::Interpreted => inst.run_untimed_interpreted_obs(&job.args, max_rounds, obs)?,
     };
     let sink = inst.sink_tokens();
+    let wall = start.elapsed();
+    if obs.is_enabled() {
+        obs.registry
+            .histogram("runtime.instance_wall_us")
+            .record(wall.as_micros() as u64);
+    }
     Ok(InstanceResult {
         report,
         sink,
         mem: inst.into_memory(),
-        wall: start.elapsed(),
+        wall,
     })
 }
 
@@ -566,6 +599,50 @@ mod tests {
             // interpreter.
             assert!(p.report.steps <= i.report.steps);
         }
+    }
+
+    #[test]
+    fn merged_worker_sinks_match_a_single_threaded_run() {
+        let program = squares_program();
+        let argsets: Vec<Vec<Word>> = (1..=12).map(|n| vec![Word(n)]).collect();
+        let solo_obs = ObsSink::counters_only();
+        let solo = BatchRunner::new(1).run_same_obs(&program, &argsets, &solo_obs);
+        let pooled_obs = ObsSink::counters_only();
+        let pooled = BatchRunner::new(4).run_same_obs(&program, &argsets, &pooled_obs);
+        assert_eq!(solo.ok_count(), 12);
+        assert_eq!(pooled.ok_count(), 12);
+        // Per-worker forks merged after the join must aggregate exactly as
+        // the sequential loop over the same jobs. Wall-clock percentiles are
+        // real time and may differ under pool contention, so drop them.
+        let deterministic = |obs: &ObsSink| -> Vec<(String, u64)> {
+            obs.snapshot_counters()
+                .into_iter()
+                .filter(|(name, _)| {
+                    !name.ends_with(".p50") && !name.ends_with(".p95") && !name.ends_with(".p99")
+                })
+                .collect()
+        };
+        let a = deterministic(&solo_obs);
+        let b = deterministic(&pooled_obs);
+        assert_eq!(a, b, "forked+merged counters diverged from sequential");
+        assert_eq!(solo_obs.counters.instances.get(), 12);
+        assert_eq!(
+            solo_obs.counters.dispatches.get(),
+            solo.total().steps,
+            "obs dispatch count must mirror the merged ExecReport"
+        );
+        // The wall-clock histogram saw one sample per instance on both
+        // paths.
+        for sink in [&solo_obs, &pooled_obs] {
+            assert_eq!(
+                sink.registry.histogram("runtime.instance_wall_us").count(),
+                12
+            );
+        }
+        // A noop sink records nothing (the default `run` path).
+        let quiet = ObsSink::noop();
+        BatchRunner::new(4).run_same(&program, &argsets);
+        assert_eq!(quiet.counters.dispatches.get(), 0);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 
 use crate::protocol::{
     decode_response, encode_request, read_frame, write_frame, ErrorCode, ErrorFrame, ExecuteReply,
-    ExecuteRequest, FrameError, Request, Response, StatusInfo, WireDiagnostic, WireError,
+    ExecuteRequest, FrameError, MetricsInfo, Request, Response, StatusInfo, WireDiagnostic,
+    WireError,
 };
 use revet_core::{PassOptions, ProgramId};
 use std::fmt;
@@ -162,6 +163,19 @@ impl ServeClient {
         match self.round_trip(&Request::Status)? {
             Response::Status(info) => Ok(info),
             _ => Err(ClientError::Unexpected("wanted Status")),
+        }
+    }
+
+    /// Dumps the server's observability counters (execution counters plus
+    /// cache/queue stats) — the monitoring scrape call.
+    ///
+    /// # Errors
+    ///
+    /// Transport or wire failures.
+    pub fn metrics(&mut self) -> Result<MetricsInfo, ClientError> {
+        match self.round_trip(&Request::Metrics)? {
+            Response::Metrics(info) => Ok(info),
+            _ => Err(ClientError::Unexpected("wanted Metrics")),
         }
     }
 

@@ -7,8 +7,8 @@
 //! that serving layer, std-only, over `std::net::TcpListener`:
 //!
 //! - [`protocol`] — a versioned, length-prefixed binary wire protocol
-//!   (`Compile` / `Execute` / `Status` / `Shutdown`), every failure a
-//!   typed error frame;
+//!   (`Compile` / `Execute` / `Status` / `Metrics` / `Shutdown`), every
+//!   failure a typed error frame;
 //! - [`ProgramCache`] — content-addressed by
 //!   [`revet_core::ProgramId`] (hash of source + pass options), with
 //!   single-flight compilation dedup, LRU eviction, and hit/miss/eviction

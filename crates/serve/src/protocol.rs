@@ -28,10 +28,11 @@ use std::io::{self, Read, Write};
 ///
 /// v2: error frames carry a structured [`WireDiagnostic`] list after the
 /// message (the `CompileFailed` payload). v3: [`PassOptions`] gained
-/// `opt_level`, encoded as one byte after the toggle flags. Older peers
-/// get a clean [`ErrorCode::UnsupportedVersion`] instead of a garbled
-/// decode.
-pub const WIRE_VERSION: u8 = 3;
+/// `opt_level`, encoded as one byte after the toggle flags. v4: the
+/// [`Request::Metrics`] / [`Response::Metrics`] observability frames, and
+/// [`WireReport`] gained `peak_ready`. Older peers get a clean
+/// [`ErrorCode::UnsupportedVersion`] instead of a garbled decode.
+pub const WIRE_VERSION: u8 = 4;
 
 /// Upper bound on a frame body. Large enough for a full 4 MiB DRAM
 /// window per instance on a modest batch; small enough that a corrupt
@@ -43,10 +44,12 @@ const KIND_COMPILE: u8 = 0x01;
 const KIND_EXECUTE: u8 = 0x02;
 const KIND_STATUS: u8 = 0x03;
 const KIND_SHUTDOWN: u8 = 0x04;
+const KIND_METRICS: u8 = 0x05;
 const KIND_COMPILED: u8 = 0x81;
 const KIND_EXECUTED: u8 = 0x82;
 const KIND_STATUS_INFO: u8 = 0x83;
 const KIND_SHUTDOWN_ACK: u8 = 0x84;
+const KIND_METRICS_INFO: u8 = 0x85;
 const KIND_ERROR: u8 = 0xFF;
 
 /// What went wrong while decoding a frame body.
@@ -125,6 +128,9 @@ pub enum Request {
     Execute(ExecuteRequest),
     /// Snapshot the server's cache/queue counters.
     Status,
+    /// Dump the server's observability counters (every execution counter
+    /// plus the cache/queue status) — the monitoring scrape endpoint.
+    Metrics,
     /// Begin graceful shutdown: drain in-flight work, then stop.
     Shutdown,
 }
@@ -160,6 +166,8 @@ pub enum Response {
     Executed(ExecuteReply),
     /// Reply to [`Request::Status`].
     Status(StatusInfo),
+    /// Reply to [`Request::Metrics`].
+    Metrics(MetricsInfo),
     /// Reply to [`Request::Shutdown`]: the drain has begun.
     ShutdownAck,
     /// Typed failure (any request may produce one).
@@ -176,6 +184,9 @@ pub struct WireReport {
     pub productive_steps: u64,
     /// Node steps attempted.
     pub steps: u64,
+    /// High watermark of ready nodes in any one scheduler round across
+    /// the batch (max-merged, not summed).
+    pub peak_ready: u64,
 }
 
 /// Payload of [`Response::Executed`].
@@ -227,6 +238,29 @@ pub struct StatusInfo {
     pub failed_instances: u64,
     /// True once graceful shutdown has begun.
     pub draining: bool,
+}
+
+/// Payload of [`Response::Metrics`]: the server's aggregated
+/// observability counters (execution counters, cache counters, registry
+/// instruments — whatever the server's `ObsSink` accumulated since boot)
+/// plus the same queue/cache snapshot [`Request::Status`] returns, taken
+/// at the same instant so the two views are consistent.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsInfo {
+    /// Sorted `(name, value)` pairs, e.g. `("exec.dispatches", 12345)`.
+    pub counters: Vec<(String, u64)>,
+    /// Cache/queue snapshot taken alongside the counters.
+    pub status: StatusInfo,
+}
+
+impl MetricsInfo {
+    /// The value of the counter called `name`, if present.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
 }
 
 /// Machine-readable failure category carried by an [`ErrorFrame`].
@@ -427,6 +461,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.u64(e.window.1);
         }
         Request::Status => w.kind(KIND_STATUS),
+        Request::Metrics => w.kind(KIND_METRICS),
         Request::Shutdown => w.kind(KIND_SHUTDOWN),
     }
     w.buf
@@ -474,6 +509,7 @@ pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
             })
         }
         KIND_STATUS => Request::Status,
+        KIND_METRICS => Request::Metrics,
         KIND_SHUTDOWN => Request::Shutdown,
         k => return Err(WireError::UnknownKind(k)),
     };
@@ -500,6 +536,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.u64(e.merged.rounds);
             w.u64(e.merged.productive_steps);
             w.u64(e.merged.steps);
+            w.u64(e.merged.peak_ready);
             w.u32(e.instances.len() as u32);
             for inst in &e.instances {
                 match inst {
@@ -517,20 +554,16 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::Status(s) => {
             w.kind(KIND_STATUS_INFO);
-            for v in [
-                s.programs_cached,
-                s.cache_capacity,
-                s.cache_hits,
-                s.cache_misses,
-                s.cache_evictions,
-                s.queued_jobs,
-                s.inflight_jobs,
-                s.executed_instances,
-                s.failed_instances,
-            ] {
-                w.u64(v);
+            w.status(s);
+        }
+        Response::Metrics(m) => {
+            w.kind(KIND_METRICS_INFO);
+            w.u32(m.counters.len() as u32);
+            for (name, value) in &m.counters {
+                w.str(name);
+                w.u64(*value);
             }
-            w.u8(s.draining as u8);
+            w.status(&m.status);
         }
         Response::ShutdownAck => w.kind(KIND_SHUTDOWN_ACK),
         Response::Error(e) => {
@@ -573,6 +606,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
                 rounds: r.u64()?,
                 productive_steps: r.u64()?,
                 steps: r.u64()?,
+                peak_ready: r.u64()?,
             };
             // An instance outcome is at least a tag byte plus a u32
             // length (the error-message arm).
@@ -590,18 +624,20 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
             }
             Response::Executed(ExecuteReply { merged, instances })
         }
-        KIND_STATUS_INFO => Response::Status(StatusInfo {
-            programs_cached: r.u64()?,
-            cache_capacity: r.u64()?,
-            cache_hits: r.u64()?,
-            cache_misses: r.u64()?,
-            cache_evictions: r.u64()?,
-            queued_jobs: r.u64()?,
-            inflight_jobs: r.u64()?,
-            executed_instances: r.u64()?,
-            failed_instances: r.u64()?,
-            draining: r.bool()?,
-        }),
+        KIND_STATUS_INFO => Response::Status(r.status()?),
+        KIND_METRICS_INFO => {
+            // A counter entry is at least a u32 name length plus a u64.
+            let n = r.count(12)?;
+            let mut counters = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = r.str()?;
+                counters.push((name, r.u64()?));
+            }
+            Response::Metrics(MetricsInfo {
+                counters,
+                status: r.status()?,
+            })
+        }
         KIND_SHUTDOWN_ACK => Response::ShutdownAck,
         KIND_ERROR => {
             let code = r.u16()?;
@@ -674,6 +710,22 @@ impl W {
     }
     fn str(&mut self, v: &str) {
         self.blob(v.as_bytes());
+    }
+    fn status(&mut self, s: &StatusInfo) {
+        for v in [
+            s.programs_cached,
+            s.cache_capacity,
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_evictions,
+            s.queued_jobs,
+            s.inflight_jobs,
+            s.executed_instances,
+            s.failed_instances,
+        ] {
+            self.u64(v);
+        }
+        self.u8(s.draining as u8);
     }
     fn options(&mut self, o: &PassOptions) {
         let flags = (o.if_to_select as u8)
@@ -771,6 +823,21 @@ impl<'a> R<'a> {
         String::from_utf8(bytes).map_err(|_| WireError::BadField("utf-8 string"))
     }
 
+    fn status(&mut self) -> Result<StatusInfo, WireError> {
+        Ok(StatusInfo {
+            programs_cached: self.u64()?,
+            cache_capacity: self.u64()?,
+            cache_hits: self.u64()?,
+            cache_misses: self.u64()?,
+            cache_evictions: self.u64()?,
+            queued_jobs: self.u64()?,
+            inflight_jobs: self.u64()?,
+            executed_instances: self.u64()?,
+            failed_instances: self.u64()?,
+            draining: self.bool()?,
+        })
+    }
+
     fn options(&mut self) -> Result<PassOptions, WireError> {
         let flags = self.u8()?;
         if flags & !0x3F != 0 {
@@ -813,6 +880,7 @@ mod tests {
     fn fixed_requests_round_trip() {
         for req in [
             Request::Status,
+            Request::Metrics,
             Request::Shutdown,
             Request::Compile {
                 source: "void main() {}".into(),
@@ -844,6 +912,7 @@ mod tests {
                     rounds: 1,
                     productive_steps: 2,
                     steps: 3,
+                    peak_ready: 4,
                 },
                 instances: vec![
                     InstanceOutcome::Ok {
@@ -867,6 +936,19 @@ mod tests {
                 failed_instances: 1,
                 draining: false,
             }),
+            Response::Metrics(MetricsInfo {
+                counters: vec![
+                    ("exec.dispatches".into(), 12345),
+                    ("exec.instances".into(), 17),
+                    ("serve.cache.hits".into(), 9),
+                ],
+                status: StatusInfo {
+                    programs_cached: 2,
+                    cache_hits: 9,
+                    ..StatusInfo::default()
+                },
+            }),
+            Response::Metrics(MetricsInfo::default()),
             Response::Error(ErrorFrame::new(ErrorCode::Busy, "queue full")),
             Response::Error(
                 ErrorFrame::new(ErrorCode::CompileFailed, "error[E0103]: …rendered…").with_details(

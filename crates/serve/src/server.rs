@@ -26,11 +26,12 @@
 use crate::cache::ProgramCache;
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, ErrorCode, ErrorFrame, ExecuteReply,
-    ExecuteRequest, FrameError, InstanceOutcome, Request, Response, StatusInfo, WireDiagnostic,
-    WireError, WireReport, MAX_FRAME_BYTES,
+    ExecuteRequest, FrameError, InstanceOutcome, MetricsInfo, Request, Response, StatusInfo,
+    WireDiagnostic, WireError, WireReport, MAX_FRAME_BYTES,
 };
 use revet_core::{CompiledProgram, Compiler, CoreError, PassOptions, ProgramId};
 use revet_diag::{Severity, SourceMap};
+use revet_obs::ObsSink;
 use revet_runtime::{BatchJob, BatchRunner};
 use revet_sltf::Word;
 use std::collections::VecDeque;
@@ -185,6 +186,11 @@ struct Shared {
     executed_instances: AtomicU64,
     failed_instances: AtomicU64,
     connections: Mutex<Vec<JoinHandle<()>>>,
+    /// Lifetime execution counters (no trace ring — counters are cheap
+    /// and lock-free, a ring shared by every batch would not be). Every
+    /// executor's `BatchRunner` records into this sink; the `Metrics`
+    /// request dumps it.
+    obs: ObsSink,
 }
 
 impl Shared {
@@ -214,6 +220,30 @@ impl Shared {
             failed_instances: self.failed_instances.load(Ordering::SeqCst),
             draining: self.draining(),
         }
+    }
+
+    /// The `Metrics` payload: execution counters from the shared obs sink
+    /// plus serve-level counters (cache, instance totals), with a status
+    /// snapshot taken at the same instant.
+    fn metrics(&self) -> MetricsInfo {
+        let status = self.status();
+        let mut counters = self.obs.snapshot_counters();
+        counters.extend([
+            ("serve.cache.hits".to_string(), status.cache_hits),
+            ("serve.cache.misses".to_string(), status.cache_misses),
+            ("serve.cache.evictions".to_string(), status.cache_evictions),
+            ("serve.cache.resident".to_string(), status.programs_cached),
+            (
+                "serve.executed_instances".to_string(),
+                status.executed_instances,
+            ),
+            (
+                "serve.failed_instances".to_string(),
+                status.failed_instances,
+            ),
+        ]);
+        counters.sort();
+        MetricsInfo { counters, status }
     }
 }
 
@@ -256,6 +286,7 @@ impl Server {
             executed_instances: AtomicU64::new(0),
             failed_instances: AtomicU64::new(0),
             connections: Mutex::new(Vec::new()),
+            obs: ObsSink::counters_only(),
             cfg,
         }));
         let executors = (0..executor_threads)
@@ -422,6 +453,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
         };
         match request {
             Request::Status => send(&mut stream, &Response::Status(shared.status()))?,
+            Request::Metrics => send(&mut stream, &Response::Metrics(shared.metrics()))?,
             Request::Shutdown => {
                 send(&mut stream, &Response::ShutdownAck)?;
                 shared.begin_drain();
@@ -606,7 +638,7 @@ fn run_job(shared: &Shared, job: &ExecJob) -> ExecuteReply {
         .collect();
     let report = BatchRunner::new(shared.cfg.batch_threads)
         .with_max_rounds(shared.cfg.max_rounds)
-        .run(&jobs);
+        .run_obs(&jobs, &shared.obs);
     let (w_off, w_len) = (job.req.window.0 as usize, job.req.window.1 as usize);
     let merged = report.total();
     let instances: Vec<InstanceOutcome> = report
@@ -632,6 +664,7 @@ fn run_job(shared: &Shared, job: &ExecJob) -> ExecuteReply {
             rounds: merged.rounds,
             productive_steps: merged.productive_steps,
             steps: merged.steps,
+            peak_ready: merged.peak_ready,
         },
         instances,
     }

@@ -151,6 +151,20 @@ fn concurrent_clients_mixed_apps_cache_hits_and_oracle_identity() {
     assert_eq!(status.executed_instances, 12);
     assert!(!status.draining);
 
+    // The Metrics frame mirrors the same run through the server's obs
+    // sink: 12 completed instances, real dispatch work, cache counters
+    // consistent with Status, names sorted for stable scraping.
+    let metrics = ServeClient::connect(addr)
+        .expect("connect")
+        .metrics()
+        .expect("metrics");
+    assert_eq!(metrics.get("exec.instances"), Some(12));
+    assert!(metrics.get("exec.dispatches").unwrap() > 0);
+    assert_eq!(metrics.get("serve.cache.hits"), Some(status.cache_hits));
+    assert_eq!(metrics.get("serve.executed_instances"), Some(12));
+    assert_eq!(metrics.status.executed_instances, 12);
+    assert!(metrics.counters.windows(2).all(|w| w[0].0 <= w[1].0));
+
     let stats = server.shutdown();
     assert_eq!(stats.executed_instances, 12);
     assert_eq!(stats.failed_instances, 0);

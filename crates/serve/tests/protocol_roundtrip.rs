@@ -8,8 +8,9 @@ use proptest::test_runner::TestRunner;
 use revet_core::{PassOptions, ProgramId};
 use revet_serve::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    ErrorCode, ErrorFrame, ExecuteReply, ExecuteRequest, FrameError, InstanceOutcome, Request,
-    Response, StatusInfo, WireDiagnostic, WireError, WireReport, MAX_FRAME_BYTES, WIRE_VERSION,
+    ErrorCode, ErrorFrame, ExecuteReply, ExecuteRequest, FrameError, InstanceOutcome, MetricsInfo,
+    Request, Response, StatusInfo, WireDiagnostic, WireError, WireReport, MAX_FRAME_BYTES,
+    WIRE_VERSION,
 };
 
 // ---------------------------------------------------------------------------
@@ -27,6 +28,21 @@ fn gen_options(r: &mut TestRunner) -> PassOptions {
         opt_level: (0u8..3).generate(r),
         threads: flag(r).then(|| (1u32..256).generate(r)),
         dram_bytes: (64usize..(1 << 24)).generate(r),
+    }
+}
+
+fn gen_status(r: &mut TestRunner) -> StatusInfo {
+    StatusInfo {
+        programs_cached: any::<u64>().generate(r),
+        cache_capacity: any::<u64>().generate(r),
+        cache_hits: any::<u64>().generate(r),
+        cache_misses: any::<u64>().generate(r),
+        cache_evictions: any::<u64>().generate(r),
+        queued_jobs: any::<u64>().generate(r),
+        inflight_jobs: any::<u64>().generate(r),
+        executed_instances: any::<u64>().generate(r),
+        failed_instances: any::<u64>().generate(r),
+        draining: (0u8..2).generate(r) == 1,
     }
 }
 
@@ -57,7 +73,7 @@ struct ArbRequest;
 impl Strategy for ArbRequest {
     type Value = Request;
     fn generate(&self, r: &mut TestRunner) -> Request {
-        match (0u8..4).generate(r) {
+        match (0u8..5).generate(r) {
             0 => Request::Compile {
                 source: gen_string(r, 200),
                 options: gen_options(r),
@@ -75,6 +91,7 @@ impl Strategy for ArbRequest {
                 window: ((0u64..1 << 32).generate(r), (0u64..1 << 20).generate(r)),
             }),
             2 => Request::Status,
+            3 => Request::Metrics,
             _ => Request::Shutdown,
         }
     }
@@ -86,7 +103,7 @@ struct ArbResponse;
 impl Strategy for ArbResponse {
     type Value = Response;
     fn generate(&self, r: &mut TestRunner) -> Response {
-        match (0u8..5).generate(r) {
+        match (0u8..6).generate(r) {
             0 => Response::Compiled {
                 program_id: gen_id(r),
                 cached: (0u8..2).generate(r) == 1,
@@ -97,6 +114,7 @@ impl Strategy for ArbResponse {
                     rounds: any::<u64>().generate(r),
                     productive_steps: any::<u64>().generate(r),
                     steps: any::<u64>().generate(r),
+                    peak_ready: any::<u64>().generate(r),
                 },
                 instances: (0..(0usize..5).generate(r))
                     .map(|_| {
@@ -113,19 +131,14 @@ impl Strategy for ArbResponse {
                     })
                     .collect(),
             }),
-            2 => Response::Status(StatusInfo {
-                programs_cached: any::<u64>().generate(r),
-                cache_capacity: any::<u64>().generate(r),
-                cache_hits: any::<u64>().generate(r),
-                cache_misses: any::<u64>().generate(r),
-                cache_evictions: any::<u64>().generate(r),
-                queued_jobs: any::<u64>().generate(r),
-                inflight_jobs: any::<u64>().generate(r),
-                executed_instances: any::<u64>().generate(r),
-                failed_instances: any::<u64>().generate(r),
-                draining: (0u8..2).generate(r) == 1,
+            2 => Response::Status(gen_status(r)),
+            3 => Response::Metrics(MetricsInfo {
+                counters: (0..(0usize..6).generate(r))
+                    .map(|_| (gen_string(r, 24), any::<u64>().generate(r)))
+                    .collect(),
+                status: gen_status(r),
             }),
-            3 => Response::Error(
+            4 => Response::Error(
                 ErrorFrame::new(
                     match (0u8..8).generate(r) {
                         0 => ErrorCode::Malformed,

@@ -41,6 +41,7 @@ pub use stats::SimStats;
 
 use revet_core::CompiledProgram;
 use revet_machine::{IoEvents, LinkClass, MachineError, NodeId, PortBudget, UnitClass};
+use revet_obs::{ObsSink, StallClass, WakeCause};
 use revet_sltf::Word;
 use std::collections::VecDeque;
 
@@ -80,6 +81,24 @@ impl Simulator {
         program: &mut CompiledProgram,
         args: &[Word],
         max_cycles: u64,
+    ) -> Result<SimStats, MachineError> {
+        self.run_obs(program, args, max_cycles, ObsSink::noop())
+    }
+
+    /// [`Simulator::run`] with an observability sink: context fires, wake
+    /// causes, per-cycle DRAM traffic, and stall attribution — including
+    /// the DRAM-gated deferral of address generators, which only the timed
+    /// simulator can observe — are recorded into `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    pub fn run_obs(
+        &self,
+        program: &mut CompiledProgram,
+        args: &[Word],
+        max_cycles: u64,
+        obs: &ObsSink,
     ) -> Result<SimStats, MachineError> {
         let cfg = &self.config;
         // Apply buffer capacities (ideal network = unbounded).
@@ -164,8 +183,9 @@ impl Simulator {
             // DRAM gating: AG contexts stall this whole cycle when the
             // bucket is dry (they stay queued and retry once it refills).
             let dram_gated = !self.ideal.dram && dram_bucket <= 0.0;
-            let dram_before =
-                program.graph.mem.dram_read_bytes + program.graph.mem.dram_written_bytes;
+            obs.round(current.len() as u64);
+            let read_before = program.graph.mem.dram_read_bytes;
+            let written_before = program.graph.mem.dram_written_bytes;
             let mut stepped_this_cycle: u64 = 0;
             while let Some(i) = current.pop_front() {
                 let idx = i as usize;
@@ -173,6 +193,9 @@ impl Simulator {
                 let (id, unit, in_cls, out_cls) = &nodes[idx];
                 if *unit == UnitClass::AddressGen && dram_gated {
                     // Not fired: keep it scheduled for the refilled cycle.
+                    // This deferral is the one stall class invisible to the
+                    // untimed executors.
+                    obs.stall(i, StallClass::DramGated);
                     queued[idx] = true;
                     next.push_back(i);
                     continue;
@@ -217,7 +240,12 @@ impl Simulator {
                     &mut ob[..n_out],
                     &mut events,
                 )?;
+                obs.node_dispatch(i, progressed);
+                if !progressed && obs.is_enabled() {
+                    obs.stall(i, program.graph.classify_stall(*id));
+                }
                 let wake = |w: NodeId,
+                            cause: WakeCause,
                             current: &mut VecDeque<u32>,
                             next: &mut VecDeque<u32>,
                             queued: &mut Vec<bool>| {
@@ -226,6 +254,7 @@ impl Simulator {
                         return;
                     }
                     queued[wi] = true;
+                    obs.wake(w.0, cause);
                     if last_stepped[wi] == cycles {
                         // Already fired this cycle: one fire per cycle.
                         next.push_back(w.0);
@@ -236,28 +265,57 @@ impl Simulator {
                 if progressed {
                     stats.busy_cycles[idx] += 1;
                     // Renewed budgets may allow more movement next cycle.
-                    wake(*id, &mut current, &mut next, &mut queued);
+                    wake(
+                        *id,
+                        WakeCause::TokenArrival,
+                        &mut current,
+                        &mut next,
+                        &mut queued,
+                    );
                 }
                 for &c in &events.pushed {
+                    obs.channel_push(c.0);
                     for &w in topo.consumers(c) {
-                        wake(w, &mut current, &mut next, &mut queued);
+                        wake(
+                            w,
+                            WakeCause::TokenArrival,
+                            &mut current,
+                            &mut next,
+                            &mut queued,
+                        );
                     }
                 }
                 for &c in &events.freed {
                     for &w in topo.producers(c) {
-                        wake(w, &mut current, &mut next, &mut queued);
+                        wake(
+                            w,
+                            WakeCause::CapacityRelease,
+                            &mut current,
+                            &mut next,
+                            &mut queued,
+                        );
                     }
                 }
                 if program.graph.mem.alloc_push_ops() != allocs_before {
                     for &w in topo.alloc_waiters() {
-                        wake(w, &mut current, &mut next, &mut queued);
+                        wake(
+                            w,
+                            WakeCause::AllocatorPush,
+                            &mut current,
+                            &mut next,
+                            &mut queued,
+                        );
                     }
                 }
             }
             stats.skipped_idle_steps += n as u64 - stepped_this_cycle;
-            let dram_after =
-                program.graph.mem.dram_read_bytes + program.graph.mem.dram_written_bytes;
-            let delta = (dram_after - dram_before) as f64;
+            stats.peak_busy_nodes = stats.peak_busy_nodes.max(stepped_this_cycle);
+            let read_delta = program.graph.mem.dram_read_bytes - read_before;
+            let written_delta = program.graph.mem.dram_written_bytes - written_before;
+            if read_delta != 0 || written_delta != 0 {
+                obs.dram_access(read_delta, written_delta);
+            }
+            let delta = (read_delta + written_delta) as f64;
             if !self.ideal.dram {
                 dram_bucket -= delta;
             }
@@ -361,6 +419,29 @@ mod tests {
         let gbps = stats.throughput_gbps(16 * 4);
         assert!(gbps > 0.0);
         assert!(stats.dram_utilization() >= 0.0 && stats.dram_utilization() <= 1.0);
+    }
+
+    #[test]
+    fn obs_sink_sees_the_timed_run() {
+        let obs = ObsSink::with_trace_capacity(1 << 16);
+        let mut p = squares_program();
+        let stats = Simulator::default()
+            .run_obs(&mut p, &[Word(32)], 1_000_000, &obs)
+            .unwrap();
+        // Every context fire is a dispatch; productive fires equal the sum
+        // of per-node busy cycles.
+        let busy: u64 = stats.busy_cycles.iter().sum();
+        assert_eq!(obs.counters.productive.get(), busy);
+        assert!(obs.counters.dispatches.get() >= busy);
+        assert_eq!(obs.counters.rounds.get(), stats.cycles);
+        // The watermark is a real per-cycle peak: positive, bounded by n.
+        assert!(stats.peak_busy_nodes > 0);
+        assert!(stats.peak_busy_nodes <= stats.busy_cycles.len() as u64);
+        // The simulator's DRAM traffic lands in the obs counters too.
+        assert_eq!(
+            obs.counters.dram_read_bytes.get() + obs.counters.dram_written_bytes.get(),
+            stats.dram_read_bytes + stats.dram_written_bytes
+        );
     }
 
     #[test]

@@ -15,6 +15,10 @@ pub struct SimStats {
     pub peak_dram_bytes_per_cycle: f64,
     /// Busy-cycle count per node (utilization analysis).
     pub busy_cycles: Vec<u64>,
+    /// High watermark of contexts that fired in any single cycle — the
+    /// peak instantaneous parallelism of the run. A **max-merged**
+    /// watermark, not an additive counter.
+    pub peak_busy_nodes: u64,
     /// Node-cycle slots the ready-set scheduler never had to attempt
     /// (a dense sweep would have stepped `cycles × nodes` slots; this is
     /// how many of those the event-driven scheduler skipped as idle).
@@ -76,20 +80,22 @@ impl SimStats {
     /// batch of simulated program instances. Cycle and traffic counters
     /// add (total simulated work, as if the runs executed back-to-back on
     /// one machine); per-node busy counters add element-wise, zero-extending
-    /// if `other` simulated a larger graph; the frequency and peak-DRAM
-    /// parameters are taken from whichever report has them set (they are
-    /// machine constants, not run counters).
+    /// if `other` simulated a larger graph. Watermark-style fields merge by
+    /// **max**: `peak_busy_nodes` is a peak some run actually saw (summing
+    /// would invent a parallelism level no cycle ever had), and the
+    /// frequency / peak-DRAM machine constants keep the larger machine so a
+    /// heterogeneous merge never under-reports capacity regardless of merge
+    /// order.
     pub fn merge(&mut self, other: &SimStats) {
         self.cycles += other.cycles;
         self.dram_read_bytes += other.dram_read_bytes;
         self.dram_written_bytes += other.dram_written_bytes;
         self.skipped_idle_steps += other.skipped_idle_steps;
-        if self.freq_ghz == 0.0 {
-            self.freq_ghz = other.freq_ghz;
-        }
-        if self.peak_dram_bytes_per_cycle == 0.0 {
-            self.peak_dram_bytes_per_cycle = other.peak_dram_bytes_per_cycle;
-        }
+        self.peak_busy_nodes = self.peak_busy_nodes.max(other.peak_busy_nodes);
+        self.freq_ghz = self.freq_ghz.max(other.freq_ghz);
+        self.peak_dram_bytes_per_cycle = self
+            .peak_dram_bytes_per_cycle
+            .max(other.peak_dram_bytes_per_cycle);
         if self.busy_cycles.len() < other.busy_cycles.len() {
             self.busy_cycles.resize(other.busy_cycles.len(), 0);
         }
@@ -121,6 +127,7 @@ mod tests {
             dram_written_bytes: 112_500_000,
             peak_dram_bytes_per_cycle: 562.5,
             busy_cycles: vec![800_000, 1_600_000],
+            peak_busy_nodes: 2,
             skipped_idle_steps: 1_600_000,
         };
         assert!((s.seconds() - 1e-3).abs() < 1e-12);
@@ -144,11 +151,13 @@ mod tests {
             dram_written_bytes: 64,
             peak_dram_bytes_per_cycle: 562.5,
             busy_cycles: vec![10, 20],
+            peak_busy_nodes: 2,
             skipped_idle_steps: 5,
         };
         let b = SimStats {
             cycles: 50,
             busy_cycles: vec![1, 2, 3],
+            peak_busy_nodes: 3,
             skipped_idle_steps: 7,
             ..a.clone()
         };
@@ -159,11 +168,40 @@ mod tests {
         assert_eq!(total.dram_written_bytes, 128);
         assert_eq!(total.skipped_idle_steps, 12);
         assert_eq!(total.busy_cycles, vec![11, 22, 3]);
+        // Watermarks merge by max, not sum.
+        assert_eq!(total.peak_busy_nodes, 3);
         // Machine constants are carried, not summed.
         assert!((total.freq_ghz - 1.6).abs() < 1e-12);
         assert!((total.peak_dram_bytes_per_cycle - 562.5).abs() < 1e-12);
         // Derived metrics still make sense on the aggregate.
         assert!(total.seconds() > 0.0);
         assert!(total.dram_utilization() > 0.0);
+    }
+
+    #[test]
+    fn merge_watermarks_survive_in_either_direction() {
+        // The bug this pins: a watermark merged *into* a report that
+        // already has a value must not be dropped or summed.
+        let big = SimStats {
+            peak_busy_nodes: 9,
+            freq_ghz: 1.6,
+            peak_dram_bytes_per_cycle: 562.5,
+            ..SimStats::default()
+        };
+        let small = SimStats {
+            peak_busy_nodes: 4,
+            freq_ghz: 1.0,
+            peak_dram_bytes_per_cycle: 100.0,
+            ..SimStats::default()
+        };
+        let mut ab = big.clone();
+        ab.merge(&small);
+        let mut ba = small.clone();
+        ba.merge(&big);
+        for m in [&ab, &ba] {
+            assert_eq!(m.peak_busy_nodes, 9);
+            assert!((m.freq_ghz - 1.6).abs() < 1e-12);
+            assert!((m.peak_dram_bytes_per_cycle - 562.5).abs() < 1e-12);
+        }
     }
 }
