@@ -288,6 +288,10 @@ fn main() {
         status.executed_instances,
         status.failed_instances
     );
+    println!(
+        "sessions     open {} evicted {} resident_bytes {}",
+        status.open_sessions, status.evicted_sessions, status.session_resident_bytes
+    );
     // The Metrics wire frame: the server-side obs sink's view of the same
     // load. A scrape endpoint must agree with the Status frame.
     println!(

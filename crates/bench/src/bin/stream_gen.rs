@@ -1,0 +1,421 @@
+//! Streaming-session load generator for `revet-serve`: N concurrent
+//! clients each hold a long-lived resident session, feed it in chunks,
+//! and oracle-check the close-time DRAM window against one-shot
+//! execution of the same input.
+//!
+//! The smoke contract mirrors `load_gen`: **every** session must
+//! succeed, every close window must be bit-identical to the one-shot
+//! `Execute` reply *and* to the app's own workload oracle, and all N
+//! sessions must be provably resident at once (a rendezvous barrier
+//! holds every session open while the main thread scrapes `Status`).
+//!
+//! ```text
+//! Usage: stream_gen [--streams N] [--chunks K] [--scale S]
+//!                   [--addr HOST:PORT] [--json [PATH]]
+//! ```
+//!
+//! Defaults: 8 streams × 4 chunks at scale 8, self-booted server, no
+//! JSON. `--json` without a path splices a `"streams"` section into
+//! `BENCH_serve.json` next to `load_gen`'s flat record.
+
+use revet_apps::{all_apps, DRAM_BYTES};
+use revet_core::PassOptions;
+use revet_runtime::LatencyPercentiles;
+use revet_serve::protocol::{ExecuteRequest, InstanceOutcome, OpenStreamRequest};
+use revet_serve::{ServeClient, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// One app's streaming workload: what to open/feed, and what the close
+/// window must contain.
+struct StreamWorkload {
+    name: &'static str,
+    source: String,
+    options: PassOptions,
+    args: Vec<u32>,
+    dram_inits: Vec<(u64, Vec<u8>)>,
+    window: (u64, u64),
+    expected: Vec<u8>,
+}
+
+fn stream_workloads(scale: usize, outer: u32, seed: u64) -> Vec<StreamWorkload> {
+    all_apps()
+        .iter()
+        .map(|a| {
+            let options = PassOptions {
+                dram_bytes: DRAM_BYTES,
+                ..PassOptions::default()
+            };
+            let w = (a.workload)(scale, seed);
+            let slice = DRAM_BYTES / a.dram_symbols();
+            StreamWorkload {
+                name: a.name,
+                source: (a.source)(outer),
+                options,
+                args: w.args.clone(),
+                dram_inits: w
+                    .inits
+                    .iter()
+                    .map(|(sym, bytes)| ((sym * slice) as u64, bytes.clone()))
+                    .collect(),
+                window: ((w.out_sym * slice) as u64, w.expected.len() as u64),
+                expected: w.expected,
+            }
+        })
+        .collect()
+}
+
+#[derive(Default)]
+struct StreamOutcome {
+    feed_latencies: Vec<Duration>,
+    poll_latencies: Vec<Duration>,
+    close_latency: Option<Duration>,
+    chunks_ok: u64,
+    sessions_ok: u64,
+}
+
+/// One streaming client's run: open a session, rendezvous so all N are
+/// resident at once, feed `chunks` argsets one at a time (polling each
+/// to quiescence), close, and verify the close window against both the
+/// one-shot `Execute` reply and the workload oracle. Panics on any
+/// divergence — the smoke contract is *all* sessions bit-identical.
+fn run_stream(
+    addr: SocketAddr,
+    idx: usize,
+    chunks: usize,
+    apps: &[StreamWorkload],
+    resident: &Barrier,
+    scraped: &Barrier,
+) -> StreamOutcome {
+    let wl = &apps[idx % apps.len()];
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let mut out = StreamOutcome::default();
+
+    let program_id = client
+        .compile(&wl.source, &wl.options)
+        .unwrap_or_else(|e| panic!("stream {idx} [{}]: compile: {e}", wl.name))
+        .program_id;
+
+    // One-shot reference over the same wire. The apps' DRAM writes are
+    // idempotent, so a single instance leaves the same image as the
+    // session's `chunks` identical argsets.
+    let reply = client
+        .execute(ExecuteRequest {
+            program_id,
+            argsets: vec![wl.args.clone()],
+            dram_inits: wl.dram_inits.clone(),
+            window: wl.window,
+        })
+        .unwrap_or_else(|e| panic!("stream {idx} [{}]: one-shot execute: {e}", wl.name));
+    let InstanceOutcome::Ok { dram: oneshot, .. } = &reply.instances[0] else {
+        panic!("stream {idx} [{}]: one-shot failed", wl.name);
+    };
+    assert_eq!(
+        oneshot, &wl.expected,
+        "stream {idx} [{}]: one-shot diverges from the oracle",
+        wl.name
+    );
+
+    let session = client
+        .open_stream(OpenStreamRequest {
+            program_id,
+            dram_inits: wl.dram_inits.clone(),
+            window: wl.window,
+        })
+        .unwrap_or_else(|e| panic!("stream {idx} [{}]: open: {e}", wl.name));
+
+    for chunk in 0..chunks {
+        let t0 = Instant::now();
+        let accepted = client
+            .feed(session, vec![wl.args.clone()])
+            .unwrap_or_else(|e| panic!("stream {idx} [{}] chunk {chunk}: feed: {e}", wl.name));
+        out.feed_latencies.push(t0.elapsed());
+        assert_eq!(accepted, 1, "stream {idx} chunk {chunk} not accepted");
+
+        if chunk == 0 {
+            // Rendezvous: every client parks here with a fed, unpolled
+            // session while the main thread scrapes Status — N sessions
+            // concurrently resident with nonzero footprint, provably.
+            resident.wait();
+            scraped.wait();
+        }
+
+        let t1 = Instant::now();
+        let poll = client
+            .poll(session)
+            .unwrap_or_else(|e| panic!("stream {idx} [{}] chunk {chunk}: poll: {e}", wl.name));
+        out.poll_latencies.push(t1.elapsed());
+        assert!(
+            poll.finished,
+            "stream {idx} [{}] chunk {chunk}: tokens left in flight",
+            wl.name
+        );
+        out.chunks_ok += 1;
+    }
+
+    let t2 = Instant::now();
+    let close = client
+        .close_stream(session)
+        .unwrap_or_else(|e| panic!("stream {idx} [{}]: close: {e}", wl.name));
+    out.close_latency = Some(t2.elapsed());
+    assert_eq!(
+        &close.dram, oneshot,
+        "stream {idx} [{}]: chunked session DRAM differs from one-shot execute",
+        wl.name
+    );
+    assert_eq!(
+        close.dram, wl.expected,
+        "stream {idx} [{}]: session diverges from the oracle",
+        wl.name
+    );
+    assert!(
+        close.merged.productive_steps > 0,
+        "stream {idx} [{}]: merged report is empty",
+        wl.name
+    );
+    out.sessions_ok = 1;
+    out
+}
+
+/// p50/p95/p99 of a latency sample in microseconds (0s when empty).
+fn percentiles_us(samples: &mut [Duration]) -> (u64, u64, u64) {
+    match LatencyPercentiles::from_samples(samples) {
+        Some(lat) => (
+            lat.p50.as_micros() as u64,
+            lat.p95.as_micros() as u64,
+            lat.p99.as_micros() as u64,
+        ),
+        None => (0, 0, 0),
+    }
+}
+
+/// Splices `section` in as the `"streams"` key of the flat JSON object
+/// at `path` (the document `load_gen --json` writes), replacing any
+/// previous `"streams"` section so re-runs stay idempotent. A missing
+/// file yields a document holding only the section.
+fn splice_streams_section(path: &str, section: &str) -> String {
+    let mut doc = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
+    if let Some(pos) = doc.find("  \"streams\":") {
+        // Drop the old section (ours is always last — see below).
+        doc.truncate(pos);
+        doc = doc.trim_end().trim_end_matches(',').to_string();
+        doc.push_str("\n}\n");
+    }
+    let close = doc.rfind('}').expect("trajectory file is a JSON object");
+    let head = doc[..close].trim_end().trim_end_matches(',');
+    let sep = if head.ends_with('{') { "" } else { "," };
+    format!("{head}{sep}\n  \"streams\": {section}\n}}\n")
+}
+
+struct Args {
+    streams: usize,
+    chunks: usize,
+    scale: usize,
+    addr: Option<String>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        streams: 8,
+        chunks: 4,
+        scale: 8,
+        addr: None,
+        json: None,
+    };
+    let mut argv = std::env::args().skip(1).peekable();
+    while let Some(flag) = argv.next() {
+        let numeric = |argv: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>| -> usize {
+            argv.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} needs a numeric value"))
+        };
+        match flag.as_str() {
+            "--streams" => args.streams = numeric(&mut argv).max(1),
+            "--chunks" => args.chunks = numeric(&mut argv).max(1),
+            "--scale" => args.scale = numeric(&mut argv).max(1),
+            "--addr" => args.addr = Some(argv.next().expect("--addr needs HOST:PORT")),
+            "--json" => {
+                args.json = Some(match argv.peek() {
+                    Some(v) if !v.starts_with("--") => argv.next().unwrap(),
+                    _ => "BENCH_serve.json".to_string(),
+                });
+            }
+            other => panic!("unknown flag {other} (see the doc comment for usage)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let apps = stream_workloads(args.scale, 2, 0x5EED);
+
+    // Self-boot unless pointed at an external server; the table must
+    // admit every concurrent session.
+    let own_server = if args.addr.is_none() {
+        Some(
+            Server::spawn(ServeConfig {
+                session_capacity: args.streams.max(32),
+                ..ServeConfig::default()
+            })
+            .expect("boot server"),
+        )
+    } else {
+        None
+    };
+    let addr: SocketAddr = match (&args.addr, &own_server) {
+        (Some(a), _) => a.parse().expect("--addr must be HOST:PORT"),
+        (None, Some(s)) => s.local_addr(),
+        _ => unreachable!(),
+    };
+
+    println!(
+        "=== stream_gen: {} streams × {} chunks, scale={}, {} apps, server {} ===",
+        args.streams,
+        args.chunks,
+        args.scale,
+        apps.len(),
+        if own_server.is_some() {
+            format!("self-booted at {addr}")
+        } else {
+            format!("external at {addr}")
+        }
+    );
+
+    // Barriers rendezvous the main thread with every stream while all
+    // sessions are simultaneously open (see `run_stream`).
+    let resident = Barrier::new(args.streams + 1);
+    let scraped = Barrier::new(args.streams + 1);
+
+    let wall = Instant::now();
+    let (outcomes, peak) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.streams)
+            .map(|i| {
+                let (apps, resident, scraped) = (&apps, &resident, &scraped);
+                s.spawn(move || run_stream(addr, i, args.chunks, apps, resident, scraped))
+            })
+            .collect();
+
+        // All streams are open and parked: scrape the resident peak.
+        resident.wait();
+        let mut scrape = ServeClient::connect(addr).expect("scrape connect");
+        let peak = scrape.status().expect("status");
+        scraped.wait();
+
+        let outcomes: Vec<StreamOutcome> = handles
+            .into_iter()
+            .map(|h| h.join().expect("stream thread failed"))
+            .collect();
+        (outcomes, peak)
+    });
+    let elapsed = wall.elapsed();
+
+    assert_eq!(
+        peak.open_sessions, args.streams as u64,
+        "all {} sessions must be concurrently resident at the rendezvous",
+        args.streams
+    );
+    assert!(
+        peak.session_resident_bytes > 0,
+        "fed sessions must report nonzero resident bytes at the rendezvous"
+    );
+
+    let sessions_ok: u64 = outcomes.iter().map(|o| o.sessions_ok).sum();
+    let chunks_ok: u64 = outcomes.iter().map(|o| o.chunks_ok).sum();
+    let mut feeds: Vec<Duration> = outcomes
+        .iter()
+        .flat_map(|o| o.feed_latencies.clone())
+        .collect();
+    let mut polls: Vec<Duration> = outcomes
+        .iter()
+        .flat_map(|o| o.poll_latencies.clone())
+        .collect();
+    let mut closes: Vec<Duration> = outcomes.iter().filter_map(|o| o.close_latency).collect();
+
+    let mut scrape = ServeClient::connect(addr).expect("status connect");
+    let status = scrape.status().expect("status");
+    let metrics = scrape.metrics().expect("metrics");
+
+    let secs = elapsed.as_secs_f64();
+    let cps = chunks_ok as f64 / secs;
+    let (feed_p50, feed_p95, feed_p99) = percentiles_us(&mut feeds);
+    let (poll_p50, poll_p95, poll_p99) = percentiles_us(&mut polls);
+    let (close_p50, _, _) = percentiles_us(&mut closes);
+    println!(
+        "sessions     {sessions_ok}/{} ok   chunks {chunks_ok} ok   elapsed {:.1} ms",
+        args.streams,
+        secs * 1e3
+    );
+    println!(
+        "throughput   {cps:.1} chunks/s   peak concurrent resident sessions {}",
+        peak.open_sessions
+    );
+    println!("feed latency p50 {feed_p50} us   p95 {feed_p95} us   p99 {feed_p99} us");
+    println!("poll latency p50 {poll_p50} us   p95 {poll_p95} us   p99 {poll_p99} us");
+    println!("close        p50 {close_p50} us");
+    println!(
+        "sessions now open {} evicted {} resident_bytes {}   (peak resident_bytes {})",
+        status.open_sessions,
+        status.evicted_sessions,
+        status.session_resident_bytes,
+        peak.session_resident_bytes
+    );
+    // The Metrics scrape must agree with the Status frame's session view.
+    assert_eq!(
+        metrics.get("serve.sessions.open"),
+        Some(status.open_sessions),
+        "Metrics and Status frames must agree on open sessions"
+    );
+    assert_eq!(
+        metrics.get("serve.sessions.evicted"),
+        Some(status.evicted_sessions),
+        "Metrics and Status frames must agree on evictions"
+    );
+
+    if let Some(path) = &args.json {
+        let section = format!(
+            "{{\n    \"streams\": {},\n    \"chunks_per_stream\": {},\n    \"scale\": {},\n    \
+             \"apps\": {},\n    \"sessions_ok\": {sessions_ok},\n    \"chunks_ok\": {chunks_ok},\n    \
+             \"elapsed_ms\": {:.3},\n    \"chunks_per_sec\": {cps:.3},\n    \
+             \"peak_open_sessions\": {},\n    \"peak_resident_bytes\": {},\n    \
+             \"evicted_sessions\": {},\n    \
+             \"feed_latency_us\": {{\"p50\": {feed_p50}, \"p95\": {feed_p95}, \"p99\": {feed_p99}}},\n    \
+             \"poll_latency_us\": {{\"p50\": {poll_p50}, \"p95\": {poll_p95}, \"p99\": {poll_p99}}},\n    \
+             \"close_latency_us\": {{\"p50\": {close_p50}}}\n  }}",
+            args.streams,
+            args.chunks,
+            args.scale,
+            apps.len(),
+            secs * 1e3,
+            peak.open_sessions,
+            peak.session_resident_bytes,
+            status.evicted_sessions,
+        );
+        let doc = splice_streams_section(path, &section);
+        std::fs::write(path, doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote streams section into {path}");
+    }
+
+    if let Some(server) = own_server {
+        let stats = server.shutdown();
+        assert_eq!(stats.failed_instances, 0, "no instance may fail");
+    }
+
+    // The smoke contract: every session succeeded and drained clean.
+    assert_eq!(
+        sessions_ok, args.streams as u64,
+        "all sessions must succeed"
+    );
+    assert_eq!(
+        chunks_ok,
+        (args.streams * args.chunks) as u64,
+        "all chunks must be accepted and drained"
+    );
+    assert_eq!(status.open_sessions, 0, "every session must be closed");
+    println!(
+        "all {} sessions succeeded; chunked outputs bit-identical to one-shot and oracle-validated.",
+        args.streams
+    );
+}

@@ -25,9 +25,9 @@ pub struct ProgramInstance {
     /// The instance's private executable graph. DRAM inputs that differ
     /// per instance can be written into `graph.mem.dram` before running.
     pub graph: Graph,
-    entry: ChanId,
-    sink: SinkHandle,
-    plan: Arc<ExecPlan>,
+    pub(crate) entry: ChanId,
+    pub(crate) sink: SinkHandle,
+    pub(crate) plan: Arc<ExecPlan>,
 }
 
 // The whole point of an instance is to migrate onto a worker thread; keep
@@ -112,7 +112,7 @@ impl ProgramInstance {
         report
     }
 
-    fn publish_labels(&self, obs: &revet_obs::ObsSink) {
+    pub(crate) fn publish_labels(&self, obs: &revet_obs::ObsSink) {
         if obs.is_enabled() {
             obs.set_labels(self.graph.nodes().iter().map(|s| s.label.clone()).collect());
         }

@@ -44,12 +44,14 @@ pub mod passes;
 mod place;
 pub mod report;
 mod session;
+mod stream;
 
 pub use fingerprint::ProgramId;
 pub use instance::ProgramInstance;
 pub use lower::{lower_to_dataflow, Category, CompiledProgram, ContextInfo, LinkInfo};
 pub use place::{place, Placement};
 pub use session::{Session, Stage};
+pub use stream::{StreamExecutor, StreamInstance, StreamOutcome};
 
 use revet_diag::{codes, Diagnostic, SourceMap};
 use revet_mir::{DramLayout, Module};

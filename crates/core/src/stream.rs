@@ -1,0 +1,378 @@
+//! Streaming sessions: a long-lived resident instance fed incrementally.
+//!
+//! A [`StreamInstance`] wraps a [`ProgramInstance`] and keeps it **paused
+//! at quiescence** between input chunks instead of running it to
+//! completion once: [`StreamInstance::feed`] appends whole `main`
+//! argument sets to the entry channel (the same Data + Ω1 protocol a
+//! one-shot run injects), [`StreamInstance::poll`] resumes the executor
+//! and returns the sink tokens produced since the previous poll, and
+//! [`StreamInstance::finish`] runs the final drain and yields the memory
+//! image plus the merged execution report.
+//!
+//! The load-bearing invariant — pinned by the property suite and the
+//! fuzzer's chunked-feed lane — is that feeding an input in K chunks is
+//! **bit-identical** (sink stream and final DRAM) to a one-shot run of
+//! the concatenation. Kahn semantics make this structural: chunking only
+//! changes the *schedule*, and blocking-read dataflow output is
+//! schedule-independent. Execution reports are *not* identical (resume
+//! seeding re-steps quiescent nodes, which counts as unproductive work);
+//! they accumulate across polls via [`revet_machine::ExecReport::merge`].
+
+use crate::instance::ProgramInstance;
+use crate::lower::CompiledProgram;
+use revet_machine::nodes::SinkHandle;
+use revet_machine::{ExecReport, MachineError, MemoryState, ResumeState, RunStatus, TTok};
+use revet_sltf::{BarrierLevel, Tok, Word};
+
+/// Which executor a streaming session runs on. A session picks one at
+/// open and sticks with it — the [`ResumeState`] worklist carries over
+/// between polls of the *same* executor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StreamExecutor {
+    /// The compiled [`revet_machine::ExecPlan`] fast path (the default).
+    #[default]
+    Planned,
+    /// The interpreted event-driven reference executor.
+    Interpreted,
+}
+
+/// Everything a finished stream leaves behind (see
+/// [`StreamInstance::finish`]).
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// Execution counters merged across every poll of the session.
+    pub report: ExecReport,
+    /// The final memory state (DRAM image, SRAM regions, allocators).
+    pub memory: MemoryState,
+    /// The complete sink stream (equal to the concatenation of every
+    /// poll's delta).
+    pub sink: Vec<TTok>,
+}
+
+/// A resident, incrementally-fed instantiation of a [`CompiledProgram`].
+///
+/// ```
+/// use revet_core::{Compiler, PassOptions, StreamExecutor};
+/// use revet_sltf::Word;
+///
+/// let program = Compiler::new(PassOptions::default())
+///     .compile_source(
+///         "dram<u32> output;
+///          void main(u32 n) {
+///              foreach (n) { u32 i => output[i] = i * i; };
+///          }",
+///     )
+///     .unwrap();
+/// let mut stream = program.stream(StreamExecutor::Planned);
+/// stream.feed(&[vec![Word(3)]]).unwrap();
+/// stream.poll(1_000_000).unwrap();
+/// stream.feed(&[vec![Word(4)]]).unwrap(); // resident state persists
+/// let out = stream.finish(1_000_000).unwrap();
+/// assert_eq!(u32::from_le_bytes(out.memory.dram[8..12].try_into().unwrap()), 4);
+/// ```
+#[derive(Debug)]
+pub struct StreamInstance {
+    inner: ProgramInstance,
+    resume: ResumeState,
+    executor: StreamExecutor,
+    /// Sink read position: `poll` returns tokens from here onward.
+    cursor: usize,
+    /// Counters merged across every poll so far.
+    report: ExecReport,
+    /// Argument sets accepted so far.
+    fed: u64,
+}
+
+impl StreamInstance {
+    /// Wraps a fresh instance for streaming on the chosen executor.
+    pub fn new(inner: ProgramInstance, executor: StreamExecutor) -> Self {
+        StreamInstance {
+            inner,
+            resume: ResumeState::new(),
+            executor,
+            cursor: 0,
+            report: ExecReport::default(),
+            fed: 0,
+        }
+    }
+
+    /// Appends whole `main` argument sets to the entry channel — each one
+    /// a data tuple closed by Ω1, exactly what a one-shot run injects.
+    /// Returns how many argsets were accepted: a bounded entry channel
+    /// without room for a full argset stops the feed early (the caller
+    /// retries the remainder after a [`StreamInstance::poll`] drains it).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for compiled programs (the entry channel
+    /// always exists); the `Result` reserves room for protocol errors.
+    pub fn feed(&mut self, argsets: &[Vec<Word>]) -> Result<usize, MachineError> {
+        let chan = self.inner.graph.chan_mut(self.inner.entry);
+        let mut fed = 0;
+        for args in argsets {
+            // A full argset is two tokens; never push half of one.
+            if chan.room() < 2 {
+                break;
+            }
+            chan.push(Tok::Data(args.clone()));
+            chan.push(Tok::Barrier(BarrierLevel::L1));
+            fed += 1;
+        }
+        self.fed += fed as u64;
+        Ok(fed)
+    }
+
+    /// Resumes execution until quiescence and returns the sink tokens
+    /// produced by this poll, plus whether the graph drained cleanly
+    /// ([`RunStatus::Finished`]) or holds tokens that need more input
+    /// ([`RunStatus::Paused`]). Both statuses leave the session usable:
+    /// `Finished` just means nothing is currently in flight.
+    ///
+    /// # Errors
+    ///
+    /// Node protocol errors and the round cap. Leftover tokens are not an
+    /// error here — that is the `Paused` status.
+    pub fn poll(&mut self, max_rounds: u64) -> Result<(Vec<TTok>, RunStatus), MachineError> {
+        self.poll_obs(max_rounds, revet_obs::ObsSink::noop())
+    }
+
+    /// [`StreamInstance::poll`] with an observability sink: node labels
+    /// are published, executor events recorded, and the session's peak
+    /// resident footprint tracked in the `stream.resident_bytes` gauge.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StreamInstance::poll`].
+    pub fn poll_obs(
+        &mut self,
+        max_rounds: u64,
+        obs: &revet_obs::ObsSink,
+    ) -> Result<(Vec<TTok>, RunStatus), MachineError> {
+        self.inner.publish_labels(obs);
+        let (report, status) = match self.executor {
+            StreamExecutor::Planned => {
+                let plan = std::sync::Arc::clone(&self.inner.plan);
+                self.inner.graph.run_untimed_planned_resumable_obs(
+                    &plan,
+                    &mut self.resume,
+                    max_rounds,
+                    obs,
+                )?
+            }
+            StreamExecutor::Interpreted => {
+                self.inner
+                    .graph
+                    .run_untimed_resumable_obs(&mut self.resume, max_rounds, obs)?
+            }
+        };
+        self.report.merge(&report);
+        if obs.is_enabled() {
+            obs.registry
+                .gauge("stream.resident_bytes")
+                .record_max(self.resident_bytes());
+        }
+        let delta = self.inner.sink.tokens_from(self.cursor);
+        self.cursor += delta.len();
+        Ok((delta, status))
+    }
+
+    /// Runs a final poll and closes the session. A clean drain yields the
+    /// [`StreamOutcome`]; leftover stuck tokens (an argset cut short, a
+    /// starved merge) are *now* an error, diagnosed with the same stuck-
+    /// channel report a one-shot deadlock produces.
+    ///
+    /// # Errors
+    ///
+    /// Poll errors, plus the deadlock diagnosis when input is incomplete.
+    pub fn finish(mut self, max_rounds: u64) -> Result<StreamOutcome, MachineError> {
+        let (_, status) = self.poll(max_rounds)?;
+        if status == RunStatus::Paused {
+            // Re-run one-shot: at quiescence with stuck channels this
+            // produces the labeled deadlock diagnosis.
+            let res = match self.executor {
+                StreamExecutor::Planned => {
+                    let plan = std::sync::Arc::clone(&self.inner.plan);
+                    self.inner.graph.run_untimed_planned(&plan, max_rounds)
+                }
+                StreamExecutor::Interpreted => self.inner.graph.run_untimed(max_rounds),
+            };
+            return Err(match res {
+                Err(e) => e,
+                Ok(_) => MachineError::new("stream closed with unconsumed input"),
+            });
+        }
+        Ok(StreamOutcome {
+            report: self.report,
+            sink: self.inner.sink.tokens(),
+            memory: self.inner.into_memory(),
+        })
+    }
+
+    /// Approximate resident heap bytes of the session's mutable streaming
+    /// state: queued channel tokens plus node-internal buffers (pending
+    /// source input, collected sink output). The number that grows with
+    /// buffered work — per-session memory accounting reads this.
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.graph.resident_bytes()
+    }
+
+    /// Counters merged across every poll so far.
+    pub fn report(&self) -> &ExecReport {
+        &self.report
+    }
+
+    /// Argument sets accepted by [`StreamInstance::feed`] so far.
+    pub fn fed(&self) -> u64 {
+        self.fed
+    }
+
+    /// The complete sink stream collected so far (every poll's delta,
+    /// concatenated).
+    pub fn sink_tokens(&self) -> Vec<TTok> {
+        self.inner.sink.tokens()
+    }
+
+    /// Shared handle to the session's sink buffer.
+    pub fn sink_handle(&self) -> SinkHandle {
+        self.inner.sink.clone()
+    }
+
+    /// The session's memory state (DRAM image, SRAM regions, allocators).
+    pub fn memory(&self) -> &MemoryState {
+        &self.inner.graph.mem
+    }
+}
+
+impl CompiledProgram {
+    /// Opens a streaming session: a fresh [`ProgramInstance`] wrapped for
+    /// incremental feeding (see [`StreamInstance`]).
+    pub fn stream(&self, executor: StreamExecutor) -> StreamInstance {
+        StreamInstance::new(self.instance(), executor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Compiler, PassOptions};
+
+    const SQUARES: &str = r#"
+        dram<u32> output;
+        void main(u32 n) {
+            foreach (n) { u32 i =>
+                output[i] = i * i;
+            };
+        }
+    "#;
+
+    fn compile(opt_level: u8) -> CompiledProgram {
+        let opts = PassOptions {
+            opt_level,
+            ..PassOptions::default()
+        };
+        Compiler::new(opts).compile_source(SQUARES).unwrap()
+    }
+
+    #[test]
+    fn chunked_feed_matches_one_shot_for_both_executors() {
+        let program = compile(2);
+        let argsets: Vec<Vec<Word>> = (1..=4).map(|n| vec![Word(n)]).collect();
+
+        // One-shot reference: ONE instance, every argset injected up
+        // front, run once.
+        let mut oneshot = program.stream(StreamExecutor::Planned);
+        assert_eq!(oneshot.feed(&argsets).unwrap(), 4);
+        let reference = oneshot.finish(1_000_000).unwrap();
+
+        for executor in [StreamExecutor::Planned, StreamExecutor::Interpreted] {
+            let mut stream = program.stream(executor);
+            let mut collected = Vec::new();
+            for args in &argsets {
+                assert_eq!(stream.feed(std::slice::from_ref(args)).unwrap(), 1);
+                let (delta, status) = stream.poll(1_000_000).unwrap();
+                collected.extend(delta);
+                assert_eq!(status, RunStatus::Finished);
+            }
+            assert_eq!(stream.fed(), 4);
+            let out = stream.finish(1_000_000).unwrap();
+            assert_eq!(out.sink, reference.sink, "{executor:?} sink stream");
+            assert_eq!(collected, reference.sink, "{executor:?} poll deltas");
+            assert_eq!(out.memory.dram, reference.memory.dram, "{executor:?} DRAM");
+        }
+    }
+
+    #[test]
+    fn merged_report_equals_sum_of_poll_reports() {
+        // Regression: a finished stream's report must accumulate
+        // steps/rounds across polls, not report only the last poll.
+        let program = compile(2);
+        let mut stream = program.stream(StreamExecutor::Planned);
+        let mut sum = ExecReport::default();
+        for n in 1..=3u32 {
+            stream.feed(&[vec![Word(n)]]).unwrap();
+            let before = *stream.report();
+            stream.poll(1_000_000).unwrap();
+            let mut delta = *stream.report();
+            delta.rounds -= before.rounds;
+            delta.steps -= before.steps;
+            delta.productive_steps -= before.productive_steps;
+            sum.merge(&delta);
+            assert!(delta.steps > 0, "each poll does real work");
+        }
+        let merged = *stream.report();
+        let out = stream.finish(1_000_000).unwrap();
+        assert_eq!(merged.steps, sum.steps);
+        assert_eq!(merged.rounds, sum.rounds);
+        assert!(
+            out.report.steps >= merged.steps,
+            "finish folds its own final poll in"
+        );
+    }
+
+    #[test]
+    fn finish_diagnoses_stuck_input_as_deadlock() {
+        // Compiled programs consume whole argsets, so a stuck session
+        // needs an unbalanced graph: a zip whose second input never
+        // arrives. Build the instance by hand around the entry channel.
+        use revet_machine::nodes::{EwNode, SinkNode};
+        use revet_machine::{Channel, ExecPlan, Graph};
+        let mut g = Graph::new();
+        let c0 = g.add_chan(Channel::new(1));
+        let c1 = g.add_chan(Channel::new(1));
+        let c2 = g.add_chan(Channel::new(2));
+        g.add_node(
+            "zip",
+            Box::new(EwNode::passthrough(2)),
+            vec![c0, c1],
+            vec![c2],
+        );
+        let (sink_node, sink) = SinkNode::new();
+        g.add_node("sink", Box::new(sink_node), vec![c2], vec![]);
+        let plan = std::sync::Arc::new(ExecPlan::build(&g));
+        let inner = ProgramInstance {
+            graph: g,
+            entry: c0,
+            sink,
+            plan,
+        };
+        let mut stream = StreamInstance::new(inner, StreamExecutor::Planned);
+        stream.feed(&[vec![Word(7)]]).unwrap();
+        let (_, status) = stream.poll(1_000_000).unwrap();
+        assert_eq!(status, RunStatus::Paused, "starved zip pauses the stream");
+        let err = stream.finish(1_000_000).unwrap_err();
+        assert!(err.message.contains("deadlock"), "got: {err}");
+    }
+
+    #[test]
+    fn resident_bytes_rises_with_fed_input_and_survives_pause() {
+        let program = compile(0);
+        let mut stream = program.stream(StreamExecutor::Interpreted);
+        assert_eq!(stream.resident_bytes(), 0);
+        stream.feed(&[vec![Word(8)]]).unwrap();
+        assert!(stream.resident_bytes() > 0, "fed argset is resident");
+        let obs = revet_obs::ObsSink::counters_only();
+        stream.poll_obs(1_000_000, &obs).unwrap();
+        let gauge = obs.registry.gauge("stream.resident_bytes").get();
+        assert!(gauge > 0, "peak resident footprint recorded");
+    }
+}

@@ -1,6 +1,6 @@
 //! The N-way differential oracle.
 //!
-//! One [`Case`] is judged by ten evaluator runs that must all agree
+//! One [`Case`] is judged by ten batch evaluator runs that must all agree
 //! bit-for-bit on the final DRAM image (and, among the dataflow
 //! executors, on `main`'s sink token stream):
 //!
@@ -10,6 +10,13 @@
 //! | 2,5,8 | MIR interpreter | optimized (`Session::run_passes`) | O0/O1/O2 |
 //! | 3,6,9 | compiled `ExecPlan` (`run_untimed`) | lowered dataflow | O0/O1/O2 |
 //! | 4,7,10 | interpreted ready-set executor | lowered dataflow | O0/O1/O2 |
+//!
+//! On top of the batch matrix, each level runs the **chunked-feed
+//! streaming lane**: the case's argset replicated and fed through a
+//! resident [`StreamInstance`](revet_core::StreamInstance) at a
+//! seed-derived chunk boundary must be bit-identical (final DRAM plus
+//! sink stream) to one session fed everything up front, on both
+//! executors — and a single-argset session must match the batch runs.
 //!
 //! On top of the bit-identity matrix the oracle enforces the frontend
 //! invariants: compilation must succeed with *zero* diagnostics (clean
@@ -28,7 +35,8 @@
 //! reducer minimizes real miscompiles.
 
 use crate::gen::Case;
-use revet_core::{lower_to_dataflow, PassOptions, Session};
+use revet_core::{lower_to_dataflow, CompiledProgram, PassOptions, Session, StreamExecutor};
+use revet_machine::{MachineError, TTok};
 use revet_mir::{AluOp, DramLayout, Interp, Module, OpKind, Region};
 use revet_sltf::Word;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -272,6 +280,33 @@ fn run_case_inner(case: &Case, cfg: &OracleConfig) -> Result<(), Failure> {
     Ok(())
 }
 
+/// Feeds `argsets` into a fresh streaming session in `chunk`-sized
+/// groups, polling to quiescence between groups (and mid-group whenever
+/// the entry channel back-pressures a feed), then finishes; returns the
+/// final DRAM image and the complete sink stream.
+fn stream_run(
+    program: &CompiledProgram,
+    executor: StreamExecutor,
+    argsets: &[Vec<Word>],
+    chunk: usize,
+    max_rounds: u64,
+) -> Result<(Vec<u8>, Vec<TTok>), MachineError> {
+    let mut stream = program.stream(executor);
+    for group in argsets.chunks(chunk.max(1)) {
+        let mut rest = group;
+        while !rest.is_empty() {
+            let fed = stream.feed(rest)?;
+            rest = &rest[fed..];
+            if !rest.is_empty() {
+                stream.poll(max_rounds)?;
+            }
+        }
+        stream.poll(max_rounds)?;
+    }
+    let out = stream.finish(max_rounds)?;
+    Ok((out.memory.dram, out.sink))
+}
+
 fn run_level(
     case: &Case,
     cfg: &OracleConfig,
@@ -375,6 +410,74 @@ fn run_level(
                 ready.sink_tokens().len()
             ),
         ));
+    }
+
+    // The chunked-feed streaming lane. First tie the streaming machinery
+    // into the batch matrix: a session fed the single argset must leave
+    // the reference image and the planned executor's sink stream.
+    let stream_err = |e: MachineError| fail(FailureKind::ExecError, level, format!("stream: {e}"));
+    let (solo_dram, solo_sink) = stream_run(
+        &program,
+        StreamExecutor::Planned,
+        std::slice::from_ref(&args),
+        1,
+        cfg.max_rounds(),
+    )
+    .map_err(stream_err)?;
+    if solo_dram != *reference {
+        return Err(fail(
+            FailureKind::DramMismatch,
+            level,
+            diff_dram(reference, &solo_dram, "streamed vs reference"),
+        ));
+    }
+    if solo_sink != planned.sink_tokens() {
+        return Err(fail(
+            FailureKind::SinkMismatch,
+            level,
+            format!(
+                "streamed vs planned sink streams ({} vs {} tokens)",
+                solo_sink.len(),
+                planned.sink_tokens().len()
+            ),
+        ));
+    }
+
+    // Then the invariant itself: the argset replicated `copies` times and
+    // fed at a seed-derived chunk boundary must be bit-identical to one
+    // session fed everything up front, on both executors. (Replication
+    // rather than fresh argsets keeps the lane cheap; distinct inputs per
+    // chunk are covered by the dedicated property suite.)
+    let copies = 2 + (case.seed % 2) as usize;
+    let chunk = 1 + (case.seed >> 8) as usize % (copies - 1);
+    let sets: Vec<Vec<Word>> = vec![args.clone(); copies];
+    for executor in [StreamExecutor::Planned, StreamExecutor::Interpreted] {
+        let (oneshot_dram, oneshot_sink) =
+            stream_run(&program, executor, &sets, copies, cfg.max_rounds()).map_err(stream_err)?;
+        let (chunked_dram, chunked_sink) =
+            stream_run(&program, executor, &sets, chunk, cfg.max_rounds()).map_err(stream_err)?;
+        if chunked_dram != oneshot_dram {
+            return Err(fail(
+                FailureKind::DramMismatch,
+                level,
+                diff_dram(
+                    &oneshot_dram,
+                    &chunked_dram,
+                    &format!("chunked vs one-shot stream ({executor:?}, {copies} argsets, chunk {chunk})"),
+                ),
+            ));
+        }
+        if chunked_sink != oneshot_sink {
+            return Err(fail(
+                FailureKind::SinkMismatch,
+                level,
+                format!(
+                    "chunked vs one-shot stream sinks ({executor:?}: {} vs {} tokens)",
+                    chunked_sink.len(),
+                    oneshot_sink.len()
+                ),
+            ));
+        }
     }
 
     Ok(LevelRun {

@@ -199,6 +199,15 @@ impl Channel {
         self.tail_preceded_by_data = false;
         self.queue.drain_all()
     }
+
+    /// Approximate resident heap bytes of the queued tokens — per-session
+    /// memory accounting for paused streaming instances.
+    pub fn resident_bytes(&self) -> usize {
+        (0..self.queue.len())
+            .filter_map(|i| self.queue.get(i))
+            .map(crate::node::token_bytes)
+            .sum()
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@
 use crate::channel::Channel;
 use crate::mem::MemoryState;
 use crate::node::{ChanId, IoEvents, MachineError, Node, NodeId, NodeIo, PortBudget};
+use crate::tuple::TTok;
 use revet_obs::{ObsSink, StallClass, WakeCause};
 use std::collections::VecDeque;
 use std::fmt;
@@ -158,6 +159,66 @@ pub struct Graph {
     /// Channel-endpoint index, shared across instances of the same wiring;
     /// `None` until finalized or after rewiring.
     topo: Option<Arc<TopologyIndex>>,
+}
+
+/// How a resumable untimed run ended.
+///
+/// Returned by the `*_resumable` executor entry points: `Finished` means
+/// quiescence with every consumer-attached channel drained (the condition
+/// the one-shot executors demand); `Paused` means quiescence with tokens
+/// still pending — under streaming that is "waiting for more input", and
+/// the same state a one-shot run reports as a deadlock. The caller decides
+/// which reading applies (a stream's `finish()` converts a final `Paused`
+/// into the deadlock diagnosis).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunStatus {
+    /// Clean quiescence: all consumer-attached channels drained.
+    Finished,
+    /// Quiescence with tokens still queued — resumable once more input
+    /// arrives ([`Graph::feed_source`] or a direct channel push).
+    Paused,
+}
+
+/// Reusable scheduler state for resumable (streaming) execution.
+///
+/// A fresh state makes the first `*_resumable` run identical to a one-shot
+/// run: every node is seeded into the worklist. Subsequent runs on the
+/// same state re-seed only what can make progress — consumers of non-empty
+/// channels, allocator-gated nodes, and nodes holding internal pending
+/// input ([`Node::pending_input_tokens`], i.e. fed sources). Spurious
+/// seeds are harmless (an unproductive step), and any node able to make
+/// progress is covered: progress requires an input token, internal
+/// pending state, or allocator availability, all of which the re-seed rule
+/// observes. The worklist buffers live here so repeated polls never
+/// reallocate; one state must only ever drive the graph it was first run
+/// against.
+#[derive(Debug, Default)]
+pub struct ResumeState {
+    started: bool,
+    current: VecDeque<u32>,
+    next: VecDeque<u32>,
+    queued: Vec<bool>,
+}
+
+impl ResumeState {
+    /// Fresh state: the next resumable run seeds every node, exactly like
+    /// a one-shot run.
+    pub fn new() -> Self {
+        ResumeState::default()
+    }
+
+    /// Whether a run has already consumed this state (later runs use the
+    /// incremental re-seed rule).
+    pub fn started(&self) -> bool {
+        self.started
+    }
+
+    /// Marks the state started, returning whether it already was — the
+    /// plan executor's first-run/resume discriminator (it keeps its own
+    /// bitmap worklist and only shares this flag).
+    pub(crate) fn take_started(&mut self) -> bool {
+        std::mem::replace(&mut self.started, true)
+    }
 }
 
 /// Summary of an untimed run.
@@ -495,6 +556,83 @@ impl Graph {
         self.run_with_topology(|g, topo| g.run_untimed_ready(topo, max_rounds, obs))
     }
 
+    /// Runs the graph with the ready-set scheduler in **suspend-at-
+    /// quiescence** mode: instead of reporting leftover tokens as a
+    /// deadlock, the run returns [`RunStatus::Paused`] and leaves every
+    /// channel ring and node state live, ready to resume after more input
+    /// is fed ([`Graph::feed_source`] or a direct entry-channel push). The
+    /// same `resume` state must be passed to every run of one streaming
+    /// session; a fresh state makes the first run seed every node exactly
+    /// like [`Graph::run_untimed`].
+    ///
+    /// # Errors
+    ///
+    /// Node protocol errors and the round cap. Leftover tokens are *not*
+    /// an error here — that is the `Paused` status.
+    pub fn run_untimed_resumable(
+        &mut self,
+        resume: &mut ResumeState,
+        max_rounds: u64,
+    ) -> Result<(ExecReport, RunStatus), MachineError> {
+        self.run_untimed_resumable_obs(resume, max_rounds, ObsSink::noop())
+    }
+
+    /// [`Graph::run_untimed_resumable`] with an observability sink.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::run_untimed_resumable`].
+    pub fn run_untimed_resumable_obs(
+        &mut self,
+        resume: &mut ResumeState,
+        max_rounds: u64,
+        obs: &ObsSink,
+    ) -> Result<(ExecReport, RunStatus), MachineError> {
+        self.finalize_topology();
+        let topo = self.topo.clone().expect("just finalized");
+        self.run_untimed_ready_core(&topo, resume, true, max_rounds, obs)
+    }
+
+    /// Appends tokens to the internal pending queue of source node `id`
+    /// ([`Node::feed_tokens`]) — how a paused streaming graph receives its
+    /// next input chunk. The next resumable run re-wakes the source.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the node is not an input endpoint, or its
+    /// behavior is checked out mid-step.
+    pub fn feed_source(&mut self, id: NodeId, tokens: Vec<TTok>) -> Result<(), MachineError> {
+        let slot = &mut self.nodes[id.0 as usize];
+        let Some(behavior) = slot.behavior.as_mut() else {
+            return Err(MachineError {
+                node: Some(slot.label.clone()),
+                message: "feed_source during a node step (behavior checked out)".into(),
+            });
+        };
+        behavior.feed_tokens(tokens).map_err(|mut e| {
+            if e.node.is_none() {
+                e.node = Some(slot.label.clone());
+            }
+            e
+        })
+    }
+
+    /// Approximate resident heap bytes of this graph's mutable streaming
+    /// state: queued channel tokens plus node-internal state (pending
+    /// source input, collected sink output). Excludes the fixed-size
+    /// memory image — per-session accounting wants the part that grows
+    /// with buffered work.
+    pub fn resident_bytes(&self) -> u64 {
+        let chan_bytes: usize = self.chans.iter().map(Channel::resident_bytes).sum();
+        let node_bytes: usize = self
+            .nodes
+            .iter()
+            .filter_map(|s| s.behavior.as_ref())
+            .map(|b| b.resident_bytes())
+            .sum();
+        (chan_bytes + node_bytes) as u64
+    }
+
     /// Classifies why a node that was just stepped made no progress, by
     /// inspecting its channel endpoints: an empty input means
     /// **input-starved**; otherwise a bounded output at capacity means
@@ -544,7 +682,59 @@ impl Graph {
         max_rounds: u64,
         obs: &ObsSink,
     ) -> Result<ExecReport, MachineError> {
+        let mut resume = ResumeState::new();
+        let (report, _) = self.run_untimed_ready_core(topo, &mut resume, false, max_rounds, obs)?;
+        Ok(report)
+    }
+
+    /// Seeds a resumable run's worklist. First run: every node (identical
+    /// to a one-shot run). Resume: consumers of non-empty channels, every
+    /// allocator waiter, and nodes holding internal pending input — the
+    /// three places progress-enabling state can hide while quiescent.
+    fn seed_resume(&self, topo: &TopologyIndex, resume: &mut ResumeState) {
         let n = self.nodes.len();
+        resume.queued.resize(n, false);
+        if !resume.started {
+            resume.started = true;
+            resume.current.extend(0..n as u32);
+            resume.queued.fill(true);
+            return;
+        }
+        let seed = |id: NodeId, resume: &mut ResumeState| {
+            if !resume.queued[id.0 as usize] {
+                resume.queued[id.0 as usize] = true;
+                resume.current.push_back(id.0);
+            }
+        };
+        for (ci, chan) in self.chans.iter().enumerate() {
+            if !chan.is_empty() {
+                for &c in topo.consumers(ChanId(ci as u32)) {
+                    seed(c, resume);
+                }
+            }
+        }
+        for &w in topo.alloc_waiters() {
+            seed(w, resume);
+        }
+        for (i, slot) in self.nodes.iter().enumerate() {
+            if slot
+                .behavior
+                .as_ref()
+                .is_some_and(|b| b.pending_input_tokens() > 0)
+            {
+                seed(NodeId(i as u32), resume);
+            }
+        }
+    }
+
+    fn run_untimed_ready_core(
+        &mut self,
+        topo: &TopologyIndex,
+        resume: &mut ResumeState,
+        suspend_at_quiescence: bool,
+        max_rounds: u64,
+        obs: &ObsSink,
+    ) -> Result<(ExecReport, RunStatus), MachineError> {
         let max_in = self.nodes.iter().map(|s| s.ins.len()).max().unwrap_or(0);
         let max_out = self.nodes.iter().map(|s| s.outs.len()).max().unwrap_or(0);
         // Reusable budget buffers: refreshed per step, never reallocated.
@@ -555,10 +745,16 @@ impl Graph {
 
         // Generation-structured worklist: `current` is drained while wakes
         // accumulate in `next`; one drain ≈ one dense round for the livelock
-        // cap. `queued` dedups membership across both queues.
-        let mut current: VecDeque<u32> = (0..n as u32).collect();
-        let mut next: VecDeque<u32> = VecDeque::new();
-        let mut queued = vec![true; n];
+        // cap. `queued` dedups membership across both queues. The buffers
+        // live in `resume` (empty and all-false at quiescence, so a paused
+        // run can hand them straight back).
+        self.seed_resume(topo, resume);
+        let ResumeState {
+            current,
+            next,
+            queued,
+            ..
+        } = resume;
 
         while !current.is_empty() {
             if report.rounds >= max_rounds {
@@ -608,31 +804,36 @@ impl Graph {
                 for &c in &events.pushed {
                     obs.channel_push(c.0);
                     for &w in topo.consumers(c) {
-                        wake(w, WakeCause::TokenArrival, &mut next, &mut queued);
+                        wake(w, WakeCause::TokenArrival, next, queued);
                     }
                 }
                 for &c in &events.freed {
                     for &w in topo.producers(c) {
-                        wake(w, WakeCause::CapacityRelease, &mut next, &mut queued);
+                        wake(w, WakeCause::CapacityRelease, next, queued);
                     }
                 }
                 if self.mem.alloc_push_ops() != allocs_before {
                     for &w in topo.alloc_waiters() {
-                        wake(w, WakeCause::AllocatorPush, &mut next, &mut queued);
+                        wake(w, WakeCause::AllocatorPush, next, queued);
                     }
                 }
             }
-            std::mem::swap(&mut current, &mut next);
+            std::mem::swap(current, next);
         }
-        // Quiescent: every channel with a consumer should be drained.
+        // Quiescent: every channel with a consumer should be drained. Under
+        // suspension that is a pause (more input may arrive); one-shot runs
+        // report it as a deadlock.
         let stuck = self.stuck_channel_report(topo);
-        if !stuck.is_empty() {
-            return Err(MachineError::new(format!(
-                "deadlock at quiescence: {}",
-                stuck.join("; ")
-            )));
+        if stuck.is_empty() {
+            return Ok((report, RunStatus::Finished));
         }
-        Ok(report)
+        if suspend_at_quiescence {
+            return Ok((report, RunStatus::Paused));
+        }
+        Err(MachineError::new(format!(
+            "deadlock at quiescence: {}",
+            stuck.join("; ")
+        )))
     }
 
     /// Runs the graph untimed through a prebuilt execution plan
@@ -665,6 +866,40 @@ impl Graph {
         obs: &ObsSink,
     ) -> Result<ExecReport, MachineError> {
         plan.run_obs(self, max_rounds, obs)
+    }
+
+    /// [`Graph::run_untimed_planned`] in suspend-at-quiescence mode — the
+    /// plan-executor twin of [`Graph::run_untimed_resumable`]. The same
+    /// `resume` state drives either executor's seeding (a session picks
+    /// one executor and sticks with it).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::run_untimed_resumable`], plus a shape-mismatch
+    /// error when the plan was built for different wiring.
+    pub fn run_untimed_planned_resumable(
+        &mut self,
+        plan: &crate::ExecPlan,
+        resume: &mut ResumeState,
+        max_rounds: u64,
+    ) -> Result<(ExecReport, RunStatus), MachineError> {
+        plan.run_resumable_obs(self, resume, max_rounds, ObsSink::noop())
+    }
+
+    /// [`Graph::run_untimed_planned_resumable`] with an observability
+    /// sink.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::run_untimed_planned_resumable`].
+    pub fn run_untimed_planned_resumable_obs(
+        &mut self,
+        plan: &crate::ExecPlan,
+        resume: &mut ResumeState,
+        max_rounds: u64,
+        obs: &ObsSink,
+    ) -> Result<(ExecReport, RunStatus), MachineError> {
+        plan.run_resumable_obs(self, resume, max_rounds, obs)
     }
 
     /// The retained dense-sweep reference executor: every round steps every
@@ -1092,5 +1327,154 @@ mod tests {
         assert_eq!(topo.consumers(c0).len(), 1);
         assert_eq!(topo.producers(c0).len(), 1);
         assert!(topo.consumers(c1).is_empty());
+    }
+
+    /// src → double → sink with an initially empty source; `feed` tells the
+    /// test which node to feed chunks into.
+    fn streaming_pipeline() -> (Graph, NodeId, crate::nodes::SinkHandle) {
+        let mut g = Graph::new();
+        let c0 = g.add_chan(Channel::new(1));
+        let c1 = g.add_chan(Channel::new(1));
+        let src = g.add_node(
+            "src",
+            Box::new(SourceNode::new(Vec::new())),
+            vec![],
+            vec![c0],
+        );
+        g.add_node(
+            "double",
+            Box::new(EwNode::new(
+                1,
+                vec![EwInstr::Alu {
+                    op: AluOp::Add,
+                    a: Operand::Reg(0),
+                    b: Operand::Reg(0),
+                    dst: 1,
+                }],
+                vec![OutputSpec::plain([1])],
+            )),
+            vec![c0],
+            vec![c1],
+        );
+        let (sink, handle) = SinkNode::new();
+        g.add_node("sink", Box::new(sink), vec![c1], vec![]);
+        (g, src, handle)
+    }
+
+    #[test]
+    fn resumable_interpreter_chunked_feed_matches_one_shot() {
+        // One-shot reference: all input up front.
+        let (mut one, src, oh) = streaming_pipeline();
+        one.feed_source(src, vec![tdata([1u32]), tbar(1), tdata([2u32]), tbar(1)])
+            .unwrap();
+        one.run_untimed(1_000).unwrap();
+
+        // Chunked: feed one argset, run, feed the next, run again.
+        let (mut g, src, handle) = streaming_pipeline();
+        let mut resume = ResumeState::new();
+        let (_, s) = g.run_untimed_resumable(&mut resume, 1_000).unwrap();
+        assert_eq!(s, RunStatus::Finished, "empty stream drains cleanly");
+        g.feed_source(src, vec![tdata([1u32]), tbar(1)]).unwrap();
+        let (r1, s) = g.run_untimed_resumable(&mut resume, 1_000).unwrap();
+        assert_eq!(s, RunStatus::Finished);
+        assert_eq!(handle.tokens(), vec![tdata([2u32]), tbar(1)]);
+        g.feed_source(src, vec![tdata([2u32]), tbar(1)]).unwrap();
+        let (r2, s) = g.run_untimed_resumable(&mut resume, 1_000).unwrap();
+        assert_eq!(s, RunStatus::Finished);
+        assert_eq!(handle.tokens(), oh.tokens(), "chunked ≡ one-shot sink");
+        // The second poll's delta is readable through the cursor view.
+        assert_eq!(handle.tokens_from(2), vec![tdata([4u32]), tbar(1)]);
+        assert!(handle.tokens_from(99).is_empty());
+        let mut merged = r1;
+        merged.merge(&r2);
+        assert_eq!(merged.steps, r1.steps + r2.steps);
+    }
+
+    #[test]
+    fn resumable_run_pauses_on_stuck_tokens_instead_of_deadlocking() {
+        // A zip starved on one input: one-shot reports deadlock; the
+        // resumable run pauses, and feeding the missing side finishes it.
+        let mut g = Graph::new();
+        let c0 = g.add_chan(Channel::new(1));
+        let c1 = g.add_chan(Channel::new(1));
+        let c2 = g.add_chan(Channel::new(2));
+        g.add_node(
+            "src.a",
+            Box::new(SourceNode::new(vec![tdata([1u32])])),
+            vec![],
+            vec![c0],
+        );
+        let src_b = g.add_node(
+            "src.b",
+            Box::new(SourceNode::new(Vec::new())),
+            vec![],
+            vec![c1],
+        );
+        g.add_node(
+            "zip",
+            Box::new(EwNode::passthrough(2)),
+            vec![c0, c1],
+            vec![c2],
+        );
+        let (sink, handle) = SinkNode::new();
+        g.add_node("sink", Box::new(sink), vec![c2], vec![]);
+        let mut resume = ResumeState::new();
+        let (_, s) = g.run_untimed_resumable(&mut resume, 1_000).unwrap();
+        assert_eq!(s, RunStatus::Paused, "stuck token pauses, not deadlocks");
+        assert!(g.resident_bytes() > 0, "paused state holds resident tokens");
+        g.feed_source(src_b, vec![tdata([2u32])]).unwrap();
+        let (_, s) = g.run_untimed_resumable(&mut resume, 1_000).unwrap();
+        assert_eq!(s, RunStatus::Finished);
+        assert_eq!(handle.tokens(), vec![tdata([1u32, 2u32])]);
+    }
+
+    #[test]
+    fn resumable_planned_chunked_feed_matches_one_shot() {
+        let (mut one, src, oh) = streaming_pipeline();
+        one.feed_source(src, vec![tdata([3u32]), tbar(1), tdata([5u32]), tbar(1)])
+            .unwrap();
+        let plan = crate::ExecPlan::build(&one);
+        one.run_untimed_planned(&plan, 1_000).unwrap();
+
+        let (mut g, src, handle) = streaming_pipeline();
+        let plan = crate::ExecPlan::build(&g);
+        let mut resume = ResumeState::new();
+        g.feed_source(src, vec![tdata([3u32]), tbar(1)]).unwrap();
+        let (r1, s) = g
+            .run_untimed_planned_resumable(&plan, &mut resume, 1_000)
+            .unwrap();
+        assert_eq!(s, RunStatus::Finished);
+        assert_eq!(handle.tokens(), vec![tdata([6u32]), tbar(1)]);
+        g.feed_source(src, vec![tdata([5u32]), tbar(1)]).unwrap();
+        let (r2, s) = g
+            .run_untimed_planned_resumable(&plan, &mut resume, 1_000)
+            .unwrap();
+        assert_eq!(s, RunStatus::Finished);
+        assert_eq!(handle.tokens(), oh.tokens(), "chunked ≡ one-shot (planned)");
+        assert!(r1.steps > 0 && r2.steps > 0);
+    }
+
+    #[test]
+    fn feed_source_rejects_non_source_nodes() {
+        let mut g = Graph::new();
+        let c0 = g.add_chan(Channel::new(1));
+        let (sink, _h) = SinkNode::new();
+        let id = g.add_node("sink", Box::new(sink), vec![c0], vec![]);
+        let err = g.feed_source(id, vec![tdata([1u32])]).unwrap_err();
+        assert!(err.message.contains("cannot feed"), "got: {err}");
+        assert_eq!(err.node.as_deref(), Some("sink"));
+    }
+
+    #[test]
+    fn resident_bytes_tracks_queued_and_pending_tokens() {
+        let (mut g, src, _handle) = streaming_pipeline();
+        assert_eq!(g.resident_bytes(), 0, "empty stream holds nothing");
+        g.feed_source(src, vec![tdata([7u32]), tbar(1)]).unwrap();
+        let pending = g.resident_bytes();
+        assert!(pending > 0, "fed tokens are resident in the source");
+        let mut resume = ResumeState::new();
+        g.run_untimed_resumable(&mut resume, 1_000).unwrap();
+        // Tokens moved to the sink buffer; still resident in the session.
+        assert!(g.resident_bytes() > 0);
     }
 }

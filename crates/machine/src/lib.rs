@@ -77,7 +77,7 @@ mod ring;
 mod tuple;
 
 pub use channel::{Channel, LinkClass};
-pub use graph::{ExecReport, Graph, NodeSlot, TopologyIndex, UnitClass};
+pub use graph::{ExecReport, Graph, NodeSlot, ResumeState, RunStatus, TopologyIndex, UnitClass};
 pub use mem::{AllocId, AllocQueue, MemoryState, SramId, SramRegion};
 pub use node::{ChanId, FusedSpec, IoEvents, MachineError, Node, NodeId, NodeIo, PortBudget};
 pub use plan::{ExecPlan, PlanStats};

@@ -1,6 +1,6 @@
 //! Graph endpoints: sources inject prepared streams, sinks collect results.
 
-use crate::node::{FusedSpec, MachineError, Node, NodeIo};
+use crate::node::{token_bytes, FusedSpec, MachineError, Node, NodeIo};
 use crate::tuple::TTok;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -15,6 +15,14 @@ impl SinkHandle {
         self.0.lock().unwrap().clone()
     }
 
+    /// Snapshot of the tokens collected from position `start` onward —
+    /// streaming polls read only the delta since their last cursor.
+    /// `start` past the end yields an empty vector.
+    pub fn tokens_from(&self, start: usize) -> Vec<TTok> {
+        let buf = self.0.lock().unwrap();
+        buf.get(start..).map(<[TTok]>::to_vec).unwrap_or_default()
+    }
+
     /// Number of collected tokens.
     pub fn len(&self) -> usize {
         self.0.lock().unwrap().len()
@@ -23,6 +31,11 @@ impl SinkHandle {
     /// True if nothing was collected.
     pub fn is_empty(&self) -> bool {
         self.0.lock().unwrap().is_empty()
+    }
+
+    /// Approximate resident heap bytes of the collected tokens.
+    pub fn resident_bytes(&self) -> usize {
+        self.0.lock().unwrap().iter().map(token_bytes).sum()
     }
 
     /// Appends every token `iter` yields under a single lock — the plan
@@ -69,6 +82,22 @@ impl Node for SourceNode {
         Box::new(SourceNode {
             pending: self.pending.clone(),
         })
+    }
+
+    /// Sources accept appended input: streaming sessions extend the
+    /// pending queue while the graph is paused, and the resumable
+    /// executors re-wake the source on the next run.
+    fn feed_tokens(&mut self, tokens: Vec<TTok>) -> Result<(), MachineError> {
+        self.pending.extend(tokens);
+        Ok(())
+    }
+
+    fn pending_input_tokens(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.pending.iter().map(token_bytes).sum()
     }
 }
 
@@ -123,6 +152,10 @@ impl Node for SinkNode {
     /// the handle (the plan captures the handle at run start).
     fn fused_spec(&self) -> Option<FusedSpec> {
         Some(FusedSpec::Sink)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.out.resident_bytes()
     }
 }
 

@@ -33,7 +33,7 @@
 //! bit-identical to the interpreted executors; the `scheduler_equiv`
 //! property suite and the eight-app benchmark assert it.
 
-use crate::graph::{ExecReport, Graph};
+use crate::graph::{ExecReport, Graph, ResumeState, RunStatus};
 use crate::instr::{exec_instrs, EwInstr, Reg};
 use crate::node::{ChanId, FusedSpec, IoEvents, MachineError, NodeId, PortBudget};
 use crate::nodes::{OutputSpec, SinkHandle};
@@ -435,6 +435,40 @@ impl ExecPlan {
         max_rounds: u64,
         obs: &ObsSink,
     ) -> Result<ExecReport, MachineError> {
+        let mut resume = ResumeState::new();
+        let (report, _) = self.run_core(g, &mut resume, false, max_rounds, obs)?;
+        Ok(report)
+    }
+
+    /// [`ExecPlan::run_obs`] in suspend-at-quiescence mode: leftover
+    /// tokens yield [`RunStatus::Paused`] (channel rings and node state
+    /// stay live for the next feed) instead of a deadlock error. The same
+    /// [`ResumeState`] must drive every run of one streaming session; a
+    /// fresh state makes the first run seed every node exactly like
+    /// [`ExecPlan::run_obs`].
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatch, node protocol errors, or the round cap. Leftover
+    /// tokens are the `Paused` status, not an error.
+    pub fn run_resumable_obs(
+        &self,
+        g: &mut Graph,
+        resume: &mut ResumeState,
+        max_rounds: u64,
+        obs: &ObsSink,
+    ) -> Result<(ExecReport, RunStatus), MachineError> {
+        self.run_core(g, resume, true, max_rounds, obs)
+    }
+
+    fn run_core(
+        &self,
+        g: &mut Graph,
+        resume: &mut ResumeState,
+        suspend_at_quiescence: bool,
+        max_rounds: u64,
+        obs: &ObsSink,
+    ) -> Result<(ExecReport, RunStatus), MachineError> {
         if g.node_count() != self.node_count || g.chan_count() != self.chan_count {
             return Err(MachineError::new(format!(
                 "execution plan shape mismatch: plan for {} nodes/{} chans, graph has {}/{}",
@@ -468,9 +502,36 @@ impl ExecPlan {
         let mut events = IoEvents::default();
         let mut report = ExecReport::default();
 
+        // First run seeds every node (the one-shot behavior); a resumed
+        // run re-seeds only what can make progress: consumers of non-empty
+        // channels, allocator waiters, and nodes with internal pending
+        // input (fed sources) — mirroring the interpreter's rule, mapped
+        // through `wake_target` so segment members cost one bit.
         let mut ws = WakeSet::new(n);
-        for i in 0..n as u32 {
-            ws.seed(self.wake_target[i as usize]);
+        if !resume.take_started() {
+            for i in 0..n as u32 {
+                ws.seed(self.wake_target[i as usize]);
+            }
+        } else {
+            for ci in 0..self.chan_count {
+                if !g.chans()[ci].is_empty() {
+                    for &c in self.consumers_of(ChanId(ci as u32)) {
+                        ws.seed(self.wake_target[c as usize]);
+                    }
+                }
+            }
+            for &w in &self.alloc_waiters {
+                ws.seed(self.wake_target[w as usize]);
+            }
+            for (i, slot) in g.nodes().iter().enumerate() {
+                if slot
+                    .behavior
+                    .as_ref()
+                    .is_some_and(|b| b.pending_input_tokens() > 0)
+                {
+                    ws.seed(self.wake_target[i]);
+                }
+            }
         }
 
         loop {
@@ -539,14 +600,18 @@ impl ExecPlan {
         }
 
         // Quiescent: every channel with a consumer should be drained.
+        // Under suspension leftover tokens are a pause, not a deadlock.
         let stuck = self.stuck_channels_report(g);
-        if !stuck.is_empty() {
-            return Err(MachineError::new(format!(
-                "deadlock at quiescence: {}",
-                stuck.join("; ")
-            )));
+        if stuck.is_empty() {
+            return Ok((report, RunStatus::Finished));
         }
-        Ok(report)
+        if suspend_at_quiescence {
+            return Ok((report, RunStatus::Paused));
+        }
+        Err(MachineError::new(format!(
+            "deadlock at quiescence: {}",
+            stuck.join("; ")
+        )))
     }
 
     /// Fallback firing: identical to the interpreter's inner loop — budget

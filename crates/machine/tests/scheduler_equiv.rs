@@ -22,7 +22,10 @@
 use proptest::prelude::*;
 use revet_machine::instr::{AluOp, EwInstr, Operand};
 use revet_machine::nodes::{EwNode, OutputSpec, SinkHandle, SinkNode, SourceNode};
-use revet_machine::{tbar, tdata, Channel, ExecPlan, ExecReport, Graph, MemoryState, TTok};
+use revet_machine::{
+    tbar, tdata, Channel, ExecPlan, ExecReport, Graph, MemoryState, NodeId, ResumeState, RunStatus,
+    TTok,
+};
 
 /// One construction move, decoded from a raw u32.
 #[derive(Clone, Copy, Debug)]
@@ -46,12 +49,9 @@ fn decode(raw: u32) -> Move {
 /// Bytes reserved per writer node (16 word slots).
 const WINDOW: usize = 64;
 
-/// Builds the graph described by (`values`, `moves`); every node whose
-/// index is divisible by 3 also writes its stream into a private DRAM
-/// window. Returns the sink handles (one per remaining open channel).
-fn build(values: &[u32], moves: &[u32]) -> (Graph, Vec<SinkHandle>) {
-    let mut g = Graph::new();
-    let mut writer_count = 0u32;
+/// The source stream for a value list: data tokens with ragged mid-stream
+/// barriers, closed by one Ω1.
+fn source_tokens(values: &[u32]) -> Vec<TTok> {
     let mut toks: Vec<TTok> = Vec::new();
     for (i, &v) in values.iter().enumerate() {
         toks.push(tdata([v]));
@@ -62,8 +62,18 @@ fn build(values: &[u32], moves: &[u32]) -> (Graph, Vec<SinkHandle>) {
             toks.push(tbar(1));
         }
     }
+    toks
+}
+
+/// Builds the graph described by (`toks`, `moves`); every node whose
+/// index is divisible by 3 also writes its stream into a private DRAM
+/// window. Returns the source node id (streaming tests feed it
+/// incrementally) and the sink handles (one per remaining open channel).
+fn build(toks: Vec<TTok>, moves: &[u32]) -> (Graph, NodeId, Vec<SinkHandle>) {
+    let mut g = Graph::new();
+    let mut writer_count = 0u32;
     let first = g.add_chan(Channel::new(1));
-    g.add_node("src", Box::new(SourceNode::new(toks)), vec![], vec![first]);
+    let src_id = g.add_node("src", Box::new(SourceNode::new(toks)), vec![], vec![first]);
     let mut open = vec![first];
 
     // Instructions shared by every generated node: an optional DRAM tap
@@ -176,7 +186,7 @@ fn build(values: &[u32], moves: &[u32]) -> (Graph, Vec<SinkHandle>) {
         handles.push(h);
     }
     g.mem = MemoryState::with_dram_size(WINDOW * (writer_count as usize + 1));
-    (g, handles)
+    (g, src_id, handles)
 }
 
 fn snapshot(handles: &[SinkHandle]) -> Vec<Vec<TTok>> {
@@ -198,11 +208,11 @@ proptest! {
         values in prop::collection::vec(0u32..100, 0..14),
         moves in prop::collection::vec(0u32..3_000_000, 0..18),
     ) {
-        let (mut dense_g, dense_h) = build(&values, &moves);
+        let (mut dense_g, _, dense_h) = build(source_tokens(&values), &moves);
         let dense: ExecReport = dense_g.run_untimed_dense(100_000).unwrap();
-        let (mut ready_g, ready_h) = build(&values, &moves);
+        let (mut ready_g, _, ready_h) = build(source_tokens(&values), &moves);
         let ready: ExecReport = ready_g.run_untimed(100_000).unwrap();
-        let (mut plan_g, plan_h) = build(&values, &moves);
+        let (mut plan_g, _, plan_h) = build(source_tokens(&values), &moves);
         let plan = ExecPlan::build(&plan_g);
         plan_g.run_untimed_planned(&plan, 100_000).unwrap();
 
@@ -223,5 +233,56 @@ proptest! {
             ready.steps <= dense.steps,
             "ready set did more work ({} > {})", ready.steps, dense.steps
         );
+    }
+
+    /// Streaming bit-identity on random DAGs: feeding the source stream in
+    /// K chunks at arbitrary token boundaries — with a resumable run after
+    /// each chunk — yields exactly the one-shot sink streams and memory
+    /// state, on both the interpreted and the planned executor. Chunking
+    /// only perturbs the schedule, and Kahn semantics make the result
+    /// schedule-independent; intermediate polls may legitimately pause
+    /// with in-flight tokens, but the final poll must drain clean.
+    #[test]
+    fn chunked_feed_matches_one_shot(
+        values in prop::collection::vec(0u32..100, 0..14),
+        moves in prop::collection::vec(0u32..3_000_000, 0..18),
+        cuts in prop::collection::vec(0usize..64, 0..5),
+    ) {
+        let toks = source_tokens(&values);
+        let (mut one_g, _, one_h) = build(toks.clone(), &moves);
+        one_g.run_untimed(100_000).unwrap();
+
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (toks.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(toks.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        // Interpreted executor, chunked.
+        let (mut ig, src, ih) = build(Vec::new(), &moves);
+        let mut resume = ResumeState::new();
+        let mut last = RunStatus::Finished;
+        for w in bounds.windows(2) {
+            ig.feed_source(src, toks[w[0]..w[1]].to_vec()).unwrap();
+            (_, last) = ig.run_untimed_resumable(&mut resume, 100_000).unwrap();
+        }
+        prop_assert_eq!(last, RunStatus::Finished, "interpreted final drain");
+        prop_assert_eq!(snapshot(&one_h), snapshot(&ih));
+        prop_assert_eq!(&one_g.mem, &ig.mem);
+
+        // Planned executor, chunked (plan built once, before any input).
+        let (mut pg, src, ph) = build(Vec::new(), &moves);
+        let plan = ExecPlan::build(&pg);
+        let mut resume = ResumeState::new();
+        let mut last = RunStatus::Finished;
+        for w in bounds.windows(2) {
+            pg.feed_source(src, toks[w[0]..w[1]].to_vec()).unwrap();
+            (_, last) = pg
+                .run_untimed_planned_resumable(&plan, &mut resume, 100_000)
+                .unwrap();
+        }
+        prop_assert_eq!(last, RunStatus::Finished, "planned final drain");
+        prop_assert_eq!(snapshot(&one_h), snapshot(&ph));
+        prop_assert_eq!(&one_g.mem, &pg.mem);
     }
 }

@@ -5,9 +5,9 @@
 //! that is exactly what the `load_gen` harness does.
 
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, ErrorCode, ErrorFrame, ExecuteReply,
-    ExecuteRequest, FrameError, MetricsInfo, Request, Response, StatusInfo, WireDiagnostic,
-    WireError,
+    decode_response, encode_request, read_frame, write_frame, CloseReply, ErrorCode, ErrorFrame,
+    ExecuteReply, ExecuteRequest, FrameError, MetricsInfo, OpenStreamRequest, PollReply, Request,
+    Response, StatusInfo, WireDiagnostic, WireError,
 };
 use revet_core::{PassOptions, ProgramId};
 use std::fmt;
@@ -188,6 +188,64 @@ impl ServeClient {
         match self.round_trip(&Request::Shutdown)? {
             Response::ShutdownAck => Ok(()),
             _ => Err(ClientError::Unexpected("wanted ShutdownAck")),
+        }
+    }
+
+    /// Opens a streaming session of a cached program: a resident instance
+    /// the server keeps between [`ServeClient::feed`] calls. Returns the
+    /// session id for subsequent streaming calls.
+    ///
+    /// # Errors
+    ///
+    /// Typed server errors (`UnknownProgram`, `Busy`, `BadRequest`, …),
+    /// transport, or wire failures.
+    pub fn open_stream(&mut self, req: OpenStreamRequest) -> Result<u64, ClientError> {
+        match self.round_trip(&Request::OpenStream(req))? {
+            Response::StreamOpened { session } => Ok(session),
+            _ => Err(ClientError::Unexpected("wanted StreamOpened")),
+        }
+    }
+
+    /// Appends `main` argument sets to an open session; returns how many
+    /// the session accepted (poll and resend the rest if fewer).
+    ///
+    /// # Errors
+    ///
+    /// Typed server errors (`UnknownSession`, `SessionExpired`, …),
+    /// transport, or wire failures.
+    pub fn feed(&mut self, session: u64, argsets: Vec<Vec<u32>>) -> Result<u64, ClientError> {
+        match self.round_trip(&Request::Feed { session, argsets })? {
+            Response::Fed { accepted } => Ok(accepted),
+            _ => Err(ClientError::Unexpected("wanted Fed")),
+        }
+    }
+
+    /// Runs an open session to quiescence; the reply carries the sink
+    /// tokens produced since the previous poll.
+    ///
+    /// # Errors
+    ///
+    /// Typed server errors (`UnknownSession`, `SessionExpired`, …),
+    /// transport, or wire failures.
+    pub fn poll(&mut self, session: u64) -> Result<PollReply, ClientError> {
+        match self.round_trip(&Request::Poll { session })? {
+            Response::Polled(reply) => Ok(reply),
+            _ => Err(ClientError::Unexpected("wanted Polled")),
+        }
+    }
+
+    /// Closes a session: final drain, merged execution report, and the
+    /// DRAM window requested at open.
+    ///
+    /// # Errors
+    ///
+    /// Typed server errors (`UnknownSession`, `SessionExpired`, and
+    /// `BadRequest` carrying the deadlock diagnosis when the session
+    /// holds unconsumed input), transport, or wire failures.
+    pub fn close_stream(&mut self, session: u64) -> Result<CloseReply, ClientError> {
+        match self.round_trip(&Request::CloseStream { session })? {
+            Response::StreamClosed(reply) => Ok(reply),
+            _ => Err(ClientError::Unexpected("wanted StreamClosed")),
         }
     }
 

@@ -7,15 +7,18 @@
 //! that serving layer, std-only, over `std::net::TcpListener`:
 //!
 //! - [`protocol`] — a versioned, length-prefixed binary wire protocol
-//!   (`Compile` / `Execute` / `Status` / `Metrics` / `Shutdown`), every
-//!   failure a typed error frame;
+//!   (`Compile` / `Execute` / `Status` / `Metrics` / `Shutdown`, plus the
+//!   streaming `OpenStream` / `Feed` / `Poll` / `CloseStream` session
+//!   frames), every failure a typed error frame;
 //! - [`ProgramCache`] — content-addressed by
 //!   [`revet_core::ProgramId`] (hash of source + pass options), with
 //!   single-flight compilation dedup, LRU eviction, and hit/miss/eviction
 //!   counters;
 //! - [`Server`] — an admission queue with backpressure sharding accepted
-//!   execute jobs across a `revet-runtime` batch pool, plus graceful
-//!   shutdown that drains in-flight work;
+//!   execute jobs across a `revet-runtime` batch pool, a bounded session
+//!   table keeping streaming instances resident between feeds (with an
+//!   idle sweeper evicting stale ones), plus graceful shutdown that
+//!   drains in-flight work and resident sessions;
 //! - [`ServeClient`] — a blocking client (used by the `load_gen`
 //!   harness in `revet-bench` and by the integration tests).
 //!
@@ -64,6 +67,7 @@ mod cache;
 mod client;
 pub mod protocol;
 mod server;
+mod session;
 
 pub use cache::{CacheStats, ProgramCache};
 pub use client::{ClientError, CompileOutcome, ServeClient};

@@ -30,9 +30,13 @@ use std::io::{self, Read, Write};
 /// message (the `CompileFailed` payload). v3: [`PassOptions`] gained
 /// `opt_level`, encoded as one byte after the toggle flags. v4: the
 /// [`Request::Metrics`] / [`Response::Metrics`] observability frames, and
-/// [`WireReport`] gained `peak_ready`. Older peers get a clean
-/// [`ErrorCode::UnsupportedVersion`] instead of a garbled decode.
-pub const WIRE_VERSION: u8 = 4;
+/// [`WireReport`] gained `peak_ready`. v5: the streaming-session frames
+/// (`OpenStream` / `Feed` / `Poll` / `CloseStream` and their replies),
+/// the [`ErrorCode::UnknownSession`] / [`ErrorCode::SessionExpired`]
+/// codes, and the session counters appended to [`StatusInfo`]. Older
+/// peers get a clean [`ErrorCode::UnsupportedVersion`] instead of a
+/// garbled decode.
+pub const WIRE_VERSION: u8 = 5;
 
 /// Upper bound on a frame body. Large enough for a full 4 MiB DRAM
 /// window per instance on a modest batch; small enough that a corrupt
@@ -45,11 +49,19 @@ const KIND_EXECUTE: u8 = 0x02;
 const KIND_STATUS: u8 = 0x03;
 const KIND_SHUTDOWN: u8 = 0x04;
 const KIND_METRICS: u8 = 0x05;
+const KIND_OPEN_STREAM: u8 = 0x06;
+const KIND_FEED: u8 = 0x07;
+const KIND_POLL: u8 = 0x08;
+const KIND_CLOSE_STREAM: u8 = 0x09;
 const KIND_COMPILED: u8 = 0x81;
 const KIND_EXECUTED: u8 = 0x82;
 const KIND_STATUS_INFO: u8 = 0x83;
 const KIND_SHUTDOWN_ACK: u8 = 0x84;
 const KIND_METRICS_INFO: u8 = 0x85;
+const KIND_STREAM_OPENED: u8 = 0x86;
+const KIND_FED: u8 = 0x87;
+const KIND_POLLED: u8 = 0x88;
+const KIND_STREAM_CLOSED: u8 = 0x89;
 const KIND_ERROR: u8 = 0xFF;
 
 /// What went wrong while decoding a frame body.
@@ -133,6 +145,27 @@ pub enum Request {
     Metrics,
     /// Begin graceful shutdown: drain in-flight work, then stop.
     Shutdown,
+    /// Open a streaming session: a resident instance of a cached program
+    /// that [`Request::Feed`] appends input to incrementally.
+    OpenStream(OpenStreamRequest),
+    /// Append argument sets to an open streaming session.
+    Feed {
+        /// The session id [`Response::StreamOpened`] returned.
+        session: u64,
+        /// Whole `main` argument sets to append.
+        argsets: Vec<Vec<u32>>,
+    },
+    /// Run an open session to quiescence and collect new sink output.
+    Poll {
+        /// The session id [`Response::StreamOpened`] returned.
+        session: u64,
+    },
+    /// Close a streaming session, returning its final DRAM window and the
+    /// execution report merged across every poll.
+    CloseStream {
+        /// The session id [`Response::StreamOpened`] returned.
+        session: u64,
+    },
 }
 
 /// Payload of [`Request::Execute`].
@@ -148,6 +181,51 @@ pub struct ExecuteRequest {
     /// `(offset, len)` of the DRAM window to return per instance — the
     /// program's output region. Zero-length returns no bytes.
     pub window: (u64, u64),
+}
+
+/// Payload of [`Request::OpenStream`]: like an [`ExecuteRequest`] but
+/// with no up-front argument sets — input arrives later via
+/// [`Request::Feed`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpenStreamRequest {
+    /// Which cached program to keep resident.
+    pub program_id: ProgramId,
+    /// DRAM overlays `(byte offset, bytes)` applied once, at open.
+    pub dram_inits: Vec<(u64, Vec<u8>)>,
+    /// `(offset, len)` of the DRAM window [`Response::StreamClosed`]
+    /// returns. Zero-length returns no bytes.
+    pub window: (u64, u64),
+}
+
+/// One sink token on the wire: the session's incremental output stream
+/// ([`Response::Polled`] / [`Response::StreamClosed`] carry these).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireTok {
+    /// A data tuple of 32-bit words.
+    Data(Vec<u32>),
+    /// A barrier token Ωn (level in `1..=15`).
+    Barrier(u8),
+}
+
+impl WireTok {
+    /// Flattens a machine token for the wire.
+    pub fn from_ttok(t: &revet_machine::TTok) -> WireTok {
+        match t {
+            revet_sltf::Tok::Data(tuple) => WireTok::Data(tuple.iter().map(|w| w.0).collect()),
+            revet_sltf::Tok::Barrier(l) => WireTok::Barrier(l.get()),
+        }
+    }
+
+    /// Rebuilds the machine token. `None` when the barrier level is out
+    /// of the SLTF `1..=15` range (decode already rejects such frames).
+    pub fn to_ttok(&self) -> Option<revet_machine::TTok> {
+        Some(match self {
+            WireTok::Data(words) => {
+                revet_sltf::Tok::Data(words.iter().map(|&w| revet_sltf::Word(w)).collect())
+            }
+            WireTok::Barrier(l) => revet_sltf::Tok::Barrier(revet_sltf::BarrierLevel::new(*l)?),
+        })
+    }
 }
 
 /// A response frame, server → client.
@@ -170,8 +248,48 @@ pub enum Response {
     Metrics(MetricsInfo),
     /// Reply to [`Request::Shutdown`]: the drain has begun.
     ShutdownAck,
+    /// Reply to [`Request::OpenStream`].
+    StreamOpened {
+        /// Server-assigned session id for subsequent `Feed`/`Poll`/
+        /// `CloseStream` frames.
+        session: u64,
+    },
+    /// Reply to [`Request::Feed`].
+    Fed {
+        /// How many argument sets the session accepted (a bounded entry
+        /// channel may accept fewer than sent — poll, then resend the
+        /// remainder).
+        accepted: u64,
+    },
+    /// Reply to [`Request::Poll`].
+    Polled(PollReply),
+    /// Reply to [`Request::CloseStream`].
+    StreamClosed(CloseReply),
     /// Typed failure (any request may produce one).
     Error(ErrorFrame),
+}
+
+/// Payload of [`Response::Polled`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PollReply {
+    /// Sink tokens produced since the previous poll.
+    pub tokens: Vec<WireTok>,
+    /// True when the graph drained cleanly (nothing in flight); false
+    /// when tokens are parked awaiting further input.
+    pub finished: bool,
+    /// The session's resident footprint after the poll, bytes.
+    pub resident_bytes: u64,
+}
+
+/// Payload of [`Response::StreamClosed`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CloseReply {
+    /// Execution counters merged across every poll of the session.
+    pub merged: WireReport,
+    /// Sink tokens produced by the final drain (after the last poll).
+    pub tokens: Vec<WireTok>,
+    /// The DRAM window requested at open, from the final memory image.
+    pub dram: Vec<u8>,
 }
 
 /// Scheduler counters mirrored over the wire (a flattened
@@ -236,6 +354,12 @@ pub struct StatusInfo {
     pub executed_instances: u64,
     /// Instances that failed since boot.
     pub failed_instances: u64,
+    /// Streaming sessions currently resident.
+    pub open_sessions: u64,
+    /// Streaming sessions evicted by the idle sweeper since boot.
+    pub evicted_sessions: u64,
+    /// Total resident footprint of open streaming sessions, bytes.
+    pub session_resident_bytes: u64,
     /// True once graceful shutdown has begun.
     pub draining: bool,
 }
@@ -283,6 +407,12 @@ pub enum ErrorCode {
     BadRequest = 7,
     /// The server is draining and accepts no new work.
     ShuttingDown = 8,
+    /// The frame named a session id this server has never issued, or one
+    /// the client already closed.
+    UnknownSession = 9,
+    /// The session existed but the idle sweeper evicted it — reopen and
+    /// refeed.
+    SessionExpired = 10,
 }
 
 impl ErrorCode {
@@ -296,6 +426,8 @@ impl ErrorCode {
             6 => ErrorCode::Busy,
             7 => ErrorCode::BadRequest,
             8 => ErrorCode::ShuttingDown,
+            9 => ErrorCode::UnknownSession,
+            10 => ErrorCode::SessionExpired,
             _ => return None,
         })
     }
@@ -463,6 +595,36 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Status => w.kind(KIND_STATUS),
         Request::Metrics => w.kind(KIND_METRICS),
         Request::Shutdown => w.kind(KIND_SHUTDOWN),
+        Request::OpenStream(o) => {
+            w.kind(KIND_OPEN_STREAM);
+            w.bytes16(&o.program_id.0);
+            w.u32(o.dram_inits.len() as u32);
+            for (off, bytes) in &o.dram_inits {
+                w.u64(*off);
+                w.blob(bytes);
+            }
+            w.u64(o.window.0);
+            w.u64(o.window.1);
+        }
+        Request::Feed { session, argsets } => {
+            w.kind(KIND_FEED);
+            w.u64(*session);
+            w.u32(argsets.len() as u32);
+            for args in argsets {
+                w.u32(args.len() as u32);
+                for &a in args {
+                    w.u32(a);
+                }
+            }
+        }
+        Request::Poll { session } => {
+            w.kind(KIND_POLL);
+            w.u64(*session);
+        }
+        Request::CloseStream { session } => {
+            w.kind(KIND_CLOSE_STREAM);
+            w.u64(*session);
+        }
     }
     w.buf
 }
@@ -511,6 +673,37 @@ pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
         KIND_STATUS => Request::Status,
         KIND_METRICS => Request::Metrics,
         KIND_SHUTDOWN => Request::Shutdown,
+        KIND_OPEN_STREAM => {
+            let program_id = ProgramId(r.bytes16()?);
+            let n = r.count(12)?;
+            let mut dram_inits = Vec::with_capacity(n);
+            for _ in 0..n {
+                let off = r.u64()?;
+                dram_inits.push((off, r.blob()?));
+            }
+            let window = (r.u64()?, r.u64()?);
+            Request::OpenStream(OpenStreamRequest {
+                program_id,
+                dram_inits,
+                window,
+            })
+        }
+        KIND_FEED => {
+            let session = r.u64()?;
+            let n = r.count(4)?;
+            let mut argsets = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = r.count(4)?;
+                let mut args = Vec::with_capacity(k);
+                for _ in 0..k {
+                    args.push(r.u32()?);
+                }
+                argsets.push(args);
+            }
+            Request::Feed { session, argsets }
+        }
+        KIND_POLL => Request::Poll { session: r.u64()? },
+        KIND_CLOSE_STREAM => Request::CloseStream { session: r.u64()? },
         k => return Err(WireError::UnknownKind(k)),
     };
     r.finish()?;
@@ -566,6 +759,29 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.status(&m.status);
         }
         Response::ShutdownAck => w.kind(KIND_SHUTDOWN_ACK),
+        Response::StreamOpened { session } => {
+            w.kind(KIND_STREAM_OPENED);
+            w.u64(*session);
+        }
+        Response::Fed { accepted } => {
+            w.kind(KIND_FED);
+            w.u64(*accepted);
+        }
+        Response::Polled(p) => {
+            w.kind(KIND_POLLED);
+            w.toks(&p.tokens);
+            w.u8(p.finished as u8);
+            w.u64(p.resident_bytes);
+        }
+        Response::StreamClosed(c) => {
+            w.kind(KIND_STREAM_CLOSED);
+            w.u64(c.merged.rounds);
+            w.u64(c.merged.productive_steps);
+            w.u64(c.merged.steps);
+            w.u64(c.merged.peak_ready);
+            w.toks(&c.tokens);
+            w.blob(&c.dram);
+        }
         Response::Error(e) => {
             w.kind(KIND_ERROR);
             w.u16(e.code as u16);
@@ -639,6 +855,30 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
             })
         }
         KIND_SHUTDOWN_ACK => Response::ShutdownAck,
+        KIND_STREAM_OPENED => Response::StreamOpened { session: r.u64()? },
+        KIND_FED => Response::Fed { accepted: r.u64()? },
+        KIND_POLLED => {
+            let tokens = r.toks()?;
+            Response::Polled(PollReply {
+                tokens,
+                finished: r.bool()?,
+                resident_bytes: r.u64()?,
+            })
+        }
+        KIND_STREAM_CLOSED => {
+            let merged = WireReport {
+                rounds: r.u64()?,
+                productive_steps: r.u64()?,
+                steps: r.u64()?,
+                peak_ready: r.u64()?,
+            };
+            let tokens = r.toks()?;
+            Response::StreamClosed(CloseReply {
+                merged,
+                tokens,
+                dram: r.blob()?,
+            })
+        }
         KIND_ERROR => {
             let code = r.u16()?;
             let code = ErrorCode::from_u16(code).ok_or(WireError::BadField("error code"))?;
@@ -722,10 +962,31 @@ impl W {
             s.inflight_jobs,
             s.executed_instances,
             s.failed_instances,
+            s.open_sessions,
+            s.evicted_sessions,
+            s.session_resident_bytes,
         ] {
             self.u64(v);
         }
         self.u8(s.draining as u8);
+    }
+    fn toks(&mut self, toks: &[WireTok]) {
+        self.u32(toks.len() as u32);
+        for t in toks {
+            match t {
+                WireTok::Data(words) => {
+                    self.u8(0);
+                    self.u32(words.len() as u32);
+                    for &w in words {
+                        self.u32(w);
+                    }
+                }
+                WireTok::Barrier(l) => {
+                    self.u8(1);
+                    self.u8(*l);
+                }
+            }
+        }
     }
     fn options(&mut self, o: &PassOptions) {
         let flags = (o.if_to_select as u8)
@@ -834,8 +1095,39 @@ impl<'a> R<'a> {
             inflight_jobs: self.u64()?,
             executed_instances: self.u64()?,
             failed_instances: self.u64()?,
+            open_sessions: self.u64()?,
+            evicted_sessions: self.u64()?,
+            session_resident_bytes: self.u64()?,
             draining: self.bool()?,
         })
+    }
+
+    /// A token list: each element is a tag byte plus, for data, a u32
+    /// word count (so an element occupies ≥ 2 wire bytes).
+    fn toks(&mut self) -> Result<Vec<WireTok>, WireError> {
+        let n = self.count(2)?;
+        let mut toks = Vec::with_capacity(n);
+        for _ in 0..n {
+            toks.push(match self.u8()? {
+                0 => {
+                    let k = self.count(4)?;
+                    let mut words = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        words.push(self.u32()?);
+                    }
+                    WireTok::Data(words)
+                }
+                1 => {
+                    let l = self.u8()?;
+                    if l == 0 || l > 15 {
+                        return Err(WireError::BadField("barrier level"));
+                    }
+                    WireTok::Barrier(l)
+                }
+                _ => return Err(WireError::BadField("token tag")),
+            });
+        }
+        Ok(toks)
     }
 
     fn options(&mut self) -> Result<PassOptions, WireError> {
@@ -892,6 +1184,17 @@ mod tests {
                 dram_inits: vec![(0, vec![1, 2, 3]), (64, vec![])],
                 window: (128, 16),
             }),
+            Request::OpenStream(OpenStreamRequest {
+                program_id: ProgramId([9; 16]),
+                dram_inits: vec![(8, vec![0xAB])],
+                window: (0, 64),
+            }),
+            Request::Feed {
+                session: 3,
+                argsets: vec![vec![4, 5], vec![6]],
+            },
+            Request::Poll { session: 3 },
+            Request::CloseStream { session: u64::MAX },
         ] {
             let body = encode_request(&req);
             assert_eq!(decode_request(&body).unwrap(), req, "{req:?}");
@@ -934,6 +1237,9 @@ mod tests {
                 inflight_jobs: 2,
                 executed_instances: 99,
                 failed_instances: 1,
+                open_sessions: 3,
+                evicted_sessions: 2,
+                session_resident_bytes: 8192,
                 draining: false,
             }),
             Response::Metrics(MetricsInfo {
@@ -949,7 +1255,32 @@ mod tests {
                 },
             }),
             Response::Metrics(MetricsInfo::default()),
+            Response::StreamOpened { session: 17 },
+            Response::Fed { accepted: 2 },
+            Response::Polled(PollReply {
+                tokens: vec![
+                    WireTok::Data(vec![1, 2, 3]),
+                    WireTok::Barrier(1),
+                    WireTok::Data(vec![]),
+                    WireTok::Barrier(15),
+                ],
+                finished: false,
+                resident_bytes: 4096,
+            }),
+            Response::Polled(PollReply::default()),
+            Response::StreamClosed(CloseReply {
+                merged: WireReport {
+                    rounds: 9,
+                    productive_steps: 8,
+                    steps: 10,
+                    peak_ready: 3,
+                },
+                tokens: vec![WireTok::Barrier(2)],
+                dram: vec![0, 1, 2, 3],
+            }),
             Response::Error(ErrorFrame::new(ErrorCode::Busy, "queue full")),
+            Response::Error(ErrorFrame::new(ErrorCode::UnknownSession, "no session 9")),
+            Response::Error(ErrorFrame::new(ErrorCode::SessionExpired, "idle too long")),
             Response::Error(
                 ErrorFrame::new(ErrorCode::CompileFailed, "error[E0103]: …rendered…").with_details(
                     vec![
@@ -999,5 +1330,48 @@ mod tests {
         // (version + kind + 16-byte id = offset 18).
         body[18..22].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(decode_request(&body), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn corrupt_stream_tokens_are_rejected() {
+        let polled = |tokens| {
+            Response::Polled(PollReply {
+                tokens,
+                finished: true,
+                resident_bytes: 0,
+            })
+        };
+        // Token list layout after version + kind: u32 count, then tagged
+        // elements. Tag byte of the first element sits at offset 6.
+        let mut body = encode_response(&polled(vec![WireTok::Barrier(1)]));
+        body[6] = 2;
+        assert_eq!(
+            decode_response(&body),
+            Err(WireError::BadField("token tag"))
+        );
+        // An out-of-range barrier level (0 and >15 are both invalid SLTF).
+        for bad in [0u8, 16] {
+            let mut body = encode_response(&polled(vec![WireTok::Barrier(1)]));
+            body[7] = bad;
+            assert_eq!(
+                decode_response(&body),
+                Err(WireError::BadField("barrier level"))
+            );
+        }
+        // A corrupt token count cannot force a huge allocation.
+        let mut body = encode_response(&polled(vec![]));
+        body[2..6].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_response(&body), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn wire_tok_round_trips_through_machine_tokens() {
+        use revet_machine::{tbar, tdata};
+        for tok in [tdata([1u32, 2, 3]), tbar(1), tbar(15)] {
+            let wire = WireTok::from_ttok(&tok);
+            assert_eq!(wire.to_ttok().unwrap(), tok);
+        }
+        assert_eq!(WireTok::Barrier(0).to_ttok(), None);
+        assert_eq!(WireTok::Barrier(16).to_ttok(), None);
     }
 }

@@ -25,11 +25,15 @@
 
 use crate::cache::ProgramCache;
 use crate::protocol::{
-    decode_request, encode_response, read_frame, write_frame, ErrorCode, ErrorFrame, ExecuteReply,
-    ExecuteRequest, FrameError, InstanceOutcome, MetricsInfo, Request, Response, StatusInfo,
-    WireDiagnostic, WireError, WireReport, MAX_FRAME_BYTES,
+    decode_request, encode_response, read_frame, write_frame, CloseReply, ErrorCode, ErrorFrame,
+    ExecuteReply, ExecuteRequest, FrameError, InstanceOutcome, MetricsInfo, OpenStreamRequest,
+    PollReply, Request, Response, StatusInfo, WireDiagnostic, WireError, WireReport, WireTok,
+    MAX_FRAME_BYTES,
 };
-use revet_core::{CompiledProgram, Compiler, CoreError, PassOptions, ProgramId};
+use crate::session::{SessionError, SessionTable};
+use revet_core::{
+    CompiledProgram, Compiler, CoreError, PassOptions, ProgramId, StreamExecutor, StreamInstance,
+};
 use revet_diag::{Severity, SourceMap};
 use revet_obs::ObsSink;
 use revet_runtime::{BatchJob, BatchRunner};
@@ -64,6 +68,12 @@ pub struct ServeConfig {
     pub batch_threads: usize,
     /// Per-instance round cap (livelock guard).
     pub max_rounds: u64,
+    /// Streaming sessions resident at once before `OpenStream` answers
+    /// `Busy`.
+    pub session_capacity: usize,
+    /// Idle deadline after which the sweeper evicts a streaming session
+    /// (later touches answer `SessionExpired`).
+    pub session_idle_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +86,8 @@ impl Default for ServeConfig {
             executor_threads: 2.min(hw),
             batch_threads: hw,
             max_rounds: revet_runtime::DEFAULT_MAX_ROUNDS,
+            session_capacity: 32,
+            session_idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -181,6 +193,7 @@ struct Shared {
     cfg: ServeConfig,
     cache: ProgramCache,
     queue: AdmissionQueue,
+    sessions: SessionTable,
     draining: AtomicBool,
     inflight_jobs: AtomicU64,
     executed_instances: AtomicU64,
@@ -198,12 +211,13 @@ impl Shared {
         self.draining.load(Ordering::SeqCst)
     }
 
-    /// Idempotent: flips the drain flag and closes the queue. Everything
-    /// else (acceptor exit, executor exit, connection exit) follows from
-    /// those two.
+    /// Idempotent: flips the drain flag, closes the queue, and drops
+    /// every resident streaming session. Everything else (acceptor exit,
+    /// executor exit, connection exit) follows from those.
     fn begin_drain(&self) {
         self.draining.store(true, Ordering::SeqCst);
         self.queue.close();
+        self.sessions.drain();
     }
 
     fn status(&self) -> StatusInfo {
@@ -218,6 +232,9 @@ impl Shared {
             inflight_jobs: self.inflight_jobs.load(Ordering::SeqCst),
             executed_instances: self.executed_instances.load(Ordering::SeqCst),
             failed_instances: self.failed_instances.load(Ordering::SeqCst),
+            open_sessions: self.sessions.open_count(),
+            evicted_sessions: self.sessions.evicted_total(),
+            session_resident_bytes: self.sessions.resident_bytes(),
             draining: self.draining(),
         }
     }
@@ -241,6 +258,15 @@ impl Shared {
                 "serve.failed_instances".to_string(),
                 status.failed_instances,
             ),
+            ("serve.sessions.open".to_string(), status.open_sessions),
+            (
+                "serve.sessions.evicted".to_string(),
+                status.evicted_sessions,
+            ),
+            (
+                "serve.sessions.resident_bytes".to_string(),
+                status.session_resident_bytes,
+            ),
         ]);
         counters.sort();
         MetricsInfo { counters, status }
@@ -255,6 +281,7 @@ pub struct Server {
     local_addr: SocketAddr,
     acceptor: JoinHandle<()>,
     executors: Vec<JoinHandle<()>>,
+    sweeper: JoinHandle<()>,
 }
 
 /// Newtype so `Server`'s Debug doesn't try to render the whole state.
@@ -281,6 +308,7 @@ impl Server {
         let shared = Arc::new(SharedOpaque(Shared {
             cache: ProgramCache::new(cfg.cache_capacity),
             queue: AdmissionQueue::new(cfg.queue_capacity),
+            sessions: SessionTable::new(cfg.session_capacity, cfg.session_idle_timeout),
             draining: AtomicBool::new(false),
             inflight_jobs: AtomicU64::new(0),
             executed_instances: AtomicU64::new(0),
@@ -299,11 +327,23 @@ impl Server {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(listener, &shared))
         };
+        // The idle sweeper: evicts streaming sessions past their idle
+        // deadline until drain begins.
+        let sweeper = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                while !shared.0.draining() {
+                    std::thread::sleep(IDLE_POLL);
+                    shared.0.sessions.sweep(Instant::now());
+                }
+            })
+        };
         Ok(Server {
             shared,
             local_addr,
             acceptor,
             executors,
+            sweeper,
         })
     }
 
@@ -328,6 +368,7 @@ impl Server {
         // queue, delivering replies connection threads are blocked on),
         // then the connections themselves.
         let _ = self.acceptor.join();
+        let _ = self.sweeper.join();
         for h in self.executors {
             let _ = h.join();
         }
@@ -462,6 +503,12 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 handle_compile(&mut stream, shared, &source, options)?
             }
             Request::Execute(req) => handle_execute(&mut stream, shared, req)?,
+            Request::OpenStream(req) => handle_open_stream(&mut stream, shared, req)?,
+            Request::Feed { session, argsets } => {
+                handle_feed(&mut stream, shared, session, &argsets)?
+            }
+            Request::Poll { session } => handle_poll(&mut stream, shared, session)?,
+            Request::CloseStream { session } => handle_close_stream(&mut stream, shared, session)?,
         }
     }
     Ok(())
@@ -528,6 +575,35 @@ fn compile_failed_frame(source: &str, e: &CoreError) -> ErrorFrame {
     ErrorFrame::new(ErrorCode::CompileFailed, e.render(source, false)).with_details(details)
 }
 
+/// Validates a window + DRAM overlays against a program's actual memory
+/// shape, so execution paths only ever see runnable inputs. Returns the
+/// `BadRequest` message on refusal.
+fn check_memory_args(
+    program: &CompiledProgram,
+    window: (u64, u64),
+    dram_inits: &[(u64, Vec<u8>)],
+) -> Result<(), String> {
+    let dram_len = program.graph.mem.dram.len() as u64;
+    let (w_off, w_len) = window;
+    if w_off.checked_add(w_len).is_none_or(|end| end > dram_len) {
+        return Err(format!(
+            "window [{w_off}, {w_off}+{w_len}) exceeds the {dram_len}-byte DRAM image"
+        ));
+    }
+    for (off, bytes) in dram_inits {
+        if off
+            .checked_add(bytes.len() as u64)
+            .is_none_or(|end| end > dram_len)
+        {
+            return Err(format!(
+                "dram init [{off}, {off}+{}) exceeds the {dram_len}-byte DRAM image",
+                bytes.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn handle_execute(stream: &mut TcpStream, shared: &Shared, req: ExecuteRequest) -> io::Result<()> {
     if shared.draining() {
         return send_error(stream, ErrorCode::ShuttingDown, "server is draining");
@@ -539,32 +615,10 @@ fn handle_execute(stream: &mut TcpStream, shared: &Shared, req: ExecuteRequest) 
             format!("no cached program {} — compile it first", req.program_id),
         );
     };
-    // Validate against the program's actual memory shape up front so the
-    // executor only ever sees runnable jobs.
-    let dram_len = program.graph.mem.dram.len() as u64;
-    let (w_off, w_len) = req.window;
-    if w_off.checked_add(w_len).is_none_or(|end| end > dram_len) {
-        return send_error(
-            stream,
-            ErrorCode::BadRequest,
-            format!("window [{w_off}, {w_off}+{w_len}) exceeds the {dram_len}-byte DRAM image"),
-        );
+    if let Err(msg) = check_memory_args(&program, req.window, &req.dram_inits) {
+        return send_error(stream, ErrorCode::BadRequest, msg);
     }
-    for (off, bytes) in &req.dram_inits {
-        if off
-            .checked_add(bytes.len() as u64)
-            .is_none_or(|end| end > dram_len)
-        {
-            return send_error(
-                stream,
-                ErrorCode::BadRequest,
-                format!(
-                    "dram init [{off}, {off}+{}) exceeds the {dram_len}-byte DRAM image",
-                    bytes.len()
-                ),
-            );
-        }
-    }
+    let w_len = req.window.1;
     // The reply must fit one frame; refuse rather than fail mid-write.
     let reply_bound = 64 + req.argsets.len() as u64 * (32 + w_len);
     if reply_bound > MAX_FRAME_BYTES as u64 {
@@ -601,6 +655,162 @@ fn handle_execute(stream: &mut TcpStream, shared: &Shared, req: ExecuteRequest) 
         // Executor dropped the sender without replying — only possible if
         // an executor thread died; surface it instead of hanging.
         Err(_) => send_error(stream, ErrorCode::ShuttingDown, "executor unavailable"),
+    }
+}
+
+/// Maps a session-table refusal onto its wire error code.
+fn session_error(e: SessionError) -> (ErrorCode, &'static str) {
+    match e {
+        SessionError::Busy => (
+            ErrorCode::Busy,
+            "session table full — close a session and retry",
+        ),
+        SessionError::Unknown => (
+            ErrorCode::UnknownSession,
+            "unknown session id (never issued, or already closed)",
+        ),
+        SessionError::Expired => (
+            ErrorCode::SessionExpired,
+            "session evicted by the idle sweeper — reopen and refeed",
+        ),
+    }
+}
+
+fn handle_open_stream(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    req: OpenStreamRequest,
+) -> io::Result<()> {
+    if shared.draining() {
+        return send_error(stream, ErrorCode::ShuttingDown, "server is draining");
+    }
+    let Some(program) = shared.cache.get(req.program_id) else {
+        return send_error(
+            stream,
+            ErrorCode::UnknownProgram,
+            format!("no cached program {} — compile it first", req.program_id),
+        );
+    };
+    if let Err(msg) = check_memory_args(&program, req.window, &req.dram_inits) {
+        return send_error(stream, ErrorCode::BadRequest, msg);
+    }
+    let mut instance = program.instance();
+    for (off, bytes) in &req.dram_inits {
+        let off = *off as usize;
+        instance.graph.mem.dram[off..off + bytes.len()].copy_from_slice(bytes);
+    }
+    match shared.sessions.open(
+        StreamInstance::new(instance, StreamExecutor::Planned),
+        req.window,
+    ) {
+        Ok(session) => send(stream, &Response::StreamOpened { session }),
+        Err(e) => {
+            let (code, msg) = session_error(e);
+            send_error(stream, code, msg)
+        }
+    }
+}
+
+fn handle_feed(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    session: u64,
+    argsets: &[Vec<u32>],
+) -> io::Result<()> {
+    if shared.draining() {
+        return send_error(stream, ErrorCode::ShuttingDown, "server is draining");
+    }
+    let sets: Vec<Vec<Word>> = argsets
+        .iter()
+        .map(|args| args.iter().map(|&a| Word(a)).collect())
+        .collect();
+    match shared.sessions.with(session, |s| s.stream.feed(&sets)) {
+        Ok(Ok(accepted)) => send(
+            stream,
+            &Response::Fed {
+                accepted: accepted as u64,
+            },
+        ),
+        Ok(Err(e)) => send_error(stream, ErrorCode::BadRequest, e.to_string()),
+        Err(e) => {
+            let (code, msg) = session_error(e);
+            send_error(stream, code, msg)
+        }
+    }
+}
+
+fn handle_poll(stream: &mut TcpStream, shared: &Shared, session: u64) -> io::Result<()> {
+    if shared.draining() {
+        return send_error(stream, ErrorCode::ShuttingDown, "server is draining");
+    }
+    let max_rounds = shared.cfg.max_rounds;
+    let polled = shared.sessions.with(session, |s| {
+        let run = s.stream.poll_obs(max_rounds, &shared.obs);
+        (run, s.stream.resident_bytes())
+    });
+    match polled {
+        Ok((Ok((tokens, status)), resident_bytes)) => send(
+            stream,
+            &Response::Polled(PollReply {
+                tokens: tokens.iter().map(WireTok::from_ttok).collect(),
+                finished: status == revet_machine::RunStatus::Finished,
+                resident_bytes,
+            }),
+        ),
+        Ok((Err(e), _)) => {
+            // A machine error poisons the session; release its residency.
+            let _ = shared.sessions.close(session);
+            send_error(stream, ErrorCode::BadRequest, e.to_string())
+        }
+        Err(e) => {
+            let (code, msg) = session_error(e);
+            send_error(stream, code, msg)
+        }
+    }
+}
+
+fn handle_close_stream(stream: &mut TcpStream, shared: &Shared, session: u64) -> io::Result<()> {
+    // Unlike the other streaming verbs, close works during a drain: it
+    // only *releases* residency (the table may already have dropped the
+    // session, in which case the client gets UnknownSession).
+    let slot = match shared.sessions.close(session) {
+        Ok(slot) => slot,
+        Err(e) => {
+            let (code, msg) = session_error(e);
+            return send_error(stream, code, msg);
+        }
+    };
+    let max_rounds = shared.cfg.max_rounds;
+    let mut stream_inst = slot.stream;
+    // Final poll first, so the close reply carries the tail of the sink
+    // stream the client hasn't seen; finish() then just verifies a clean
+    // drain and hands over the memory image.
+    let tail = match stream_inst.poll_obs(max_rounds, &shared.obs) {
+        Ok((tokens, _)) => tokens,
+        Err(e) => return send_error(stream, ErrorCode::BadRequest, e.to_string()),
+    };
+    match stream_inst.finish(max_rounds) {
+        Ok(outcome) => {
+            let (w_off, w_len) = (slot.window.0 as usize, slot.window.1 as usize);
+            shared.executed_instances.fetch_add(1, Ordering::SeqCst);
+            send(
+                stream,
+                &Response::StreamClosed(CloseReply {
+                    merged: WireReport {
+                        rounds: outcome.report.rounds,
+                        productive_steps: outcome.report.productive_steps,
+                        steps: outcome.report.steps,
+                        peak_ready: outcome.report.peak_ready,
+                    },
+                    tokens: tail.iter().map(WireTok::from_ttok).collect(),
+                    dram: outcome.memory.dram[w_off..w_off + w_len].to_vec(),
+                }),
+            )
+        }
+        Err(e) => {
+            shared.failed_instances.fetch_add(1, Ordering::SeqCst);
+            send_error(stream, ErrorCode::BadRequest, e.to_string())
+        }
     }
 }
 

@@ -8,9 +8,9 @@ use proptest::test_runner::TestRunner;
 use revet_core::{PassOptions, ProgramId};
 use revet_serve::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    ErrorCode, ErrorFrame, ExecuteReply, ExecuteRequest, FrameError, InstanceOutcome, MetricsInfo,
-    Request, Response, StatusInfo, WireDiagnostic, WireError, WireReport, MAX_FRAME_BYTES,
-    WIRE_VERSION,
+    CloseReply, ErrorCode, ErrorFrame, ExecuteReply, ExecuteRequest, FrameError, InstanceOutcome,
+    MetricsInfo, OpenStreamRequest, PollReply, Request, Response, StatusInfo, WireDiagnostic,
+    WireError, WireReport, WireTok, MAX_FRAME_BYTES, WIRE_VERSION,
 };
 
 // ---------------------------------------------------------------------------
@@ -42,8 +42,32 @@ fn gen_status(r: &mut TestRunner) -> StatusInfo {
         inflight_jobs: any::<u64>().generate(r),
         executed_instances: any::<u64>().generate(r),
         failed_instances: any::<u64>().generate(r),
+        open_sessions: any::<u64>().generate(r),
+        evicted_sessions: any::<u64>().generate(r),
+        session_resident_bytes: any::<u64>().generate(r),
         draining: (0u8..2).generate(r) == 1,
     }
+}
+
+fn gen_report(r: &mut TestRunner) -> WireReport {
+    WireReport {
+        rounds: any::<u64>().generate(r),
+        productive_steps: any::<u64>().generate(r),
+        steps: any::<u64>().generate(r),
+        peak_ready: any::<u64>().generate(r),
+    }
+}
+
+fn gen_toks(r: &mut TestRunner) -> Vec<WireTok> {
+    (0..(0usize..6).generate(r))
+        .map(|_| {
+            if (0u8..2).generate(r) == 0 {
+                WireTok::Data(prop::collection::vec(any::<u32>(), 0..4).generate(r))
+            } else {
+                WireTok::Barrier((1u8..=15).generate(r))
+            }
+        })
+        .collect()
 }
 
 fn gen_id(r: &mut TestRunner) -> ProgramId {
@@ -73,7 +97,7 @@ struct ArbRequest;
 impl Strategy for ArbRequest {
     type Value = Request;
     fn generate(&self, r: &mut TestRunner) -> Request {
-        match (0u8..5).generate(r) {
+        match (0u8..9).generate(r) {
             0 => Request::Compile {
                 source: gen_string(r, 200),
                 options: gen_options(r),
@@ -92,6 +116,27 @@ impl Strategy for ArbRequest {
             }),
             2 => Request::Status,
             3 => Request::Metrics,
+            4 => Request::OpenStream(OpenStreamRequest {
+                program_id: gen_id(r),
+                dram_inits: (0..(0usize..4).generate(r))
+                    .map(|_| ((0u64..1 << 32).generate(r), gen_blob(r, 64)))
+                    .collect(),
+                window: ((0u64..1 << 32).generate(r), (0u64..1 << 20).generate(r)),
+            }),
+            5 => Request::Feed {
+                session: any::<u64>().generate(r),
+                argsets: prop::collection::vec(
+                    prop::collection::vec(any::<u32>(), 0..5).boxed(),
+                    0..6,
+                )
+                .generate(r),
+            },
+            6 => Request::Poll {
+                session: any::<u64>().generate(r),
+            },
+            7 => Request::CloseStream {
+                session: any::<u64>().generate(r),
+            },
             _ => Request::Shutdown,
         }
     }
@@ -103,19 +148,14 @@ struct ArbResponse;
 impl Strategy for ArbResponse {
     type Value = Response;
     fn generate(&self, r: &mut TestRunner) -> Response {
-        match (0u8..6).generate(r) {
+        match (0u8..10).generate(r) {
             0 => Response::Compiled {
                 program_id: gen_id(r),
                 cached: (0u8..2).generate(r) == 1,
                 compile_micros: any::<u64>().generate(r),
             },
             1 => Response::Executed(ExecuteReply {
-                merged: WireReport {
-                    rounds: any::<u64>().generate(r),
-                    productive_steps: any::<u64>().generate(r),
-                    steps: any::<u64>().generate(r),
-                    peak_ready: any::<u64>().generate(r),
-                },
+                merged: gen_report(r),
                 instances: (0..(0usize..5).generate(r))
                     .map(|_| {
                         if (0u8..2).generate(r) == 0 {
@@ -138,9 +178,25 @@ impl Strategy for ArbResponse {
                     .collect(),
                 status: gen_status(r),
             }),
-            4 => Response::Error(
+            4 => Response::StreamOpened {
+                session: any::<u64>().generate(r),
+            },
+            5 => Response::Fed {
+                accepted: any::<u64>().generate(r),
+            },
+            6 => Response::Polled(PollReply {
+                tokens: gen_toks(r),
+                finished: (0u8..2).generate(r) == 1,
+                resident_bytes: any::<u64>().generate(r),
+            }),
+            7 => Response::StreamClosed(CloseReply {
+                merged: gen_report(r),
+                tokens: gen_toks(r),
+                dram: gen_blob(r, 128),
+            }),
+            8 => Response::Error(
                 ErrorFrame::new(
-                    match (0u8..8).generate(r) {
+                    match (0u8..10).generate(r) {
                         0 => ErrorCode::Malformed,
                         1 => ErrorCode::UnsupportedVersion,
                         2 => ErrorCode::FrameTooLarge,
@@ -148,6 +204,8 @@ impl Strategy for ArbResponse {
                         4 => ErrorCode::UnknownProgram,
                         5 => ErrorCode::Busy,
                         6 => ErrorCode::BadRequest,
+                        7 => ErrorCode::UnknownSession,
+                        8 => ErrorCode::SessionExpired,
                         _ => ErrorCode::ShuttingDown,
                     },
                     gen_string(r, 80),
